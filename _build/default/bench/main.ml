@@ -1,0 +1,679 @@
+(* The evaluation harness: regenerates every table and figure of the paper
+   on the synthetic suite (see DESIGN.md §4 for the experiment index).
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- table1    -- one experiment
+     ... robustness | figure4 | figure5 | grouping | ablation | pie | b0
+     ... scalability | calibration | bechamel
+
+   Absolute numbers differ from the paper (the substrate is an emulator
+   with a documented cost model, and binaries are scaled down); the shapes
+   — who wins, by what factor, where the cliffs are — are the reproduced
+   quantities. EXPERIMENTS.md records the comparison. *)
+
+module Codegen = E9_workload.Codegen
+module Suite = E9_workload.Suite
+module Dromaeo = E9_workload.Dromaeo
+module Machine = E9_emu.Machine
+module Cpu = E9_emu.Cpu
+module Rewriter = E9_core.Rewriter
+module Tactics = E9_core.Tactics
+module Stats = E9_core.Stats
+module Trampoline = E9_core.Trampoline
+module Lowfat = E9_lowfat.Lowfat
+module Reloc = E9_reloc.Reloc
+
+let printf = Format.printf
+
+let heading title =
+  printf "@.=== %s ===@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* Shared measurement machinery                                        *)
+(* ------------------------------------------------------------------ *)
+
+type app_result = {
+  loc : int;
+  base : float;
+  t1 : float;
+  t2 : float;
+  t3 : float;
+  succ : float;
+  time : float;  (** patched cycles / original cycles, percent *)
+  size : float;  (** output file size / input file size, percent *)
+}
+
+let expect_exit name (r : Cpu.result) =
+  match r.Cpu.outcome with
+  | Cpu.Exited _ -> ()
+  | Cpu.Fault (a, m) -> failwith (Printf.sprintf "%s faulted at 0x%x: %s" name a m)
+  | Cpu.Violation p -> failwith (Printf.sprintf "%s: violation at 0x%x" name p)
+  | Cpu.Out_of_fuel -> failwith (name ^ ": out of fuel")
+
+let options_for (row : Suite.row) =
+  { Rewriter.default_options with
+    Rewriter.reserve_below_base = row.Suite.profile.Codegen.shared_object }
+
+(* The ChromeMain workaround (§6.2): when the generator marked the first
+   real instruction, start disassembly there. *)
+let disasm_from_of elf =
+  Option.map
+    (fun (s : Elf_file.section) -> s.Elf_file.addr)
+    (Elf_file.find_section elf Codegen.chromemain_marker)
+
+(* Rewrite with [select]/[template] and measure one Table 1 line. *)
+let measure_app ?(options = Rewriter.default_options) ?make_allocator
+    ~select ~template elf (orig : Cpu.result) =
+  let r = Rewriter.run ~options ?disasm_from:(disasm_from_of elf) elf ~select ~template in
+  let patched = Machine.run ?make_allocator r.Rewriter.output in
+  expect_exit "patched" patched;
+  let s = r.Rewriter.stats in
+  { loc = Stats.total s;
+    base = Stats.base_pct s;
+    t1 = Stats.t1_pct s;
+    t2 = Stats.t2_pct s;
+    t3 = Stats.t3_pct s;
+    succ = Stats.succ_pct s;
+    time = 100.0 *. float_of_int patched.Cpu.cycles /. float_of_int orig.Cpu.cycles;
+    size = Rewriter.size_pct r }
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      exp (List.fold_left (fun a x -> a +. log x) 0.0 xs
+           /. float_of_int (List.length xs))
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pp_app ppf (a : app_result) =
+  Format.fprintf ppf "%7d %6.2f %5.2f %5.2f %5.2f %6.2f %7.2f %7.2f" a.loc
+    a.base a.t1 a.t2 a.t3 a.succ a.time a.size
+
+let bench_table1 () =
+  heading "Table 1: patching statistics (A1 = jumps, A2 = heap writes)";
+  printf
+    "%-12s | %7s %6s %5s %5s %5s %6s %7s %7s | %7s %6s %5s %5s %5s %6s %7s %7s@."
+    "binary" "#Loc" "Base%" "T1%" "T2%" "T3%" "Succ%" "Time%" "Size%" "#Loc"
+    "Base%" "T1%" "T2%" "T3%" "Succ%" "Time%" "Size%";
+  let acc_a1 = ref [] and acc_a2 = ref [] in
+  List.iter
+    (fun (row : Suite.row) ->
+      let elf = Codegen.generate row.Suite.profile in
+      let orig = Machine.run elf in
+      expect_exit row.Suite.profile.Codegen.name orig;
+      let options = options_for row in
+      let a1 =
+        measure_app ~options ~select:Frontend.select_jumps
+          ~template:(fun _ -> Trampoline.Empty)
+          elf orig
+      in
+      let a2 =
+        measure_app ~options ~select:Frontend.select_heap_writes
+          ~template:(fun _ -> Trampoline.Empty)
+          elf orig
+      in
+      acc_a1 := a1 :: !acc_a1;
+      acc_a2 := a2 :: !acc_a2;
+      printf "%-12s | %a | %a@." row.Suite.profile.Codegen.name pp_app a1
+        pp_app a2)
+    Suite.rows;
+  let avg sel rs = mean (List.map sel rs) in
+  let total sel rs = List.fold_left (fun a r -> a + sel r) 0 rs in
+  let summary name rs (paper : Suite.paper_app) paper_breakdown =
+    printf "%-12s | %7d %6.2f %5.2f %5.2f %5.2f %6.2f %7.2f %7.2f@." name
+      (total (fun r -> r.loc) rs)
+      (avg (fun r -> r.base) rs)
+      (avg (fun r -> r.t1) rs)
+      (avg (fun r -> r.t2) rs)
+      (avg (fun r -> r.t3) rs)
+      (avg (fun r -> r.succ) rs)
+      (avg (fun r -> r.time) rs)
+      (avg (fun r -> r.size) rs);
+    let b, t1, t2, t3 = paper_breakdown in
+    printf "%-12s | %7d %6.2f %5.2f %5.2f %5.2f %6.2f %7.2f %7.2f@."
+      "  (paper)" paper.Suite.loc b t1 t2 t3 paper.Suite.succ
+      (Option.value ~default:Float.nan paper.Suite.time)
+      paper.Suite.size
+  in
+  printf "%-12s@." (String.make 12 '-');
+  summary "Avg A1" !acc_a1 Suite.paper_total_a1 (72.79, 13.95, 3.73, 9.48);
+  summary "Avg A2" !acc_a2 Suite.paper_total_a2 (81.63, 15.68, 0.60, 2.09)
+
+(* Per-row paper-vs-measured comparison for the coverage columns — the
+   quantities the synthetic calibration is supposed to transfer. *)
+let bench_compare () =
+  heading "Per-row comparison: measured vs paper (Base% and Succ%)";
+  printf "%-12s | %21s | %21s | %21s | %21s@." "" "A1 Base% (mea/pap)"
+    "A1 Succ% (mea/pap)" "A2 Base% (mea/pap)" "A2 Succ% (mea/pap)";
+  let d_base_a1 = ref [] and d_base_a2 = ref [] in
+  List.iter
+    (fun (row : Suite.row) ->
+      let elf = Codegen.generate row.Suite.profile in
+      let options = options_for row in
+      let stats select =
+        let r =
+          Rewriter.run ~options ?disasm_from:(disasm_from_of elf) elf ~select
+            ~template:(fun _ -> Trampoline.Empty)
+        in
+        r.Rewriter.stats
+      in
+      let a1 = stats Frontend.select_jumps in
+      let a2 = stats Frontend.select_heap_writes in
+      let p1 = row.Suite.paper_a1 and p2 = row.Suite.paper_a2 in
+      d_base_a1 := abs_float (Stats.base_pct a1 -. p1.Suite.base) :: !d_base_a1;
+      d_base_a2 := abs_float (Stats.base_pct a2 -. p2.Suite.base) :: !d_base_a2;
+      printf "%-12s | %9.2f / %9.2f | %9.2f / %9.2f | %9.2f / %9.2f | %9.2f / %9.2f@."
+        row.Suite.profile.Codegen.name (Stats.base_pct a1) p1.Suite.base
+        (Stats.succ_pct a1) p1.Suite.succ (Stats.base_pct a2) p2.Suite.base
+        (Stats.succ_pct a2) p2.Suite.succ)
+    Suite.rows;
+  printf "@.mean |Base%% delta|: A1 %.2f points, A2 %.2f points@."
+    (mean !d_base_a1) (mean !d_base_a2)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: Dromaeo DOM benchmarks on the browsers                    *)
+(* ------------------------------------------------------------------ *)
+
+let bar width pct =
+  (* 100% = empty bar; 350% = full width. *)
+  let n =
+    max 0 (min width (int_of_float ((pct -. 100.0) /. 250.0 *. float_of_int width)))
+  in
+  String.make n '#'
+
+let bench_figure4 () =
+  heading "Figure 4: Dromaeo DOM overheads (A2 instrumentation)";
+  printf "%-18s %10s %10s@." "suite" "Chrome%" "FireFox%";
+  let chrome_res = ref [] and firefox_res = ref [] in
+  List.iter
+    (fun (s : Dromaeo.suite) ->
+      let elf = Codegen.generate (Dromaeo.program s) in
+      let orig = Machine.run elf in
+      expect_exit s.Dromaeo.name orig;
+      let text, _ = Frontend.disassemble elf in
+      let limit =
+        text.Frontend.base
+        + int_of_float
+            (float_of_int text.Frontend.size
+            *. Dromaeo.firefox_instrumented_fraction)
+      in
+      let run select =
+        (measure_app ~select ~template:(fun _ -> Trampoline.Empty) elf orig).time
+      in
+      (* Chrome: the whole binary is instrumented. FireFox: the bulk of the
+         time is spent in code E9Patch did not patch (JIT output, other
+         DSOs) — only part of the text is instrumented. *)
+      let chrome = run Frontend.select_heap_writes in
+      let firefox =
+        run (fun st ->
+            Frontend.select_heap_writes st && st.Frontend.addr < limit)
+      in
+      chrome_res := chrome :: !chrome_res;
+      firefox_res := firefox :: !firefox_res;
+      printf "%-18s %9.1f%% %9.1f%%  |%-20s|%-20s@." s.Dromaeo.name chrome
+        firefox (bar 20 chrome) (bar 20 firefox))
+    Dromaeo.suites;
+  printf "%-18s %9.1f%% %9.1f%%   (geometric mean)@." "Geom.Mean"
+    (geomean !chrome_res) (geomean !firefox_res);
+  printf "%-18s %9.1f%% %9.1f%%@." "  (paper)" Dromaeo.paper_chrome_mean
+    Dromaeo.paper_firefox_mean
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: empty A2 vs LowFat hardening                              *)
+(* ------------------------------------------------------------------ *)
+
+let bench_figure5 () =
+  heading "Figure 5: heap-write timings, empty (A2) vs LowFat instrumentation";
+  printf "%-12s %10s %10s@." "binary" "A2%" "LowFat%";
+  let a2s = ref [] and lfs = ref [] in
+  List.iter
+    (fun (row : Suite.row) ->
+      let elf = Codegen.generate row.Suite.profile in
+      let orig = Machine.run elf in
+      expect_exit row.Suite.profile.Codegen.name orig;
+      let options = options_for row in
+      let a2 =
+        measure_app ~options ~select:Frontend.select_heap_writes
+          ~template:(fun _ -> Trampoline.Empty)
+          elf orig
+      in
+      let lf =
+        measure_app ~options ~select:Frontend.select_heap_writes
+          ~template:(fun _ -> Trampoline.Lowfat_check)
+          ~make_allocator:Lowfat.make_allocator elf orig
+      in
+      a2s := a2.time :: !a2s;
+      lfs := lf.time :: !lfs;
+      printf "%-12s %9.1f%% %9.1f%%  |%-20s|%-20s@."
+        row.Suite.profile.Codegen.name a2.time lf.time (bar 20 a2.time)
+        (bar 20 lf.time))
+    Suite.spec_rows;
+  printf "%-12s %9.1f%% %9.1f%%   (SPEC mean)@." "Mean" (mean !a2s) (mean !lfs);
+  printf "%-12s %9.1f%% %9.1f%%@." "  (paper)" 164.71 227.27;
+  (* Browser rows, as in the figure's right-hand bars. *)
+  List.iter
+    (fun name ->
+      let row = Option.get (Suite.find name) in
+      let elf = Codegen.generate row.Suite.profile in
+      let orig = Machine.run elf in
+      let options = options_for row in
+      let a2 =
+        measure_app ~options ~select:Frontend.select_heap_writes
+          ~template:(fun _ -> Trampoline.Empty)
+          elf orig
+      in
+      let lf =
+        measure_app ~options ~select:Frontend.select_heap_writes
+          ~template:(fun _ -> Trampoline.Lowfat_check)
+          ~make_allocator:Lowfat.make_allocator elf orig
+      in
+      printf "%-12s %9.1f%% %9.1f%%@." name a2.time lf.time)
+    [ "chrome"; "firefox" ]
+
+(* ------------------------------------------------------------------ *)
+(* §4/§6.1: physical page grouping                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_grouping () =
+  heading "Physical page grouping (§4): file size and mapping counts";
+  let rows = [ "perlbench"; "gcc"; "povray"; "xalancbmk"; "vim"; "libc.so" ] in
+  printf "%-11s %-4s | %10s %10s %10s %10s@." "binary" "app" "grouped%"
+    "naive%" "#mappings" "#phys";
+  let g_sizes = ref [] and n_sizes = ref [] in
+  List.iter
+    (fun name ->
+      let row = Option.get (Suite.find name) in
+      let elf = Codegen.generate row.Suite.profile in
+      List.iter
+        (fun (app, select) ->
+          let size grouping =
+            let options = { (options_for row) with Rewriter.grouping } in
+            let r =
+              Rewriter.run ~options elf ~select
+                ~template:(fun _ -> Trampoline.Empty)
+            in
+            (Rewriter.size_pct r, r.Rewriter.mappings, r.Rewriter.physical_blocks)
+          in
+          let g, maps, phys = size true in
+          let n, _, _ = size false in
+          g_sizes := g :: !g_sizes;
+          n_sizes := n :: !n_sizes;
+          printf "%-11s %-4s | %9.1f%% %9.1f%% %10d %10d@." name app g n maps
+            phys)
+        [ ("A1", Frontend.select_jumps); ("A2", Frontend.select_heap_writes) ])
+    rows;
+  printf "%-16s | %9.1f%% %9.1f%%@." "Mean" (mean !g_sizes) (mean !n_sizes);
+  printf "%-16s | %9s %9s  (A1: 157.4 vs 2339.8; A2: 130.9 vs 669.0)@."
+    "  (paper)" "" "";
+  (* Granularity sweep (the vm.max_map_count discussion). *)
+  printf "@.Granularity sweep (gcc, A1): M vs #mappings vs Size%%@.";
+  let row = Option.get (Suite.find "gcc") in
+  let elf = Codegen.generate row.Suite.profile in
+  List.iter
+    (fun m ->
+      let options = { (options_for row) with Rewriter.granularity = m } in
+      let r =
+        Rewriter.run ~options elf ~select:Frontend.select_jumps
+          ~template:(fun _ -> Trampoline.Empty)
+      in
+      printf "  M=%-3d  mappings=%-6d  size=%.1f%%@." m r.Rewriter.mappings
+        (Rewriter.size_pct r))
+    [ 1; 2; 4; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* §6.1: tactic ablation ("without T3, coverage would be ~90.5%")      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_ablation () =
+  heading "Tactic ablation (§6.1): coverage per tactic stack (A1)";
+  let stacks =
+    [ ("B1+B2", fun (t : Tactics.options) ->
+        { t with Tactics.enable_t1 = false; enable_t2 = false; enable_t3 = false });
+      ("+T1", fun t -> { t with Tactics.enable_t2 = false; enable_t3 = false });
+      ("+T2", fun t -> { t with Tactics.enable_t3 = false });
+      ("+T3 (full)", fun t -> t);
+      ("full+jointT2", fun t -> { t with Tactics.t2_joint = true }) ]
+  in
+  printf "%-14s" "binary";
+  List.iter (fun (n, _) -> printf " %12s" n) stacks;
+  printf "@.";
+  let rows = [ "perlbench"; "gcc"; "leslie3d"; "GemsFDTD"; "vim"; "libxul.so" ] in
+  let accs = Array.make (List.length stacks) [] in
+  List.iter
+    (fun name ->
+      let row = Option.get (Suite.find name) in
+      let elf = Codegen.generate row.Suite.profile in
+      printf "%-14s" name;
+      List.iteri
+        (fun i (_, f) ->
+          let options =
+            { (options_for row) with
+              Rewriter.tactics = f Tactics.default_options }
+          in
+          let r =
+            Rewriter.run ~options elf ~select:Frontend.select_jumps
+              ~template:(fun _ -> Trampoline.Empty)
+          in
+          let s = Stats.succ_pct r.Rewriter.stats in
+          accs.(i) <- s :: accs.(i);
+          printf " %11.2f%%" s)
+        stacks;
+      printf "@.")
+    rows;
+  printf "%-14s" "Mean";
+  Array.iter (fun xs -> printf " %11.2f%%" (mean xs)) accs;
+  printf "@.(paper: Base 72.8%% -> ~90.5%% without T3 -> ~100%% with T3)@."
+
+(* ------------------------------------------------------------------ *)
+(* §5.1: PIE vs non-PIE                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bench_pie () =
+  heading "PIE vs non-PIE (§5.1): valid displacement space doubles";
+  printf "%-10s %12s %12s@." "app" "non-PIE Base%" "PIE Base%";
+  List.iter
+    (fun (app, select) ->
+      let base pie =
+        let prof =
+          { Codegen.default_profile with
+            Codegen.seed = 999L; functions = 600; iterations = 1; pie }
+        in
+        let r =
+          Rewriter.run (Codegen.generate prof) ~select
+            ~template:(fun _ -> Trampoline.Empty)
+        in
+        Stats.base_pct r.Rewriter.stats
+      in
+      printf "%-10s %11.2f%% %11.2f%%@." app (base false) (base true))
+    [ ("A1", Frontend.select_jumps); ("A2", Frontend.select_heap_writes) ];
+  printf "(paper: PIE binaries have Base%% > 93%%)@."
+
+(* ------------------------------------------------------------------ *)
+(* §2.1.1: the B0 baseline                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_b0 () =
+  heading "B0 signal-handler baseline (§2.1.1): orders of magnitude slower";
+  let prof =
+    { Codegen.default_profile with
+      Codegen.seed = 31L; functions = 60; iterations = 150 }
+  in
+  let elf = Codegen.generate prof in
+  let orig = Machine.run elf in
+  expect_exit "orig" orig;
+  let time options =
+    let r =
+      Rewriter.run ~options elf ~select:Frontend.select_jumps
+        ~template:(fun _ -> Trampoline.Empty)
+    in
+    let p = Machine.run r.Rewriter.output in
+    expect_exit "patched" p;
+    (100.0 *. float_of_int p.Cpu.cycles /. float_of_int orig.Cpu.cycles,
+     r.Rewriter.stats)
+  in
+  let jumps, _ = time Rewriter.default_options in
+  let b0, stats =
+    time
+      { Rewriter.default_options with
+        Rewriter.tactics =
+          { Tactics.default_options with
+            Tactics.enable_t1 = false;
+            enable_t2 = false;
+            enable_t3 = false;
+            b0_fallback = true } }
+  in
+  printf "jump tactics (B1/B2/T1/T2/T3): %8.0f%%@." jumps;
+  printf "B0 fallback (%d int3 traps):   %8.0f%%  (%.0fx the jump tactics)@."
+    stats.Stats.b0 b0 (b0 /. jumps);
+  printf "(paper: signal handlers are slower \"sometimes by orders of magnitude\")@."
+
+(* ------------------------------------------------------------------ *)
+(* §1/§7: robustness vs the relocating-rewriter baseline               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_robustness () =
+  heading
+    "Relocating-rewriter baseline (§1, §7): fast when recovery succeeds, \
+     broken when it does not";
+  (* Part 1: head-to-head on one binary. *)
+  let prof =
+    { Codegen.default_profile with
+      Codegen.seed = 5L; functions = 60; iterations = 150 }
+  in
+  let elf = Codegen.generate prof in
+  let orig = Machine.run elf in
+  expect_exit "orig" orig;
+  let describe name (r : Cpu.result) tables =
+    let eq = Machine.equivalent orig r in
+    printf "  %-26s %-10s time=%3.0f%%  %s@." name
+      (if eq then "CORRECT"
+       else
+         match r.Cpu.outcome with
+         | Cpu.Fault _ -> "CRASH"
+         | _ -> "WRONG OUTPUT")
+      (100.0 *. float_of_int r.Cpu.cycles /. float_of_int orig.Cpu.cycles)
+      tables
+  in
+  let rl cfg = Reloc.run ~cfg elf ~select:Frontend.select_jumps in
+  let gt = rl Reloc.Ground_truth in
+  describe "reloc (ground-truth CFG)"
+    (Machine.run gt.Reloc.output)
+    (Printf.sprintf "(tables %d/%d)" gt.Reloc.tables_rewritten
+       gt.Reloc.tables_total);
+  let hz = rl Reloc.Heuristic in
+  describe "reloc (heuristic CFG)"
+    (Machine.run hz.Reloc.output)
+    (Printf.sprintf "(tables %d/%d: PIC tables invisible)"
+       hz.Reloc.tables_rewritten hz.Reloc.tables_total);
+  let e9 =
+    Rewriter.run elf ~select:Frontend.select_jumps
+      ~template:(fun _ -> Trampoline.Counter)
+  in
+  describe "e9patch (no CFG at all)"
+    (Machine.run e9.Rewriter.output)
+    "";
+  (* Part 2: the paper's probability argument. "Consider a static binary
+     analysis for detecting indirect jump targets that is 99.9% accurate
+     ... the effective accuracy drops to ~37% per 1000 indirect jumps."
+     Degrade ground truth to per-table accuracy p and measure the fraction
+     of binaries that survive relocation, against the predicted p^n. *)
+  printf
+    "@.Per-table CFG accuracy p vs whole-binary soundness (predicted p^n):@.";
+  printf "  %8s %8s %8s %11s %9s %15s@." "p" "tables" "trials" "predicted"
+    "sound" "runs surviving";
+  List.iter
+    (fun (p, functions) ->
+      let trials = 12 in
+      let survived = ref 0 in
+      let sound = ref 0 in
+      let tables = ref 0 in
+      for t = 1 to trials do
+        let prof =
+          { Codegen.default_profile with
+            Codegen.seed = Int64.of_int (1000 + t); functions; iterations = 20 }
+        in
+        let elf = Codegen.generate prof in
+        let orig = Machine.run elf in
+        let r =
+          Reloc.run ~cfg:(Reloc.Heuristic_prob (p, Int64.of_int t)) elf
+            ~select:(fun _ -> false)
+        in
+        tables := r.Reloc.tables_total;
+        if r.Reloc.tables_rewritten = r.Reloc.tables_total then incr sound;
+        if Machine.equivalent orig (Machine.run r.Reloc.output) then
+          incr survived
+      done;
+      printf "  %8.3f %8d %8d %10.0f%% %8.0f%% %14.0f%%@." p !tables trials
+        (100.0 *. (p ** float_of_int !tables))
+        (100.0 *. float_of_int !sound /. float_of_int trials)
+        (100.0 *. float_of_int !survived /. float_of_int trials))
+    [ (1.0, 60); (0.999, 60); (0.99, 60); (0.99, 240); (0.95, 60) ];
+  printf "  (\"sound\" = every table recovered. A run can survive an unsound@.";
+  printf "   rewrite by luck when the missed jump is not exercised — the@.";
+  printf "   fragility is latent: testing passes, production crashes.@.";
+  printf "   E9Patch is sound at every size by construction.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Scalability: rewrite throughput vs binary size                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_scalability () =
+  heading "Scalability: rewriting time vs text size (A1, all tactics)";
+  printf "%10s %10s %10s %12s %10s@." "text KB" "#Loc" "Succ%" "rewrite s"
+    "KB/s";
+  List.iter
+    (fun functions ->
+      let prof =
+        { Codegen.default_profile with
+          Codegen.seed = 64L; functions; iterations = 1 }
+      in
+      let elf = Codegen.generate prof in
+      let text, _ = Frontend.disassemble elf in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Rewriter.run elf ~select:Frontend.select_jumps
+          ~template:(fun _ -> Trampoline.Empty)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      printf "%10d %10d %9.2f%% %12.2f %10.0f@." (text.Frontend.size / 1024)
+        (Stats.total r.Rewriter.stats)
+        (Stats.succ_pct r.Rewriter.stats)
+        dt
+        (float_of_int text.Frontend.size /. 1024.0 /. dt))
+    [ 250; 1000; 4000; 10000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Calibration curves (documents how suite parameters were derived)    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_calibration () =
+  heading "Calibration: generator bias vs Base% (suite parameter derivation)";
+  printf "A1: short_jump_bias -> Base%% (non-PIE)@.";
+  List.iter
+    (fun bias ->
+      let prof =
+        { Codegen.default_profile with
+          Codegen.seed = 11L; functions = 400; iterations = 1;
+          short_jump_bias = bias }
+      in
+      let r =
+        Rewriter.run (Codegen.generate prof) ~select:Frontend.select_jumps
+          ~template:(fun _ -> Trampoline.Empty)
+      in
+      printf "  bias=%.1f -> Base=%.2f%%@." bias
+        (Stats.base_pct r.Rewriter.stats))
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ];
+  printf "A2: small_write_bias -> Base%% (non-PIE)@.";
+  List.iter
+    (fun sw ->
+      let prof =
+        { Codegen.default_profile with
+          Codegen.seed = 11L; functions = 400; iterations = 1;
+          small_write_bias = sw }
+      in
+      let r =
+        Rewriter.run (Codegen.generate prof)
+          ~select:Frontend.select_heap_writes
+          ~template:(fun _ -> Trampoline.Empty)
+      in
+      printf "  small=%.1f -> Base=%.2f%%@." sw
+        (Stats.base_pct r.Rewriter.stats))
+    [ 0.0; 0.2; 0.4; 0.6; 0.8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: rewriter throughput per experiment       *)
+(* ------------------------------------------------------------------ *)
+
+let bench_bechamel () =
+  heading "Bechamel: rewriter micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let prof =
+    { Codegen.default_profile with
+      Codegen.seed = 5L; functions = 80; iterations = 1 }
+  in
+  let elf = Codegen.generate prof in
+  let dromaeo_elf =
+    Codegen.generate
+      { (Dromaeo.program (List.hd Dromaeo.suites)) with Codegen.iterations = 1 }
+  in
+  let rewrite ?(options = Rewriter.default_options) elf select template () =
+    ignore (Rewriter.run ~options elf ~select ~template:(fun _ -> template))
+  in
+  let tests =
+    [ Test.make ~name:"table1-A1-rewrite"
+        (Staged.stage (rewrite elf Frontend.select_jumps Trampoline.Empty));
+      Test.make ~name:"table1-A2-rewrite"
+        (Staged.stage
+           (rewrite elf Frontend.select_heap_writes Trampoline.Empty));
+      Test.make ~name:"figure4-dromaeo-rewrite"
+        (Staged.stage
+           (rewrite dromaeo_elf Frontend.select_heap_writes Trampoline.Empty));
+      Test.make ~name:"figure5-lowfat-rewrite"
+        (Staged.stage
+           (rewrite elf Frontend.select_heap_writes Trampoline.Lowfat_check));
+      Test.make ~name:"grouping-naive-rewrite"
+        (Staged.stage
+           (rewrite
+              ~options:{ Rewriter.default_options with Rewriter.grouping = false }
+              elf Frontend.select_jumps Trampoline.Empty)) ]
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) () in
+      let results = Benchmark.all cfg [ clock ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.OLS.estimates (Analyze.one ols clock raw) with
+          | Some (est :: _) ->
+              printf "  %-28s %10.2f ms/run@." name (est /. 1e6)
+          | Some [] | None -> printf "  %-28s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ ("table1", bench_table1);
+    ("compare", bench_compare);
+    ("robustness", bench_robustness);
+    ("figure4", bench_figure4);
+    ("figure5", bench_figure5);
+    ("grouping", bench_grouping);
+    ("ablation", bench_ablation);
+    ("pie", bench_pie);
+    ("b0", bench_b0);
+    ("scalability", bench_scalability);
+    ("calibration", bench_calibration);
+    ("bechamel", bench_bechamel) ]
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "--")
+  in
+  let t0 = Unix.gettimeofday () in
+  (match args with
+  | [] -> List.iter (fun (_, f) -> f ()) all
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name all with
+          | Some f -> f ()
+          | None ->
+              printf "unknown benchmark %s; available: %s@." name
+                (String.concat " " (List.map fst all));
+              exit 1)
+        names);
+  printf "@.[total bench time: %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,309 @@
+(* The e9patch command-line tool: static binary rewriting, synthetic
+   binary generation, emulation, and disassembly.
+
+     e9patch generate -o prog.elf --seed 7
+     e9patch disasm prog.elf
+     e9patch patch prog.elf -o patched.elf --select jumps --template counter
+     e9patch run patched.elf *)
+
+module Codegen = E9_workload.Codegen
+module Suite = E9_workload.Suite
+module Machine = E9_emu.Machine
+module Cpu = E9_emu.Cpu
+module Rewriter = E9_core.Rewriter
+module Tactics = E9_core.Tactics
+module Stats = E9_core.Stats
+module Trampoline = E9_core.Trampoline
+module Lowfat = E9_lowfat.Lowfat
+module Patchspec = E9_spec.Patchspec
+
+open Cmdliner
+
+let printf = Format.printf
+
+(* Shared -v / -vv verbosity flag wiring Logs. *)
+let setup_logs =
+  let init flags =
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level
+      (match List.length flags with
+      | 0 -> Some Logs.Warning
+      | 1 -> Some Logs.Info
+      | _ -> Some Logs.Debug)
+  in
+  Term.(
+    const init
+    $ Arg.(
+        value & flag_all
+        & info [ "v"; "verbose" ]
+            ~doc:"Verbosity (-v progress, -v -v per-site tactic decisions)."))
+
+(* ------------------------------------------------------------------ *)
+(* patch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let select_of = function
+  | "jumps" -> Frontend.select_jumps
+  | "heap-writes" -> Frontend.select_heap_writes
+  | "all" ->
+      fun s -> Frontend.select_jumps s || Frontend.select_heap_writes s
+  | other -> failwith ("unknown selector: " ^ other)
+
+let template_of = function
+  | "empty" -> Trampoline.Empty
+  | "counter" -> Trampoline.Counter
+  | "lowfat" -> Trampoline.Lowfat_check
+  | other -> failwith ("unknown template: " ^ other)
+
+let patch_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUTPUT" ~doc:"Patched binary path.")
+  in
+  let select =
+    Arg.(
+      value
+      & opt (enum [ ("jumps", "jumps"); ("heap-writes", "heap-writes"); ("all", "all") ]) "jumps"
+      & info [ "select" ] ~doc:"Patch locations: jumps (A1), heap-writes (A2), or all.")
+  in
+  let template =
+    Arg.(
+      value
+      & opt (enum [ ("empty", "empty"); ("counter", "counter"); ("lowfat", "lowfat") ]) "empty"
+      & info [ "template" ]
+          ~doc:"Trampoline payload: empty, counter, or lowfat (redzone checks).")
+  in
+  let granularity =
+    Arg.(
+      value & opt int 1
+      & info [ "M"; "granularity" ]
+          ~doc:"Physical page grouping block size, in pages (paper §4).")
+  in
+  let no_grouping =
+    Arg.(value & flag & info [ "no-grouping" ] ~doc:"Naive one-to-one physical mapping.")
+  in
+  let shared =
+    Arg.(
+      value & flag
+      & info [ "shared" ]
+          ~doc:"Shared-object mode: the dynamic linker owns the space below the base.")
+  in
+  let b0 =
+    Arg.(value & flag & info [ "b0-fallback" ] ~doc:"Use int3 traps when all tactics fail.")
+  in
+  let no_t1 = Arg.(value & flag & info [ "no-t1" ] ~doc:"Disable padded jumps.") in
+  let no_t2 = Arg.(value & flag & info [ "no-t2" ] ~doc:"Disable successor eviction.") in
+  let no_t3 = Arg.(value & flag & info [ "no-t3" ] ~doc:"Disable neighbour eviction.") in
+  let stub =
+    Arg.(
+      value & flag
+      & info [ "stub-loader" ]
+          ~doc:"Inject the x86 loader stub (the paper's mechanism) instead of \
+                the metadata mapping table.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ]
+          ~doc:"A patch-spec program (overrides --select/--template), e.g. \
+                'patch heap-writes with lowfat; patch jumps with counter'.")
+  in
+  let spec_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec-file" ] ~doc:"Read the patch spec from a file.")
+  in
+  let run () input output select template granularity no_grouping shared b0
+      no_t1 no_t2 no_t3 stub spec_arg spec_file =
+    let elf = Elf_file.read_file input in
+    let options =
+      { Rewriter.tactics =
+          { Tactics.default_options with
+            Tactics.enable_t1 = not no_t1;
+            enable_t2 = not no_t2;
+            enable_t3 = not no_t3;
+            b0_fallback = b0 };
+        granularity;
+        grouping = not no_grouping;
+        reserve_below_base = shared;
+        loader = (if stub then Rewriter.Stub else Rewriter.Table) }
+    in
+    let select, template =
+      match (spec_arg, spec_file) with
+      | Some _, Some _ -> failwith "--spec and --spec-file are exclusive"
+      | Some src, None -> Patchspec.to_rewriter_args (Patchspec.parse src)
+      | None, Some path ->
+          let ic = open_in path in
+          let src =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Patchspec.to_rewriter_args (Patchspec.parse src)
+      | None, None ->
+          (select_of select, fun _ -> template_of template)
+    in
+    let r = Rewriter.run ~options elf ~select ~template in
+    Elf_file.write_file r.Rewriter.output output;
+    printf "%a@." Stats.pp r.Rewriter.stats;
+    printf "size: %d -> %d bytes (%.1f%%); %d trampoline bytes; %d mappings@."
+      r.Rewriter.input_size r.Rewriter.output_size (Rewriter.size_pct r)
+      r.Rewriter.trampoline_bytes r.Rewriter.mappings;
+    printf "wrote %s@." output
+  in
+  Cmd.v (Cmd.info "patch" ~doc:"Statically rewrite a binary (no control flow recovery).")
+    Term.(
+      const run $ setup_logs $ input $ output $ select $ template
+      $ granularity $ no_grouping $ shared $ b0 $ no_t1 $ no_t2 $ no_t3
+      $ stub $ spec_arg $ spec_file)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUTPUT")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let functions =
+    Arg.(value & opt int 60 & info [ "functions" ] ~doc:"Function count (text size).")
+  in
+  let iterations =
+    Arg.(value & opt int 400 & info [ "iterations" ] ~doc:"Main-loop trips.")
+  in
+  let pie = Arg.(value & flag & info [ "pie" ] ~doc:"Position independent (loads high).") in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ]
+          ~doc:"Use a Table 1 suite profile (e.g. perlbench, chrome, libc.so).")
+  in
+  let run output seed functions iterations pie bench =
+    let profile =
+      match bench with
+      | Some name -> (
+          match Suite.find name with
+          | Some row -> row.Suite.profile
+          | None -> failwith ("unknown benchmark: " ^ name))
+      | None ->
+          { Codegen.default_profile with
+            Codegen.seed = Int64.of_int seed; functions; iterations; pie }
+    in
+    let elf = Codegen.generate profile in
+    Elf_file.write_file elf output;
+    let text = Option.get (Frontend.find_text elf) in
+    printf "wrote %s: %d bytes of text at 0x%x (%s)@." output
+      text.Frontend.size text.Frontend.base
+      (match elf.Elf_file.etype with Elf_file.Dyn -> "DYN" | Elf_file.Exec -> "EXEC")
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic test binary.")
+    Term.(const run $ output $ seed $ functions $ iterations $ pie $ bench)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let lowfat =
+    Arg.(value & flag & info [ "lowfat" ] ~doc:"Use the low-fat allocator runtime.")
+  in
+  let fuel =
+    Arg.(value & opt int Cpu.default_config.Cpu.fuel & info [ "fuel" ])
+  in
+  let counters =
+    Arg.(value & flag & info [ "counters" ] ~doc:"Dump instrumentation counters.")
+  in
+  let run input lowfat fuel counters =
+    let elf = Elf_file.read_file input in
+    let config = { Cpu.default_config with Cpu.fuel } in
+    let make_allocator =
+      if lowfat then Some Lowfat.make_allocator else None
+    in
+    let r = Machine.run ~config ?make_allocator elf in
+    if String.length r.Cpu.output > 0 then
+      printf "output (%d bytes): %s@." (String.length r.Cpu.output)
+        (String.concat ""
+           (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+              (List.of_seq (String.to_seq r.Cpu.output))));
+    printf "instructions: %d, cycles: %d, far jumps: %d, traps: %d@."
+      r.Cpu.insns r.Cpu.cycles r.Cpu.far_jumps r.Cpu.traps;
+    if counters then
+      List.iter (fun (site, n) -> printf "  counter 0x%x: %d@." site n) r.Cpu.counters;
+    match r.Cpu.outcome with
+    | Cpu.Exited n ->
+        printf "exited %d@." n;
+        exit n
+    | Cpu.Fault (a, m) ->
+        printf "FAULT at 0x%x: %s@." a m;
+        exit 139
+    | Cpu.Violation p ->
+        printf "REDZONE VIOLATION at 0x%x@." p;
+        exit 134
+    | Cpu.Out_of_fuel ->
+        printf "out of fuel@.";
+        exit 124
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a binary on the x86_64 subset emulator.")
+    Term.(const run $ input $ lowfat $ fuel $ counters)
+
+(* ------------------------------------------------------------------ *)
+(* disasm                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let disasm_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let limit = Arg.(value & opt int 64 & info [ "limit" ] ~doc:"Max instructions.") in
+  let run input limit =
+    let elf = Elf_file.read_file input in
+    let _, sites = Frontend.disassemble elf in
+    List.iteri
+      (fun i (s : Frontend.site) ->
+        if i < limit then
+          printf "%8x: %-24s%s%s@." s.Frontend.addr
+            (E9_x86.Insn.to_string s.Frontend.insn)
+            (if Frontend.select_jumps s then "  [A1]" else "")
+            (if Frontend.select_heap_writes s then "  [A2]" else ""))
+      sites;
+    printf "(%d instructions total)@." (List.length sites)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Linear disassembly of the text section.")
+    Term.(const run $ input $ limit)
+
+(* ------------------------------------------------------------------ *)
+(* spec-check                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spec_check_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC") in
+  let run input =
+    let ic = open_in input in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Patchspec.parse src with
+    | spec ->
+        printf "%a" Patchspec.pp spec;
+        printf "(%d rules, well-formed)@." (List.length spec)
+    | exception Patchspec.Parse_error { line; col; message } ->
+        printf "%s:%d:%d: %s@." input line col message;
+        exit 1
+  in
+  Cmd.v (Cmd.info "spec-check" ~doc:"Parse and echo a patch-spec file.")
+    Term.(const run $ input)
+
+let () =
+  let doc = "static binary rewriting without control flow recovery" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "e9patch" ~doc)
+          [ patch_cmd; generate_cmd; run_cmd; disasm_cmd; spec_check_cmd ]))

@@ -1,0 +1,1 @@
+examples/comparison.ml: E9_core E9_emu E9_reloc E9_workload Format Frontend

@@ -1,0 +1,1 @@
+examples/cve_patch.ml: Bytes Char E9_bits E9_core E9_emu E9_x86 Elf_file Format Frontend List Option Printf String

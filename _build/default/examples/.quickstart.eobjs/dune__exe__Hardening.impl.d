@@ -1,0 +1,1 @@
+examples/hardening.ml: Bytes E9_core E9_emu E9_lowfat E9_workload E9_x86 Elf_file Format Frontend

@@ -1,0 +1,1 @@
+examples/quickstart.ml: E9_core E9_emu E9_workload Elf_file Format Frontend List

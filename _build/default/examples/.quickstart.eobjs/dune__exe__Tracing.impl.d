@@ -1,0 +1,1 @@
+examples/tracing.ml: E9_core E9_emu E9_workload Format Frontend List

@@ -1,0 +1,162 @@
+(* Binary patching (paper Example 3.1): fixing a CVE-2019-18408-style bug
+   at the binary level, without source code, forcing the T3 neighbour
+   eviction tactic as in the paper.
+
+   The original libarchive bug: on an error path, `ppmd7.free(&rar->context)`
+   runs but `rar->start_new_table = 1` is missing, so a later read uses the
+   freed context (use-after-free). The developer patch adds the flag store.
+   E9Patch applies the same fix by patching the first instruction after the
+   call to free with a trampoline that also performs the store.
+
+     dune exec examples/cve_patch.exe *)
+
+module Insn = E9_x86.Insn
+module Reg = E9_x86.Reg
+module Asm = E9_x86.Asm
+module Machine = E9_emu.Machine
+module Cpu = E9_emu.Cpu
+module Rewriter = E9_core.Rewriter
+module Tactics = E9_core.Tactics
+module Stats = E9_core.Stats
+module Trampoline = E9_core.Trampoline
+module Hostcall = E9_emu.Hostcall
+
+let printf = Format.printf
+let base = 0x400000
+
+(* Offsets within the rar context object. *)
+let off_flag = 0x18 (* start_new_table *)
+let off_freed = 0x20 (* set by free(): models the allocator poisoning *)
+
+(* The vulnerable program. %rbx holds the context pointer throughout. *)
+let build () =
+  let asm = Asm.create ~base in
+  let loop = Asm.fresh_label asm "loop" in
+  let no_error = Asm.fresh_label asm "no_error" in
+  let cont = Asm.fresh_label asm "cont" in
+  let free_ctx = Asm.fresh_label asm "free_ctx" in
+  let safe = Asm.fresh_label asm "safe" in
+  let ins i = Asm.ins asm i in
+  (* rbx = malloc(64); rbx->flag = 0 *)
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Imm 64));
+  ins (Insn.Int Hostcall.malloc);
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RBX, Insn.Reg Reg.RAX));
+  ins (Insn.Mov (Insn.B, Insn.Mem (Insn.mem ~base:Reg.RBX ~disp:off_flag ()), Insn.Imm 0));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.R13, Insn.Imm 5));
+  Asm.place asm loop;
+  (* read_data "fails" on iteration 2 *)
+  ins (Insn.Alu (Insn.Cmp, Insn.Q, Insn.Reg Reg.R13, Insn.Imm 2));
+  Asm.jcc asm Insn.NE no_error;
+  (* --- the buggy error path --- *)
+  Asm.call asm free_ctx;
+  let patch_site = Asm.here asm in
+  ins (Insn.Mov (Insn.L, Insn.Reg Reg.RBP, Insn.Reg Reg.RBX));
+  (* ^ 89 dd, the 2-byte `mov %ebx,%ebp` of Figure 2(b); the developer
+     patch would add `rar->start_new_table = 1` right here. *)
+  Asm.jmp asm cont;
+  Asm.place asm no_error;
+  (* normal processing: touch the table *)
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RCX, Insn.Mem (Insn.mem ~base:Reg.RBX ~disp:8 ())));
+  ins (Insn.Alu (Insn.Add, Insn.Q, Insn.Reg Reg.RCX, Insn.Imm 1));
+  ins (Insn.Mov (Insn.Q, Insn.Mem (Insn.mem ~base:Reg.RBX ~disp:8 ()), Insn.Reg Reg.RCX));
+  Asm.place asm cont;
+  ins (Insn.Alu (Insn.Sub, Insn.Q, Insn.Reg Reg.R13, Insn.Imm 1));
+  Asm.jcc asm Insn.NE loop;
+  (* After the loop, the table is read again. If the context was freed and
+     start_new_table was not set, this is the use-after-free. *)
+  ins (Insn.Mov (Insn.B, Insn.Reg Reg.RAX,
+                 Insn.Mem (Insn.mem ~base:Reg.RBX ~disp:off_freed ())));
+  ins (Insn.Alu (Insn.Test, Insn.B, Insn.Reg Reg.RAX, Insn.Reg Reg.RAX));
+  Asm.jcc asm Insn.E safe;
+  ins (Insn.Mov (Insn.B, Insn.Reg Reg.RCX,
+                 Insn.Mem (Insn.mem ~base:Reg.RBX ~disp:off_flag ())));
+  ins (Insn.Alu (Insn.Test, Insn.B, Insn.Reg Reg.RCX, Insn.Reg Reg.RCX));
+  Asm.jcc asm Insn.NE safe;
+  (* freed and no rebuild requested: the bug fires *)
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RAX, Insn.Imm 60));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Imm 1));
+  ins Insn.Syscall;
+  Asm.place asm safe;
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RAX, Insn.Imm 60));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Imm 0));
+  ins Insn.Syscall;
+  (* ppmd7.free: poison the context (models the freed allocation) *)
+  Asm.place asm free_ctx;
+  ins (Insn.Mov (Insn.B, Insn.Mem (Insn.mem ~base:Reg.RBX ~disp:off_freed ()), Insn.Imm 1));
+  ins Insn.Ret;
+  let code = Asm.assemble asm in
+  let elf = Elf_file.create ~etype:Elf_file.Exec ~entry:base in
+  let off =
+    Elf_file.add_segment elf
+      { Elf_file.ptype = Elf_file.Load; prot = Elf_file.prot_rx; vaddr = base;
+        offset = 0; filesz = 0; memsz = Bytes.length code; align = 4096 }
+      ~content:code
+  in
+  elf.Elf_file.sections <-
+    [ { Elf_file.name = ".text"; sh_type = 1; sh_flags = 6; addr = base;
+        offset = off; size = Bytes.length code } ];
+  (elf, patch_site)
+
+let hexdump elf ~from ~len =
+  let text = Option.get (Frontend.find_text elf) in
+  let bytes =
+    E9_bits.Buf.sub elf.Elf_file.data
+      ~pos:(text.Frontend.offset + from - text.Frontend.base)
+      ~len
+  in
+  String.concat " "
+    (List.init len (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get bytes i))))
+
+let run_and_report name elf =
+  let r = Machine.run elf in
+  (match r.Cpu.outcome with
+  | Cpu.Exited 0 -> printf "%s: exit 0 — behaves correctly@." name
+  | Cpu.Exited 1 -> printf "%s: exit 1 — USE-AFTER-FREE path taken@." name
+  | Cpu.Exited n -> printf "%s: unexpected exit %d@." name n
+  | _ -> printf "%s: crashed@." name);
+  r
+
+let () =
+  let elf, patch_site = build () in
+  printf "patch site: 0x%x (the instruction after the call to free)@."
+    patch_site;
+  printf "original bytes around it: %s@." (hexdump elf ~from:patch_site ~len:8);
+  let before = run_and_report "unpatched" elf in
+  ignore before;
+
+  (* The binary-level developer patch: run the displaced instruction's
+     semantics plus `movb $1, off_flag(%rbx)`. As in Example 3.1, the
+     simpler tactics are unavailable (here: forced off to demonstrate T3's
+     double-jump construction; in the paper B1/B2/T1/T2 genuinely fail at
+     this site). *)
+  let template =
+    Trampoline.Custom_pre
+      (fun asm ->
+        Asm.ins asm
+          (Insn.Mov
+             (Insn.B, Insn.Mem (Insn.mem ~base:Reg.RBX ~disp:off_flag ()),
+              Insn.Imm 1)))
+  in
+  let options =
+    { Rewriter.default_options with
+      Rewriter.tactics =
+        { Tactics.default_options with
+          Tactics.enable_base = false;
+          enable_t1 = false;
+          enable_t2 = false } }
+  in
+  let result =
+    Rewriter.run ~options elf
+      ~select:(fun s -> s.Frontend.addr = patch_site)
+      ~template:(fun _ -> template)
+  in
+  (match result.Rewriter.patched_sites with
+  | [ (addr, tactic) ] ->
+      printf "@.patched 0x%x via tactic %s@." addr (Stats.tactic_name tactic);
+      printf "patched bytes at site:  %s   (eb = short jump J_short)@."
+        (hexdump result.Rewriter.output ~from:patch_site ~len:8)
+  | _ -> failwith "expected exactly one patched site");
+  ignore (run_and_report "patched  " result.Rewriter.output);
+  printf
+    "@.Only two instruction locations were modified; every possible jump@.";
+  printf "target still behaves as before (control-flow agnostic patching).@."

@@ -1,0 +1,74 @@
+(* Quickstart: rewrite a binary without control flow recovery.
+
+   This walks the whole pipeline on a small synthetic binary:
+   generate -> run -> rewrite (all jumps, counting instrumentation) ->
+   run the patched binary -> verify observational equivalence.
+
+     dune exec examples/quickstart.exe *)
+
+module Codegen = E9_workload.Codegen
+module Machine = E9_emu.Machine
+module Cpu = E9_emu.Cpu
+module Rewriter = E9_core.Rewriter
+module Stats = E9_core.Stats
+module Trampoline = E9_core.Trampoline
+
+let printf = Format.printf
+
+let () =
+  (* 1. A deterministic synthetic binary: ~25 KB of code with loops,
+     calls, jump tables and indirect calls the rewriter knows nothing
+     about. In real use this would be [Elf_file.read_file "a.out"]. *)
+  let prof =
+    { Codegen.default_profile with
+      Codegen.name = "quickstart"; seed = 2024L; functions = 50;
+      iterations = 200 }
+  in
+  let elf = Codegen.generate prof in
+  let text, sites = Frontend.disassemble elf in
+  printf "input: %d bytes of text, %d instructions, entry 0x%x@."
+    text.Frontend.size (List.length sites) elf.Elf_file.entry;
+
+  (* 2. Run the original. Observable behaviour = output + exit code. *)
+  let orig = Machine.run elf in
+  (match orig.Cpu.outcome with
+  | Cpu.Exited n ->
+      printf "original: exit %d after %d instructions (%d cycles)@." n
+        orig.Cpu.insns orig.Cpu.cycles
+  | _ -> failwith "original did not run");
+
+  (* 3. Rewrite: divert every jmp/jcc to a counting trampoline. No control
+     flow recovery happens anywhere in this call — the rewriter sees only
+     instruction locations and sizes. *)
+  let result =
+    Rewriter.run elf ~select:Frontend.select_jumps
+      ~template:(fun _ -> Trampoline.Counter)
+  in
+  printf "rewritten: %a@." Stats.pp result.Rewriter.stats;
+  printf "  file size %d -> %d bytes (%.1f%%), %d trampoline bytes, %d mmaps@."
+    result.Rewriter.input_size result.Rewriter.output_size
+    (Rewriter.size_pct result) result.Rewriter.trampoline_bytes
+    result.Rewriter.mappings;
+
+  (* 4. Run the patched binary and compare. *)
+  let patched = Machine.run result.Rewriter.output in
+  printf "patched: exit %s after %d instructions (%d cycles, %.0f%% of original)@."
+    (match patched.Cpu.outcome with
+    | Cpu.Exited n -> string_of_int n
+    | _ -> "?")
+    patched.Cpu.insns patched.Cpu.cycles
+    (100.0 *. float_of_int patched.Cpu.cycles /. float_of_int orig.Cpu.cycles);
+  printf "observationally equivalent: %b@." (Machine.equivalent orig patched);
+
+  (* 5. The instrumentation's yield: dynamic jump execution counts. *)
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 patched.Cpu.counters in
+  printf "@.instrumentation counted %d jump executions over %d distinct sites@."
+    total
+    (List.length patched.Cpu.counters);
+  let top =
+    List.sort (fun (_, a) (_, b) -> compare b a) patched.Cpu.counters
+  in
+  List.iteri
+    (fun i (site, hits) ->
+      if i < 5 then printf "  #%d  trampoline at 0x%-12x %8d hits@." (i + 1) site hits)
+    top

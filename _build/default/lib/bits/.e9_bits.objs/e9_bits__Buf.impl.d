@@ -1,0 +1,1 @@
+lib/bits/buf.ml: Bytes Char Format Int64 Printf

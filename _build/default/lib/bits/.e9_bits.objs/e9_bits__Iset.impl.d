@@ -1,0 +1,1 @@
+lib/bits/iset.ml: Int List Map

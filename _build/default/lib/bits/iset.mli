@@ -1,0 +1,51 @@
+(** Sets of disjoint half-open integer intervals.
+
+    Used as the occupancy map of the trampoline address-space allocator:
+    intervals mark *occupied* bytes, and allocation queries search for free
+    gaps inside a constrained window (the punned-jump target interval). *)
+
+type t
+
+(** [create ()] is an empty set. *)
+val create : unit -> t
+
+(** [copy t] is an independent snapshot of [t]. *)
+val copy : t -> t
+
+(** [add t ~lo ~hi] marks [lo, hi) occupied. Overlapping or adjacent
+    intervals are merged. No-op when [hi <= lo]. *)
+val add : t -> lo:int -> hi:int -> unit
+
+(** [remove t ~lo ~hi] marks [lo, hi) free, splitting intervals as needed. *)
+val remove : t -> lo:int -> hi:int -> unit
+
+(** [mem t x] is true when byte [x] is occupied. *)
+val mem : t -> int -> bool
+
+(** [is_free t ~lo ~hi] is true when no byte of [lo, hi) is occupied. *)
+val is_free : t -> lo:int -> hi:int -> bool
+
+(** [find_free t ~size ~lo ~hi] is the lowest start [s] with
+    [lo <= s <= hi] such that [s, s+size) is entirely free, if any. *)
+val find_free : t -> size:int -> lo:int -> hi:int -> int option
+
+(** [find_free_last t ~size ~lo ~hi] is the highest such start, if any. *)
+val find_free_last : t -> size:int -> lo:int -> hi:int -> int option
+
+(** [find_free_strided t ~size ~lo ~hi ~stride] is the lowest start [s]
+    with [lo <= s <= hi], [s ≡ lo (mod stride)] and [s, s+size) free.
+    With [stride = 1] this is {!find_free}. Requires [stride >= 1]. *)
+val find_free_strided :
+  t -> size:int -> lo:int -> hi:int -> stride:int -> int option
+
+(** [iter t f] applies [f ~lo ~hi] to each occupied interval in order. *)
+val iter : t -> (lo:int -> hi:int -> unit) -> unit
+
+(** [fold t init f] folds over occupied intervals in increasing order. *)
+val fold : t -> 'a -> ('a -> lo:int -> hi:int -> 'a) -> 'a
+
+(** [occupied t] is the total number of occupied bytes. *)
+val occupied : t -> int
+
+(** [intervals t] lists the occupied intervals in increasing order. *)
+val intervals : t -> (int * int) list

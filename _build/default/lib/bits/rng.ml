@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let next t =
+  let golden = 0x9e3779b97f4a7c15L in
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod n
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let chance t p = float t < p
+let pick t arr = arr.(int t (Array.length arr))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. max w 0.0) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Rng.weighted: no positive weight";
+  let x = float t *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted: internal"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest ->
+        let acc = acc +. max w 0.0 in
+        if x < acc then v else go acc rest
+  in
+  go 0.0 choices
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,1 @@
+lib/core/layout.ml: E9_bits Elf_file List

@@ -1,0 +1,1 @@
+lib/core/loader_stub.ml: E9_bits E9_emu E9_x86 Int64 Loadmap

@@ -1,0 +1,1 @@
+lib/core/loader_stub.mli: Loadmap

@@ -1,0 +1,1 @@
+lib/core/pagegroup.ml: Bytes E9_bits Elf_file Hashtbl List Loadmap Option

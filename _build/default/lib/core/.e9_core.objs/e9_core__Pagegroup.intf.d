@@ -1,0 +1,1 @@
+lib/core/pagegroup.mli: Loadmap

@@ -1,0 +1,1 @@
+lib/core/pun.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/rewriter.ml: Array Bytes E9_bits Elf_file Frontend Layout List Loader_stub Loadmap Logs Pagegroup Printf Stats Tactics

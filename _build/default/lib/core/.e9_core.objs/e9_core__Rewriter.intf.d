@@ -1,0 +1,1 @@
+lib/core/rewriter.mli: Elf_file Frontend Stats Tactics Trampoline

@@ -1,0 +1,1 @@
+lib/core/tactics.ml: Array E9_bits E9_x86 Frontend Hashtbl Layout List Loadmap Lock Logs Option Pun Stats Trampoline

@@ -1,0 +1,1 @@
+lib/core/tactics.mli: E9_bits Frontend Layout Loadmap Lock Stats Trampoline

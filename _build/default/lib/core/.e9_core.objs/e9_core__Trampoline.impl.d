@@ -1,0 +1,1 @@
+lib/core/trampoline.ml: Bytes E9_emu E9_x86 List

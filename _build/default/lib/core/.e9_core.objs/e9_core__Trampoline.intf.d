@@ -1,0 +1,1 @@
+lib/core/trampoline.mli: E9_x86

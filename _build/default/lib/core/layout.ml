@@ -1,0 +1,74 @@
+module Iset = E9_bits.Iset
+
+type t = {
+  occupied : Iset.t;
+  trampolines : Iset.t;  (* subset of [occupied]: what we allocated *)
+}
+
+(* Keep clear of the emulator's fixed homes so patched binaries cannot
+   collide with the runtime stack or heap (see E9_emu.Machine). *)
+let low_guard = 0x10000
+let canonical_limit = 1 lsl 47
+let heap_home = 0x6000_0000_0000
+let heap_span = 1 lsl 40
+let stack_home = 0x7fff_f000_0000
+let stack_span = 1 lsl 28
+
+let create ?(reserve_below_base = false) ?(block_size = 4096) (elf : Elf_file.t) =
+  let occupied = Iset.create () in
+  let floor_b x = x / block_size * block_size in
+  let ceil_b x = (x + block_size - 1) / block_size * block_size in
+  (* Negative displacements below the image and the NULL guard. *)
+  Iset.add occupied ~lo:(-0x1_0000_0000_0000) ~hi:low_guard;
+  Iset.add occupied ~lo:canonical_limit ~hi:(canonical_limit * 2);
+  Iset.add occupied ~lo:heap_home ~hi:(heap_home + heap_span);
+  Iset.add occupied ~lo:stack_home ~hi:(stack_home + stack_span);
+  let min_base =
+    List.fold_left
+      (fun acc (s : Elf_file.segment) ->
+        match s.ptype with Load -> min acc s.vaddr | Note | Other _ -> acc)
+      max_int elf.segments
+  in
+  if reserve_below_base && min_base < max_int then
+    Iset.add occupied ~lo:(-0x1_0000_0000_0000) ~hi:(floor_b min_base);
+  List.iter
+    (fun (s : Elf_file.segment) ->
+      match s.ptype with
+      | Load ->
+          Iset.add occupied ~lo:(floor_b s.vaddr)
+            ~hi:(ceil_b (s.vaddr + s.memsz))
+      | Note | Other _ -> ())
+    elf.segments;
+  { occupied; trampolines = Iset.create () }
+
+let alloc t ~size ~lo ~hi =
+  match Iset.find_free t.occupied ~size ~lo ~hi with
+  | Some addr ->
+      Iset.add t.occupied ~lo:addr ~hi:(addr + size);
+      Iset.add t.trampolines ~lo:addr ~hi:(addr + size);
+      Some addr
+  | None -> None
+
+let is_free t ~addr ~size = Iset.is_free t.occupied ~lo:addr ~hi:(addr + size)
+
+let probe t ~size ~lo ~hi = Iset.find_free t.occupied ~size ~lo ~hi
+
+let probe_strided t ~size ~lo ~hi ~stride =
+  Iset.find_free_strided t.occupied ~size ~lo ~hi ~stride
+
+let release t ~addr ~size =
+  Iset.remove t.occupied ~lo:addr ~hi:(addr + size);
+  Iset.remove t.trampolines ~lo:addr ~hi:(addr + size)
+
+let alloc_at t ~addr ~size =
+  if is_free t ~addr ~size then begin
+    Iset.add t.occupied ~lo:addr ~hi:(addr + size);
+    Iset.add t.trampolines ~lo:addr ~hi:(addr + size);
+    true
+  end
+  else false
+
+let reserve t ~addr ~size = Iset.add t.occupied ~lo:addr ~hi:(addr + size)
+
+let trampoline_extents t = Iset.intervals t.trampolines
+let trampoline_bytes t = Iset.occupied t.trampolines

@@ -1,0 +1,61 @@
+(** The rewriter's view of the patched program's virtual address space:
+    which addresses can host trampolines.
+
+    Initially occupied (hence unavailable): the negative range and the
+    first 64 KiB (where a punned displacement would underflow — the paper's
+    "invalid negative address range"), every loaded segment of the binary,
+    the region above the 47-bit canonical boundary, the emulator's heap and
+    stack homes, and — for shared objects — the region below the load base,
+    which the dynamic linker populates with other objects (paper §5.1).
+
+    Every successful trampoline allocation reserves its extent, feeding
+    back into later punning decisions exactly as in E9Patch. *)
+
+type t
+
+(** [create ?reserve_below_base ?block_size elf] builds the initial
+    occupancy from the binary's segments. [reserve_below_base] models the
+    shared-object case (default false). Segment reservations are rounded
+    out to [block_size] bytes (default one page): the loader's trampoline
+    mappings are block-granular, so a trampoline must never share a block
+    with original content. Pass the page-grouping granularity in bytes. *)
+val create : ?reserve_below_base:bool -> ?block_size:int -> Elf_file.t -> t
+
+(** [alloc t ~size ~lo ~hi] reserves [size] bytes whose start lies in
+    [lo, hi] (inclusive), preferring the lowest address; returns the start,
+    or [None] if the window has no free gap. *)
+val alloc : t -> size:int -> lo:int -> hi:int -> int option
+
+(** [is_free t ~addr ~size] — true when [addr, addr+size) is entirely
+    unoccupied (used by joint-pun candidate probing; does not reserve). *)
+val is_free : t -> addr:int -> size:int -> bool
+
+(** [probe t ~size ~lo ~hi] is like {!alloc} but reserves nothing — used to
+    test joint-pun candidates cheaply. *)
+val probe : t -> size:int -> lo:int -> hi:int -> int option
+
+(** [probe_strided t ~size ~lo ~hi ~stride] finds a free range whose start
+    is congruent to [lo] modulo [stride] — the query shape produced by
+    joint puns, where pinned low displacement bytes impose a residue.
+    Reserves nothing. *)
+val probe_strided :
+  t -> size:int -> lo:int -> hi:int -> stride:int -> int option
+
+(** [alloc_at t ~addr ~size] claims the exact range as a trampoline if it
+    is free; returns whether it succeeded. *)
+val alloc_at : t -> addr:int -> size:int -> bool
+
+(** [release t ~addr ~size] rolls back a reservation made by {!alloc} /
+    {!alloc_at} (used when the second half of a joint commit fails). *)
+val release : t -> addr:int -> size:int -> unit
+
+(** [reserve t ~addr ~size] marks a range occupied unconditionally. *)
+val reserve : t -> addr:int -> size:int -> unit
+
+(** [trampoline_extents t] lists the ranges allocated via {!alloc} (and
+    {!reserve} with [~track:true] semantics are excluded): the input to
+    physical page grouping. *)
+val trampoline_extents : t -> (int * int) list
+
+(** [trampoline_bytes t] is the total size of allocated trampolines. *)
+val trampoline_bytes : t -> int

@@ -1,0 +1,56 @@
+module Buf = E9_bits.Buf
+module Insn = E9_x86.Insn
+module Reg = E9_x86.Reg
+module Asm = E9_x86.Asm
+
+type t = { content : bytes; entry : int }
+
+let home = 0x7000_0000_0000
+let map_private_fixed = 0x12 (* MAP_PRIVATE lor MAP_FIXED *)
+
+let emit ~vaddr ~mappings ~real_entry =
+  let header = Buf.create 256 in
+  let path_addr = vaddr in
+  ignore (Buf.add_string header E9_emu.Cpu.self_exe_path);
+  ignore (Buf.add_u8 header 0);
+  Buf.pad_to header ((Buf.length header + 7) / 8 * 8);
+  let table_addr = vaddr + Buf.length header in
+  ignore (Buf.add_bytes header (Loadmap.encode_mappings mappings));
+  let table_end = vaddr + Buf.length header in
+  let stub_addr = table_end in
+  let asm = Asm.create ~base:stub_addr in
+  let ins i = Asm.ins asm i in
+  let loop = Asm.fresh_label asm "loop" in
+  let done_ = Asm.fresh_label asm "done" in
+  (* r13 = openat(AT_FDCWD, "/proc/self/exe", O_RDONLY) *)
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RAX, Insn.Imm 257));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Imm (-100)));
+  ins (Insn.Movabs (Reg.RSI, Int64.of_int path_addr));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDX, Insn.Imm 0));
+  ins Insn.Syscall;
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.R13, Insn.Reg Reg.RAX));
+  (* for each 32-byte record: mmap(vaddr, len, prot, flags, fd, off) *)
+  ins (Insn.Movabs (Reg.R14, Int64.of_int table_addr));
+  ins (Insn.Movabs (Reg.R15, Int64.of_int table_end));
+  Asm.place asm loop;
+  ins (Insn.Alu (Insn.Cmp, Insn.Q, Insn.Reg Reg.R14, Insn.Reg Reg.R15));
+  Asm.jcc asm Insn.AE done_;
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Mem (Insn.mem ~base:Reg.R14 ())));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RSI, Insn.Mem (Insn.mem ~base:Reg.R14 ~disp:16 ())));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDX, Insn.Mem (Insn.mem ~base:Reg.R14 ~disp:24 ())));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.R10, Insn.Imm map_private_fixed));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.R8, Insn.Reg Reg.R13));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.R9, Insn.Mem (Insn.mem ~base:Reg.R14 ~disp:8 ())));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RAX, Insn.Imm 9));
+  ins Insn.Syscall;
+  ins (Insn.Alu (Insn.Add, Insn.Q, Insn.Reg Reg.R14, Insn.Imm 32));
+  Asm.jmp asm loop;
+  Asm.place asm done_;
+  (* close(fd); jump to the real entry point *)
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Reg Reg.R13));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RAX, Insn.Imm 3));
+  ins Insn.Syscall;
+  ins (Insn.Movabs (Reg.RAX, Int64.of_int real_entry));
+  ins (Insn.Jmp_ind (Insn.Reg Reg.RAX));
+  ignore (Buf.add_bytes header (Asm.assemble asm));
+  { content = Buf.contents header; entry = stub_addr }

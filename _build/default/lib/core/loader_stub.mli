@@ -1,0 +1,33 @@
+(** The integrated loader (paper §5.1).
+
+    "E9Patch integrates a small loader into the output binary. The loader
+    replaces the entry point, and mmaps the trampoline/instrumentation
+    pages into their correct positions before returning control flow to
+    the 'real' entry point."
+
+    The loader segment laid out here contains, in order: the path string
+    ["/proc/self/exe"], the mapping table (the same 32-byte records as
+    {!Loadmap}), and the stub code. The stub
+
+    + [openat]s the binary's own file,
+    + walks the table calling [mmap(vaddr, len, prot,
+      MAP_PRIVATE|MAP_FIXED, fd, file_off)] for each record,
+    + closes the descriptor and jumps to the original entry point.
+
+    Everything is ordinary x86_64 machine code executed by the patched
+    program itself; the alternative table-driven loading mode (see
+    {!Rewriter.options}) performs the same mappings host-side. *)
+
+type t = {
+  content : bytes;  (** the loader segment image *)
+  entry : int;  (** absolute address of the stub's first instruction *)
+}
+
+(** Where the loader segment lives: far above any program segment, heap or
+    trampoline window. *)
+val home : int
+
+(** [emit ~vaddr ~mappings ~real_entry] lays out the loader segment for
+    loading at [vaddr]. [mappings]' file offsets must already be absolute
+    within the output file. *)
+val emit : vaddr:int -> mappings:Loadmap.mapping list -> real_entry:int -> t

@@ -1,0 +1,104 @@
+module Buf = E9_bits.Buf
+module Iset = E9_bits.Iset
+
+type result = {
+  blob : bytes;
+  mappings : Loadmap.mapping list;
+  physical_blocks : int;
+  virtual_blocks : int;
+}
+
+let page_size = 4096
+
+(* A physical block being filled: relative-offset occupancy plus content. *)
+type phys = { occ : Iset.t; bytes : Bytes.t; index : int }
+
+let group ~granularity ~enabled trampolines =
+  if granularity < 1 then invalid_arg "Pagegroup.group";
+  let bsize = granularity * page_size in
+  (* Split trampolines into per-virtual-block fragments ("trampolines that
+     span block boundaries are treated as two mini-trampolines"). *)
+  let frags = Hashtbl.create 256 in
+  (* block base -> (rel offset, bytes) list *)
+  List.iter
+    (fun (addr, code) ->
+      let len = Bytes.length code in
+      let pos = ref 0 in
+      while !pos < len do
+        let a = addr + !pos in
+        let block = a / bsize * bsize in
+        let rel = a - block in
+        let chunk = min (bsize - rel) (len - !pos) in
+        let frag = (rel, Bytes.sub code !pos chunk) in
+        Hashtbl.replace frags block
+          (frag :: (Option.value ~default:[] (Hashtbl.find_opt frags block)));
+        pos := !pos + chunk
+      done)
+    trampolines;
+  let blocks =
+    Hashtbl.fold (fun base fr acc -> (base, fr) :: acc) frags []
+    |> List.sort compare
+  in
+  let physicals = ref [] (* newest first *) in
+  let n_phys = ref 0 in
+  let place fr =
+    (* First-fit over existing physical blocks (oldest first). *)
+    let fits p =
+      List.for_all
+        (fun (rel, b) -> Iset.is_free p.occ ~lo:rel ~hi:(rel + Bytes.length b))
+        fr
+    in
+    let target =
+      if enabled then List.find_opt fits (List.rev !physicals) else None
+    in
+    let p =
+      match target with
+      | Some p -> p
+      | None ->
+          let p =
+            { occ = Iset.create (); bytes = Bytes.make bsize '\000';
+              index = !n_phys }
+          in
+          incr n_phys;
+          physicals := p :: !physicals;
+          p
+    in
+    List.iter
+      (fun (rel, b) ->
+        Iset.add p.occ ~lo:rel ~hi:(rel + Bytes.length b);
+        Bytes.blit b 0 p.bytes rel (Bytes.length b))
+      fr;
+    p.index
+  in
+  let placements = List.map (fun (base, fr) -> (base, place fr)) blocks in
+  let blob = Buf.create (!n_phys * bsize) in
+  ignore (Buf.add_zeros blob (!n_phys * bsize));
+  List.iter
+    (fun p -> Buf.blit_in blob ~pos:(p.index * bsize) p.bytes)
+    !physicals;
+  let mappings =
+    List.map
+      (fun (vbase, pidx) ->
+        { Loadmap.vaddr = vbase;
+          file_off = pidx * bsize;
+          len = bsize;
+          prot = Elf_file.prot_rx })
+      placements
+  in
+  (* Merge mappings that are contiguous in both spaces (fewer mmap calls). *)
+  let mappings =
+    List.fold_left
+      (fun acc (m : Loadmap.mapping) ->
+        match acc with
+        | prev :: rest
+          when prev.Loadmap.vaddr + prev.Loadmap.len = m.vaddr
+               && prev.Loadmap.file_off + prev.Loadmap.len = m.file_off ->
+            { prev with Loadmap.len = prev.Loadmap.len + m.len } :: rest
+        | _ -> m :: acc)
+      [] mappings
+    |> List.rev
+  in
+  { blob = Buf.contents blob;
+    mappings;
+    physical_blocks = !n_phys;
+    virtual_blocks = List.length blocks }

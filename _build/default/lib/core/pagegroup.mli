@@ -1,0 +1,28 @@
+(** Physical page grouping (paper §4).
+
+    Punned trampolines are pinned to constrained virtual addresses and so
+    fragment the virtual address space. This pass recovers the {e physical}
+    cost: the space is cut into blocks of [granularity] pages, and blocks
+    whose trampoline extents do not overlap (relative to their block base)
+    are merged into a single physical block that the loader maps at every
+    corresponding virtual address (one-to-many, file-backed).
+
+    A greedy first-fit partitioner is used, as in E9Patch ("a simple greedy
+    algorithm gives reasonable results"). With grouping disabled, each
+    virtual block gets its own physical block — the naïve one-to-one
+    mapping the paper compares against. *)
+
+type result = {
+  blob : bytes;  (** concatenated physical blocks, appended to the file *)
+  mappings : Loadmap.mapping list;
+      (** loader directives; [file_off] is relative to the start of [blob]
+          (the rewriter rebases them when it knows the final offset) *)
+  physical_blocks : int;
+  virtual_blocks : int;
+}
+
+(** [group ~granularity ~enabled trampolines] — [granularity] is the block
+    size in pages (the paper's [M], ≥ 1); [enabled = false] selects the
+    naïve one-to-one mapping. Trampolines must not overlap. *)
+val group :
+  granularity:int -> enabled:bool -> (int * bytes) list -> result

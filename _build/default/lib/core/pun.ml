@@ -1,0 +1,25 @@
+let sext32 v = if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let target_window ~jmp_end ~free_bytes ~fixed_high =
+  if free_bytes < 0 || free_bytes > 4 then invalid_arg "Pun.target_window";
+  if free_bytes = 4 then (jmp_end - 0x8000_0000, jmp_end + 0x7fff_ffff)
+  else begin
+    let span = 1 lsl (8 * free_bytes) in
+    let raw_lo = fixed_high lsl (8 * free_bytes) in
+    (* The sign of the whole window is decided by the fixed top byte. *)
+    let rel_lo = sext32 raw_lo in
+    (jmp_end + rel_lo, jmp_end + rel_lo + span - 1)
+  end
+
+let rel32_for ~jmp_end ~target =
+  let rel = target - jmp_end in
+  if rel < -0x8000_0000 || rel > 0x7fff_ffff then
+    invalid_arg "Pun.rel32_for: target out of rel32 range";
+  rel
+
+let rel32_bytes rel =
+  let u = rel land 0xffff_ffff in
+  Array.init 4 (fun i -> (u lsr (8 * i)) land 0xff)
+
+let fixed_high_of_bytes bytes =
+  List.fold_right (fun b acc -> (acc lsl 8) lor (b land 0xff)) bytes 0

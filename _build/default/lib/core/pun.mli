@@ -1,0 +1,34 @@
+(** The arithmetic of instruction punning (paper §2.1.3, §3).
+
+    A punned [jmpq rel32] overlaps its successors: the low-order bytes of
+    the little-endian [rel32] field lie inside the patched instruction (the
+    rewriter chooses them freely) while the high-order bytes coincide with
+    — and are "punned" onto — the bytes that follow. Because the free bytes
+    are always the low-order ones, the set of expressible jump targets is a
+    single contiguous interval, which is what makes trampoline allocation a
+    range query. *)
+
+(** [target_window ~jmp_end ~free_bytes ~fixed_high] is the inclusive
+    interval [(lo, hi)] of absolute target addresses reachable by a punned
+    jump whose displacement field ends at [jmp_end], with [free_bytes]
+    low-order bytes free (0–4) and the remaining high-order bytes equal to
+    [fixed_high] (the little-endian integer they form).
+
+    The [rel32] is interpreted as a signed 32-bit value: a [fixed_high]
+    whose top bit is set yields a window of negative displacements — the
+    case the paper calls "invalid for non-PIE binaries" because it
+    underflows the address space. The window itself is returned unclamped;
+    validity is the allocator's concern. *)
+val target_window : jmp_end:int -> free_bytes:int -> fixed_high:int -> int * int
+
+(** [rel32_for ~jmp_end ~target] is the displacement reaching [target].
+    Raises [Invalid_argument] if it does not fit in a signed 32 bits. *)
+val rel32_for : jmp_end:int -> target:int -> int
+
+(** [rel32_bytes rel] is the 4-byte little-endian encoding of [rel]. *)
+val rel32_bytes : int -> int array
+
+(** [fixed_high_of_bytes bytes] assembles the little-endian integer formed
+    by the given high-order displacement bytes (lowest index = least
+    significant of the fixed part). *)
+val fixed_high_of_bytes : int list -> int

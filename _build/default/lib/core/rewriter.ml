@@ -1,0 +1,146 @@
+module Buf = E9_bits.Buf
+
+type loader_mode = Table | Stub
+
+type options = {
+  tactics : Tactics.options;
+  granularity : int;
+  grouping : bool;
+  reserve_below_base : bool;
+  loader : loader_mode;
+}
+
+let default_options =
+  { tactics = Tactics.default_options;
+    granularity = 1;
+    grouping = true;
+    reserve_below_base = false;
+    loader = Table }
+
+type result = {
+  output : Elf_file.t;
+  stats : Stats.t;
+  input_size : int;
+  output_size : int;
+  trampoline_bytes : int;
+  virtual_blocks : int;
+  physical_blocks : int;
+  mappings : int;
+  patched_sites : (int * Stats.tactic) list;
+}
+
+let run ?(options = default_options) ?disasm_from ?frontend input ~select
+    ~template =
+  let input_bytes = Elf_file.to_bytes input in
+  let output = Elf_file.of_bytes input_bytes in
+  let disassemble =
+    match frontend with
+    | Some f -> f
+    | None -> Frontend.disassemble ?from:disasm_from
+  in
+  let text, sites_list = disassemble output in
+  let sites = Array.of_list sites_list in
+  let layout =
+    Layout.create ~reserve_below_base:options.reserve_below_base
+      ~block_size:(options.granularity * 4096) output
+  in
+  let text_buf =
+    Buf.of_bytes (Buf.sub output.Elf_file.data ~pos:text.Frontend.offset ~len:text.Frontend.size)
+  in
+  let ctx =
+    Tactics.create_ctx ~text:text_buf ~text_base:text.Frontend.base ~layout
+      ~sites ~options:options.tactics
+  in
+  let stats = Stats.create () in
+  let patched = ref [] in
+  (* Strategy S1: patch from highest to lowest address so that puns only
+     ever depend on bytes that are already final. *)
+  let patch_sites =
+    Array.to_list sites |> List.filter select
+    |> List.sort (fun (a : Frontend.site) b -> compare b.addr a.addr)
+  in
+  List.iter
+    (fun site ->
+      match Tactics.patch ctx site (template site) with
+      | Some tactic ->
+          Stats.record stats tactic;
+          patched := (site.Frontend.addr, tactic) :: !patched
+      | None -> Stats.record_failure stats)
+    patch_sites;
+  (* Blit the patched text back — strictly in place. *)
+  Buf.blit_in output.Elf_file.data ~pos:text.Frontend.offset (Buf.contents text_buf);
+  (* Physical page grouping over the emitted trampolines, then append. *)
+  let tramps = Tactics.trampolines ctx in
+  let grouped =
+    Pagegroup.group ~granularity:options.granularity ~enabled:options.grouping
+      tramps
+  in
+  if Bytes.length grouped.Pagegroup.blob > 0 then begin
+    let blob_off =
+      Elf_file.add_section output ~name:".e9patch.tramp" ~addr:0 ~sh_type:1
+        ~sh_flags:0 ~content:grouped.Pagegroup.blob
+    in
+    let mappings =
+      List.map
+        (fun (m : Loadmap.mapping) ->
+          { m with Loadmap.file_off = m.Loadmap.file_off + blob_off })
+        grouped.Pagegroup.mappings
+    in
+    match options.loader with
+    | Table ->
+        (* Host-side loading: the emulator's loader interprets the table. *)
+        ignore
+          (Elf_file.add_section output ~name:Elf_file.mmap_section_name
+             ~addr:0 ~sh_type:1 ~sh_flags:0
+             ~content:(Loadmap.encode_mappings mappings))
+    | Stub ->
+        (* The paper's mechanism: an injected loader replaces the entry
+           point and performs the mmaps itself (§5.1). *)
+        let stub =
+          Loader_stub.emit ~vaddr:Loader_stub.home ~mappings
+            ~real_entry:output.Elf_file.entry
+        in
+        (match Elf_file.segment_at output Loader_stub.home with
+        | Some _ -> failwith "Rewriter: loader home collides with a segment"
+        | None -> ());
+        ignore
+          (Elf_file.add_segment output
+             { Elf_file.ptype = Elf_file.Load;
+               prot = Elf_file.prot_rx;
+               vaddr = Loader_stub.home;
+               offset = 0;
+               filesz = 0;
+               memsz = Bytes.length stub.Loader_stub.content;
+               align = 4096 }
+             ~content:stub.Loader_stub.content);
+        output.Elf_file.entry <- stub.Loader_stub.entry
+  end;
+  (match Tactics.trap_entries ctx with
+  | [] -> ()
+  | traps ->
+      ignore
+        (Elf_file.add_section output ~name:Elf_file.trap_section_name ~addr:0
+           ~sh_type:1 ~sh_flags:0 ~content:(Loadmap.encode_traps traps)));
+  let output_size = Bytes.length (Elf_file.to_bytes output) in
+  Logs.info (fun m ->
+      m "rewrote %s: %a; %d -> %d bytes; %d trampolines in %d mappings"
+        (match Frontend.find_text output with
+        | Some t -> Printf.sprintf "text@0x%x" t.Frontend.base
+        | None -> "?")
+        (fun ppf -> Stats.pp ppf) stats (Bytes.length input_bytes) output_size
+        (List.length tramps)
+        (List.length grouped.Pagegroup.mappings));
+  { output;
+    stats;
+    input_size = Bytes.length input_bytes;
+    output_size;
+    trampoline_bytes =
+      List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 tramps;
+    virtual_blocks = grouped.Pagegroup.virtual_blocks;
+    physical_blocks = grouped.Pagegroup.physical_blocks;
+    mappings = List.length grouped.Pagegroup.mappings;
+    patched_sites = List.rev !patched }
+
+let size_pct r =
+  if r.input_size = 0 then 0.0
+  else 100.0 *. float_of_int r.output_size /. float_of_int r.input_size

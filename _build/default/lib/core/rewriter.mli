@@ -1,0 +1,66 @@
+(** The E9Patch static binary rewriter (paper §5).
+
+    Takes an ELF binary, a patch-location selector, and a trampoline
+    template; produces a patched ELF in which every selected instruction is
+    diverted to a trampoline by one of the tactics B1/B2/T1/T2/T3 (or the
+    optional B0 fallback), under the reverse-order strategy S1.
+
+    ELF discipline: existing bytes are patched strictly in place; the
+    trampoline blob, mapping table and trap table are appended. No existing
+    file offset moves, and the set of jump targets is preserved — the two
+    properties that make the rewriter control-flow agnostic. *)
+
+(** How the trampoline mappings reach the patched program's address
+    space. [Stub] is the paper's mechanism: machine code injected into the
+    binary replaces the entry point and mmaps the pages itself.
+    [Table] (the default) records the same mappings in a metadata section
+    applied by the emulator's loader — behaviourally identical, without
+    per-run stub execution overhead distorting short benchmark runs. *)
+type loader_mode = Table | Stub
+
+type options = {
+  tactics : Tactics.options;
+  granularity : int;  (** page-grouping block size in pages (paper's M) *)
+  grouping : bool;  (** false = naïve one-to-one physical mapping *)
+  reserve_below_base : bool;
+      (** shared-object mode: the dynamic linker owns the space below the
+          load base (paper §5.1) *)
+  loader : loader_mode;
+}
+
+val default_options : options
+
+type result = {
+  output : Elf_file.t;
+  stats : Stats.t;
+  input_size : int;  (** serialized input file size, bytes *)
+  output_size : int;
+  trampoline_bytes : int;  (** total trampoline code emitted *)
+  virtual_blocks : int;
+  physical_blocks : int;
+  mappings : int;  (** loader mmap calls in the output binary *)
+  patched_sites : (int * Stats.tactic) list;  (** per-site outcome *)
+}
+
+(** [run ?options ?disasm_from elf ~select ~template] rewrites [elf]. The
+    input is not mutated. [select] chooses patch locations among the
+    frontend's sites; [template] supplies each site's trampoline payload.
+    [disasm_from] starts the linear sweep at a known code address — the
+    §6.2 workaround for text sections that mix data and code. [frontend]
+    substitutes a different disassembler entirely (e.g.
+    {!Frontend.disassemble_recursive}) — E9Patch only consumes instruction
+    locations and sizes, so any frontend that reports them correctly
+    works, and partial frontends yield partial instrumentation, never
+    incorrectness. *)
+val run :
+  ?options:options ->
+  ?disasm_from:int ->
+  ?frontend:(Elf_file.t -> Frontend.text * Frontend.site list) ->
+  Elf_file.t ->
+  select:(Frontend.site -> bool) ->
+  template:(Frontend.site -> Trampoline.template) ->
+  result
+
+(** [size_pct r] is the paper's Size% column: output file size as a
+    percentage of the input's. *)
+val size_pct : result -> float

@@ -1,0 +1,197 @@
+module Insn = E9_x86.Insn
+module Reg = E9_x86.Reg
+module Asm = E9_x86.Asm
+module Classify = E9_x86.Classify
+module Hostcall = E9_emu.Hostcall
+
+type template =
+  | Empty
+  | Counter
+  | Lowfat_check
+  | Call_fn of int
+  | Custom_pre of (Asm.t -> unit)
+  | Replace of (Asm.t -> ret:int -> unit)
+
+(* Absolute-target branch helpers (lengths fixed: jmp 5, jcc 6, call 5). *)
+let jmp_abs asm target = Asm.ins asm (Insn.Jmp (target - (Asm.here asm + 5)))
+let call_abs asm target = Asm.ins asm (Insn.Call (target - (Asm.here asm + 5)))
+
+let jcc_abs asm c target =
+  Asm.ins asm (Insn.Jcc (c, target - (Asm.here asm + 6)))
+
+(* Re-encode a RIP-relative memory operand for a new location. The operand
+   addressed [orig_next + disp]; at the new site the instruction's end is
+   only known after encoding, and our encoder always uses disp32 for
+   RIP-relative operands, so the length is stable: encode once with the old
+   displacement to learn the length, then fix the displacement. *)
+let retarget_mem ~orig_next ~new_addr ~enc_len (m : Insn.mem) =
+  if m.rip_rel then
+    { m with Insn.disp = orig_next + m.disp - (new_addr + enc_len) }
+  else m
+
+let retarget_operand ~orig_next ~new_addr ~enc_len = function
+  | Insn.Mem m -> Insn.Mem (retarget_mem ~orig_next ~new_addr ~enc_len m)
+  | (Insn.Reg _ | Insn.Imm _) as op -> op
+
+(* Emit the displaced instruction at the current position, preserving its
+   original semantics, and return [true] when control flow continues to the
+   next trampoline instruction (so a return jump is still needed). *)
+let emit_displaced asm ~insn ~insn_addr ~insn_len =
+  let orig_next = insn_addr + insn_len in
+  match insn with
+  | Insn.Jmp rel | Insn.Jmp_short rel ->
+      jmp_abs asm (orig_next + rel);
+      false
+  | Insn.Jcc (c, rel) | Insn.Jcc_short (c, rel) ->
+      jcc_abs asm c (orig_next + rel);
+      true
+  | Insn.Call rel ->
+      (* The callee returns into the trampoline, which then resumes after
+         the patch site. (The return address differs from the original —
+         the standard transparency caveat of trampoline-based rewriting.) *)
+      call_abs asm (orig_next + rel);
+      true
+  | Insn.Ret ->
+      Asm.ins asm Insn.Ret;
+      false
+  | Insn.Jmp_ind op ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length (Insn.Jmp_ind op) in
+      Asm.ins asm (Insn.Jmp_ind (retarget_operand ~orig_next ~new_addr ~enc_len op));
+      false
+  | Insn.Call_ind op ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length (Insn.Call_ind op) in
+      Asm.ins asm (Insn.Call_ind (retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Mov (sz, dst, src) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      let f = retarget_operand ~orig_next ~new_addr ~enc_len in
+      Asm.ins asm (Insn.Mov (sz, f dst, f src));
+      true
+  | Insn.Alu (op, sz, dst, src) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      let f = retarget_operand ~orig_next ~new_addr ~enc_len in
+      Asm.ins asm (Insn.Alu (op, sz, f dst, f src));
+      true
+  | Insn.Lea (r, m) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Lea (r, retarget_mem ~orig_next ~new_addr ~enc_len m));
+      true
+  | Insn.Imul (r, op) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Imul (r, retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Movzx (r, op) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Movzx (r, retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Movsx (r, op) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Movsx (r, retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Setcc (c, op) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Setcc (c, retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Cmov (c, r, op) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Cmov (c, r, retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Neg (sz, op) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Neg (sz, retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Not (sz, op) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Not (sz, retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Inc (sz, op) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Inc (sz, retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Dec (sz, op) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm (Insn.Dec (sz, retarget_operand ~orig_next ~new_addr ~enc_len op));
+      true
+  | Insn.Shift (sh, sz, dst, n) ->
+      let new_addr = Asm.here asm in
+      let enc_len = E9_x86.Encode.length insn in
+      Asm.ins asm
+        (Insn.Shift (sh, sz, retarget_operand ~orig_next ~new_addr ~enc_len dst, n));
+      true
+  | (Insn.Movabs _ | Insn.Push _ | Insn.Pop _ | Insn.Pushfq | Insn.Popfq
+    | Insn.Nop _ | Insn.Syscall | Insn.Int _) as i ->
+      Asm.ins asm i;
+      true
+  | Insn.Int3 | Insn.Ud2 | Insn.Unknown _ ->
+      invalid_arg "Trampoline: cannot displace this instruction"
+
+let emit_lowfat_payload asm ~insn =
+  match Classify.mem_written insn with
+  | None -> invalid_arg "Trampoline: Lowfat_check on a non-writing instruction"
+  | Some m ->
+      if m.Insn.rip_rel then
+        invalid_arg "Trampoline: Lowfat_check on a global write";
+      (* push %rdi; lea written-operand, %rdi; int check; pop %rdi.
+         None of these touch the flags; %rdi is read before being
+         clobbered, so the address is computed from original state. *)
+      Asm.ins asm (Insn.Push Reg.RDI);
+      Asm.ins asm (Insn.Lea (Reg.RDI, m));
+      Asm.ins asm (Insn.Int Hostcall.check);
+      Asm.ins asm (Insn.Pop Reg.RDI)
+
+(* Caller-saved register state bracketing an instrumentation call: flags
+   first (the displaced instruction may be a jcc), then the registers the
+   System V ABI lets a callee clobber. *)
+let caller_saved =
+  [ Reg.RAX; Reg.RCX; Reg.RDX; Reg.RSI; Reg.RDI; Reg.R8; Reg.R9; Reg.R10;
+    Reg.R11 ]
+
+let emit_call_fn asm fn =
+  Asm.ins asm Insn.Pushfq;
+  List.iter (fun r -> Asm.ins asm (Insn.Push r)) caller_saved;
+  call_abs asm fn;
+  List.iter (fun r -> Asm.ins asm (Insn.Pop r)) (List.rev caller_saved);
+  Asm.ins asm Insn.Popfq
+
+let emit template ~at ~insn ~insn_addr ~insn_len =
+  let asm = Asm.create ~base:at in
+  let ret = insn_addr + insn_len in
+  (match template with
+  | Empty ->
+      if emit_displaced asm ~insn ~insn_addr ~insn_len then jmp_abs asm ret
+  | Counter ->
+      Asm.ins asm (Insn.Int Hostcall.count);
+      if emit_displaced asm ~insn ~insn_addr ~insn_len then jmp_abs asm ret
+  | Lowfat_check ->
+      emit_lowfat_payload asm ~insn;
+      if emit_displaced asm ~insn ~insn_addr ~insn_len then jmp_abs asm ret
+  | Call_fn fn ->
+      emit_call_fn asm fn;
+      if emit_displaced asm ~insn ~insn_addr ~insn_len then jmp_abs asm ret
+  | Custom_pre f ->
+      f asm;
+      if emit_displaced asm ~insn ~insn_addr ~insn_len then jmp_abs asm ret
+  | Replace f -> f asm ~ret);
+  Asm.assemble asm
+
+let size template ~insn ~insn_addr ~insn_len =
+  (* Dry run next to the original site: every branch target is then within
+     rel32 range and the emitted length equals the final one. *)
+  Bytes.length (emit template ~at:(insn_addr + 64) ~insn ~insn_addr ~insn_len)
+
+let emit_evictee ~at ~insn ~insn_addr ~insn_len =
+  emit Empty ~at ~insn ~insn_addr ~insn_len

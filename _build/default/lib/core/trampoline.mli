@@ -1,0 +1,53 @@
+(** Trampoline templates and code generation.
+
+    Every successful tactic diverts control flow to a trampoline that
+    (optionally) runs an instrumentation payload, executes the displaced
+    instruction, and jumps back to the instruction after the patch
+    location. PC-relative displaced instructions (branches, RIP-relative
+    operands) are re-encoded against their new location; instructions that
+    leave unconditionally ([jmp], [ret]) need no return jump.
+
+    Emission is address-dependent (the displacements) but length-stable:
+    [emit] at any address yields the same number of bytes, so the rewriter
+    can size a trampoline before allocating its home. *)
+
+type template =
+  | Empty
+      (** displaced instruction + return — the paper's "empty
+          instrumentation" used for the Table 1 / Figure 4 overheads *)
+  | Counter
+      (** a {!E9_emu.Hostcall.count} host call first — basic-block /
+          jump counting instrumentation *)
+  | Lowfat_check
+      (** re-materialize the written-to pointer with [lea], pass it to the
+          {!E9_emu.Hostcall.check} redzone check, restore state, then run
+          the displaced instruction (paper §6.3). Only valid for
+          heap-write instructions. *)
+  | Call_fn of int
+      (** call an instrumentation {e function inside the patched binary}
+          (appended by the user as an extra executable segment — the
+          E9Tool mechanism), bracketing it with RFLAGS and caller-saved
+          register save/restore *)
+  | Custom_pre of (E9_x86.Asm.t -> unit)
+      (** arbitrary payload before the displaced instruction *)
+  | Replace of (E9_x86.Asm.t -> ret:int -> unit)
+      (** binary patching: the payload replaces the displaced instruction
+          entirely and must end with its own control transfer; [ret] is
+          the address just after the patched instruction *)
+
+(** [emit template ~at ~insn ~insn_addr ~insn_len] generates trampoline
+    code to live at address [at], for the instruction [insn] originally at
+    [insn_addr] (size [insn_len]). *)
+val emit :
+  template -> at:int -> insn:E9_x86.Insn.t -> insn_addr:int -> insn_len:int ->
+  bytes
+
+(** [size template ~insn ~insn_addr ~insn_len] is the length [emit] will
+    produce (computed by a dry run near the original location). *)
+val size : template -> insn:E9_x86.Insn.t -> insn_addr:int -> insn_len:int -> int
+
+(** [emit_evictee ~at ~insn ~insn_addr ~insn_len] is the evictee trampoline
+    used by instruction eviction (T2/T3): the displaced victim plus the
+    return jump — an [Empty] template. *)
+val emit_evictee :
+  at:int -> insn:E9_x86.Insn.t -> insn_addr:int -> insn_len:int -> bytes

@@ -1,0 +1,1 @@
+lib/elf/elf_file.mli: E9_bits Format

@@ -1,0 +1,1 @@
+lib/elf/loadmap.ml: E9_bits Elf_file Int64 List

@@ -1,0 +1,1 @@
+lib/elf/loadmap.mli: Elf_file

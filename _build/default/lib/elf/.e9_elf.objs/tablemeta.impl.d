@@ -1,0 +1,1 @@
+lib/elf/tablemeta.ml: E9_bits Int64 List

@@ -1,0 +1,278 @@
+module Buf = E9_bits.Buf
+
+type etype = Exec | Dyn
+type prot = { r : bool; w : bool; x : bool }
+
+let prot_rx = { r = true; w = false; x = true }
+let prot_rw = { r = true; w = true; x = false }
+let prot_r = { r = true; w = false; x = false }
+
+type ptype = Load | Note | Other of int
+
+type segment = {
+  ptype : ptype;
+  prot : prot;
+  vaddr : int;
+  offset : int;
+  filesz : int;
+  memsz : int;
+  align : int;
+}
+
+type section = {
+  name : string;
+  sh_type : int;
+  sh_flags : int;
+  addr : int;
+  offset : int;
+  size : int;
+}
+
+type t = {
+  mutable etype : etype;
+  mutable entry : int;
+  mutable segments : segment list;
+  mutable sections : section list;
+  data : Buf.t;
+}
+
+let mmap_section_name = ".e9patch.mmap"
+let trap_section_name = ".e9patch.trap"
+
+(* Offsets 0..header_reserve-1 of [data] are reserved for the ELF header and
+   program headers, written at serialization time. Content never moves. *)
+let header_reserve = 4096
+let ehdr_size = 64
+let phent_size = 56
+let shent_size = 64
+let max_phnum = (header_reserve - ehdr_size) / phent_size
+
+let create ~etype ~entry =
+  let data = Buf.create header_reserve in
+  ignore (Buf.add_zeros data header_reserve);
+  { etype; entry; segments = []; sections = []; data }
+
+(* Pad so that the next offset is congruent to [vaddr] modulo [align]. *)
+let pad_congruent data ~vaddr ~align =
+  if align > 1 then begin
+    let off = Buf.length data in
+    let want = vaddr mod align and have = off mod align in
+    let pad = (want - have + align) mod align in
+    ignore (Buf.add_zeros data pad)
+  end
+
+let add_segment t seg ~content =
+  pad_congruent t.data ~vaddr:seg.vaddr ~align:seg.align;
+  let offset = Buf.add_bytes t.data content in
+  let seg = { seg with offset; filesz = Bytes.length content } in
+  t.segments <- t.segments @ [ seg ];
+  offset
+
+let add_section t ~name ~addr ~sh_type ~sh_flags ~content =
+  let offset = Buf.add_bytes t.data content in
+  let s = { name; sh_type; sh_flags; addr; offset; size = Bytes.length content } in
+  t.sections <- t.sections @ [ s ];
+  offset
+
+let find_section t name = List.find_opt (fun s -> s.name = name) t.sections
+
+let section_bytes t s = Buf.sub t.data ~pos:s.offset ~len:s.size
+
+let segment_at t vaddr =
+  List.find_opt
+    (fun s -> s.ptype = Load && vaddr >= s.vaddr && vaddr < s.vaddr + s.memsz)
+    t.segments
+
+let prot_flags p =
+  (if p.x then 1 else 0) lor (if p.w then 2 else 0) lor if p.r then 4 else 0
+
+let prot_of_flags f = { x = f land 1 <> 0; w = f land 2 <> 0; r = f land 4 <> 0 }
+
+let ptype_code = function Load -> 1 | Note -> 4 | Other n -> n
+let ptype_of_code = function 1 -> Load | 4 -> Note | n -> Other n
+
+let to_bytes t =
+  let phnum = List.length t.segments in
+  if phnum > max_phnum then failwith "Elf_file: too many program headers";
+  (* Work on a copy so serialization is repeatable. *)
+  let img = Buf.of_bytes (Buf.contents t.data) in
+  (* Section header string table. *)
+  let shstrtab = Buffer.create 64 in
+  Buffer.add_char shstrtab '\000';
+  let strtab_index name =
+    let idx = Buffer.length shstrtab in
+    Buffer.add_string shstrtab name;
+    Buffer.add_char shstrtab '\000';
+    idx
+  in
+  let sec_names = List.map (fun s -> (s, strtab_index s.name)) t.sections in
+  let shstrtab_name_idx = strtab_index ".shstrtab" in
+  let shstrtab_off = Buf.add_bytes img (Buffer.to_bytes shstrtab) in
+  (* Section header table: null + sections + shstrtab. *)
+  Buf.pad_to img ((Buf.length img + 7) / 8 * 8);
+  let shoff = Buf.length img in
+  let shnum = List.length t.sections + 2 in
+  let emit_shdr ~name_idx ~sh_type ~sh_flags ~addr ~offset ~size =
+    ignore (Buf.add_u32 img name_idx);
+    ignore (Buf.add_u32 img sh_type);
+    ignore (Buf.add_u64 img (Int64.of_int sh_flags));
+    ignore (Buf.add_u64 img (Int64.of_int addr));
+    ignore (Buf.add_u64 img (Int64.of_int offset));
+    ignore (Buf.add_u64 img (Int64.of_int size));
+    ignore (Buf.add_u32 img 0);
+    (* sh_link *)
+    ignore (Buf.add_u32 img 0);
+    (* sh_info *)
+    ignore (Buf.add_u64 img 1L);
+    (* sh_addralign *)
+    ignore (Buf.add_u64 img 0L)
+    (* sh_entsize *)
+  in
+  emit_shdr ~name_idx:0 ~sh_type:0 ~sh_flags:0 ~addr:0 ~offset:0 ~size:0;
+  List.iter
+    (fun (s, name_idx) ->
+      emit_shdr ~name_idx ~sh_type:s.sh_type ~sh_flags:s.sh_flags ~addr:s.addr
+        ~offset:s.offset ~size:s.size)
+    sec_names;
+  emit_shdr ~name_idx:shstrtab_name_idx ~sh_type:3 ~sh_flags:0 ~addr:0
+    ~offset:shstrtab_off
+    ~size:(Buffer.length shstrtab);
+  (* ELF header. *)
+  Buf.set_u32 img 0 0x464c457f;
+  (* \x7fELF *)
+  Buf.set_u8 img 4 2;
+  (* ELFCLASS64 *)
+  Buf.set_u8 img 5 1;
+  (* little endian *)
+  Buf.set_u8 img 6 1;
+  (* EV_CURRENT *)
+  Buf.set_u16 img 16 (match t.etype with Exec -> 2 | Dyn -> 3);
+  Buf.set_u16 img 18 62;
+  (* EM_X86_64 *)
+  Buf.set_u32 img 20 1;
+  Buf.set_u64 img 24 (Int64.of_int t.entry);
+  Buf.set_u64 img 32 (Int64.of_int ehdr_size);
+  (* e_phoff *)
+  Buf.set_u64 img 40 (Int64.of_int shoff);
+  Buf.set_u32 img 48 0;
+  (* e_flags *)
+  Buf.set_u16 img 52 ehdr_size;
+  Buf.set_u16 img 54 phent_size;
+  Buf.set_u16 img 56 phnum;
+  Buf.set_u16 img 58 shent_size;
+  Buf.set_u16 img 60 shnum;
+  Buf.set_u16 img 62 (shnum - 1);
+  (* e_shstrndx *)
+  (* Program headers. *)
+  List.iteri
+    (fun i seg ->
+      let base = ehdr_size + (i * phent_size) in
+      Buf.set_u32 img base (ptype_code seg.ptype);
+      Buf.set_u32 img (base + 4) (prot_flags seg.prot);
+      Buf.set_u64 img (base + 8) (Int64.of_int seg.offset);
+      Buf.set_u64 img (base + 16) (Int64.of_int seg.vaddr);
+      Buf.set_u64 img (base + 24) (Int64.of_int seg.vaddr);
+      (* p_paddr *)
+      Buf.set_u64 img (base + 32) (Int64.of_int seg.filesz);
+      Buf.set_u64 img (base + 40) (Int64.of_int seg.memsz);
+      Buf.set_u64 img (base + 48) (Int64.of_int seg.align))
+    t.segments;
+  Buf.contents img
+
+let of_bytes bytes =
+  let img = Buf.of_bytes bytes in
+  if Buf.length img < ehdr_size then failwith "Elf_file: truncated header";
+  if Buf.get_u32 img 0 <> 0x464c457f then failwith "Elf_file: bad magic";
+  if Buf.get_u8 img 4 <> 2 || Buf.get_u8 img 5 <> 1 then
+    failwith "Elf_file: not little-endian ELF64";
+  let etype =
+    match Buf.get_u16 img 16 with
+    | 2 -> Exec
+    | 3 -> Dyn
+    | n -> failwith (Printf.sprintf "Elf_file: unsupported e_type %d" n)
+  in
+  let entry = Int64.to_int (Buf.get_u64 img 24) in
+  let phoff = Int64.to_int (Buf.get_u64 img 32) in
+  let shoff = Int64.to_int (Buf.get_u64 img 40) in
+  let phnum = Buf.get_u16 img 56 in
+  let shnum = Buf.get_u16 img 60 in
+  let shstrndx = Buf.get_u16 img 62 in
+  let segments =
+    List.init phnum (fun i ->
+        let base = phoff + (i * phent_size) in
+        { ptype = ptype_of_code (Buf.get_u32 img base);
+          prot = prot_of_flags (Buf.get_u32 img (base + 4));
+          offset = Int64.to_int (Buf.get_u64 img (base + 8));
+          vaddr = Int64.to_int (Buf.get_u64 img (base + 16));
+          filesz = Int64.to_int (Buf.get_u64 img (base + 32));
+          memsz = Int64.to_int (Buf.get_u64 img (base + 40));
+          align = Int64.to_int (Buf.get_u64 img (base + 48)) })
+  in
+  let raw_sections =
+    List.init shnum (fun i ->
+        let base = shoff + (i * shent_size) in
+        ( Buf.get_u32 img base,
+          { name = "";
+            sh_type = Buf.get_u32 img (base + 4);
+            sh_flags = Int64.to_int (Buf.get_u64 img (base + 8));
+            addr = Int64.to_int (Buf.get_u64 img (base + 16));
+            offset = Int64.to_int (Buf.get_u64 img (base + 24));
+            size = Int64.to_int (Buf.get_u64 img (base + 32)) } ))
+  in
+  let strtab =
+    match List.nth_opt raw_sections shstrndx with
+    | Some (_, s) -> Buf.sub img ~pos:s.offset ~len:s.size
+    | None -> Bytes.empty
+  in
+  let name_at idx =
+    if idx >= Bytes.length strtab then ""
+    else
+      let stop = Bytes.index_from strtab idx '\000' in
+      Bytes.sub_string strtab idx (stop - idx)
+  in
+  let sections =
+    raw_sections
+    |> List.map (fun (name_idx, s) -> { s with name = name_at name_idx })
+    |> List.filter (fun s -> s.sh_type <> 0 && s.name <> ".shstrtab")
+  in
+  (* Keep only the content up to the section header table: the string table
+     and headers are regenerated on the next [to_bytes]. *)
+  let content_len = min (Buf.length img) shoff in
+  let data = Buf.of_bytes (Buf.sub img ~pos:0 ~len:content_len) in
+  { etype; entry; segments; sections; data }
+
+let write_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (to_bytes t))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let bytes = Bytes.create len in
+      really_input ic bytes 0 len;
+      of_bytes bytes)
+
+let pp ppf t =
+  Format.fprintf ppf "ELF64 %s entry=0x%x size=%d@."
+    (match t.etype with Exec -> "EXEC" | Dyn -> "DYN")
+    t.entry (Buf.length t.data);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  seg %s %c%c%c vaddr=0x%x off=0x%x filesz=%d memsz=%d@."
+        (match s.ptype with Load -> "LOAD" | Note -> "NOTE" | Other n ->
+          Printf.sprintf "0x%x" n)
+        (if s.prot.r then 'r' else '-')
+        (if s.prot.w then 'w' else '-')
+        (if s.prot.x then 'x' else '-')
+        s.vaddr s.offset s.filesz s.memsz)
+    t.segments;
+  List.iter
+    (fun (s : section) ->
+      Format.fprintf ppf "  sec %-20s addr=0x%x off=0x%x size=%d@." s.name
+        s.addr s.offset s.size)
+    t.sections

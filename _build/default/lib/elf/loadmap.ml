@@ -1,0 +1,52 @@
+module Buf = E9_bits.Buf
+
+type mapping = { vaddr : int; file_off : int; len : int; prot : Elf_file.prot }
+type trap = { patch_addr : int; trampoline_addr : int }
+
+(* mmap(2) conventions (PROT_READ=1, PROT_WRITE=2, PROT_EXEC=4): the
+   injected loader stub passes the stored value straight to the mmap
+   syscall. *)
+let prot_bits (p : Elf_file.prot) =
+  (if p.r then 1 else 0) lor (if p.w then 2 else 0) lor if p.x then 4 else 0
+
+let prot_of_bits b : Elf_file.prot =
+  { r = b land 1 <> 0; w = b land 2 <> 0; x = b land 4 <> 0 }
+
+let encode_mappings ms =
+  let b = Buf.create (List.length ms * 32) in
+  List.iter
+    (fun m ->
+      ignore (Buf.add_u64 b (Int64.of_int m.vaddr));
+      ignore (Buf.add_u64 b (Int64.of_int m.file_off));
+      ignore (Buf.add_u64 b (Int64.of_int m.len));
+      ignore (Buf.add_u32 b (prot_bits m.prot));
+      ignore (Buf.add_u32 b 0))
+    ms;
+  Buf.contents b
+
+let decode_mappings bytes =
+  let b = Buf.of_bytes bytes in
+  let n = Buf.length b / 32 in
+  List.init n (fun i ->
+      let base = i * 32 in
+      { vaddr = Int64.to_int (Buf.get_u64 b base);
+        file_off = Int64.to_int (Buf.get_u64 b (base + 8));
+        len = Int64.to_int (Buf.get_u64 b (base + 16));
+        prot = prot_of_bits (Buf.get_u32 b (base + 24)) })
+
+let encode_traps ts =
+  let b = Buf.create (List.length ts * 16) in
+  List.iter
+    (fun t ->
+      ignore (Buf.add_u64 b (Int64.of_int t.patch_addr));
+      ignore (Buf.add_u64 b (Int64.of_int t.trampoline_addr)))
+    ts;
+  Buf.contents b
+
+let decode_traps bytes =
+  let b = Buf.of_bytes bytes in
+  let n = Buf.length b / 16 in
+  List.init n (fun i ->
+      let base = i * 16 in
+      { patch_addr = Int64.to_int (Buf.get_u64 b base);
+        trampoline_addr = Int64.to_int (Buf.get_u64 b (base + 8)) })

@@ -1,0 +1,27 @@
+(** Binary codecs for the two metadata tables the rewriter embeds in the
+    patched binary:
+
+    - the {e mapping table} ([.e9patch.mmap]): the mmap calls the integrated
+      loader performs before handing control to the real entry point. With
+      physical page grouping these are one-to-many (several virtual ranges
+      backed by the same file range);
+    - the {e trap table} ([.e9patch.trap]): for B0-patched locations, where
+      the SIGTRAP handler must redirect each patched address.
+
+    In the real E9Patch the loader is injected machine code; here the tables
+    are interpreted by the emulator's loader — see DESIGN.md §2 for why this
+    substitution is behaviour-preserving. *)
+
+type mapping = {
+  vaddr : int;  (** destination virtual address (page-aligned) *)
+  file_off : int;  (** source file offset *)
+  len : int;
+  prot : Elf_file.prot;
+}
+
+type trap = { patch_addr : int; trampoline_addr : int }
+
+val encode_mappings : mapping list -> bytes
+val decode_mappings : bytes -> mapping list
+val encode_traps : trap list -> bytes
+val decode_traps : bytes -> trap list

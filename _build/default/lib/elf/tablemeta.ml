@@ -1,0 +1,31 @@
+module Buf = E9_bits.Buf
+
+type kind = Abs64 | Off32 of int
+type table = { addr : int; kind : kind; entries : int }
+
+let section_name = ".e9repro.cfg"
+
+let encode tables =
+  let b = Buf.create (List.length tables * 32) in
+  List.iter
+    (fun t ->
+      ignore (Buf.add_u64 b (Int64.of_int t.addr));
+      (match t.kind with
+      | Abs64 ->
+          ignore (Buf.add_u64 b 0L);
+          ignore (Buf.add_u64 b 0L)
+      | Off32 base ->
+          ignore (Buf.add_u64 b 1L);
+          ignore (Buf.add_u64 b (Int64.of_int base)));
+      ignore (Buf.add_u64 b (Int64.of_int t.entries)))
+    tables;
+  Buf.contents b
+
+let decode bytes =
+  let b = Buf.of_bytes bytes in
+  let n = Buf.length b / 32 in
+  List.init n (fun i ->
+      let at k = Int64.to_int (Buf.get_u64 b ((i * 32) + k)) in
+      { addr = at 0;
+        kind = (if at 8 = 0 then Abs64 else Off32 (at 16));
+        entries = at 24 })

@@ -1,0 +1,25 @@
+(** Ground-truth control-flow metadata for synthetic binaries.
+
+    The workload generator records every jump/call table it emits in a
+    [.e9repro.cfg] section. This is the side channel a {e relocating}
+    rewriter needs to adjust indirect control flow — the information
+    E9Patch pointedly does {e not} require. The E9Patch rewriter never
+    reads it; the {!Reloc} baseline does (in ground-truth mode), and its
+    heuristic mode ignores it to model real-world CFG recovery. *)
+
+type kind =
+  | Abs64  (** entries are absolute 8-byte code addresses *)
+  | Off32 of int
+      (** entries are 4-byte offsets added to the given base at runtime —
+          the position-independent switch-table pattern that pointer-scan
+          heuristics miss *)
+
+type table = {
+  addr : int;  (** the table's address in .rodata *)
+  kind : kind;
+  entries : int;
+}
+
+val section_name : string
+val encode : table list -> bytes
+val decode : bytes -> table list

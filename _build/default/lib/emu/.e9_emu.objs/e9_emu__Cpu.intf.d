@@ -1,0 +1,1 @@
+lib/emu/cpu.mli: E9_vm Hashtbl

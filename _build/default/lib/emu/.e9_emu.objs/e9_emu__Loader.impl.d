@@ -1,0 +1,1 @@
+lib/emu/loader.ml: E9_bits E9_vm Elf_file Hashtbl List Loadmap Printf

@@ -1,0 +1,1 @@
+lib/emu/loader.mli: E9_vm Elf_file Hashtbl

@@ -1,0 +1,1 @@
+lib/emu/machine.ml: Cpu E9_vm Elf_file Hashtbl List Loader String

@@ -1,0 +1,1 @@
+lib/emu/machine.mli: Cpu E9_vm Elf_file Hashtbl

@@ -1,0 +1,80 @@
+(** The x86_64 subset CPU.
+
+    Executes code from a {!E9_vm.Space.t} under a simple, documented cost
+    model (DESIGN.md §2):
+
+    - every instruction costs 1 cycle;
+    - a control transfer whose target lies in a different 4 KiB page costs
+      an extra [far_jump_penalty] cycles (an I-cache/BTB locality proxy —
+      this is what makes trampoline round-trips cost what they cost on real
+      hardware);
+    - a B0 [int3] trap costs [trap_penalty] cycles (kernel/user context
+      switch plus signal dispatch).
+
+    Arithmetic is performed on OCaml's 63-bit native integers; guest
+    programs must keep 64-bit values below 2^62, which the synthetic
+    workload generator guarantees. 8- and 32-bit operations are exact. *)
+
+type config = {
+  far_jump_penalty : int;
+  trap_penalty : int;
+  fuel : int;  (** maximum instructions before giving up *)
+  abort_on_violation : bool;
+      (** stop at the first LowFat redzone violation (hardening mode) *)
+}
+
+val default_config : config
+
+(** Runtime services backing the guest's host calls; see {!Hostcall}. *)
+type allocator = {
+  name : string;
+  malloc : int -> int;
+  free : int -> unit;
+  check : int -> bool;  (** true = pointer passes the redzone check *)
+}
+
+(** A trivially permissive allocator operating as a bump allocator over
+    [heap_base]; [check] always passes (no metadata — like glibc). *)
+val bump_allocator : E9_vm.Space.t -> heap_base:int -> allocator
+
+type outcome =
+  | Exited of int
+  | Fault of int * string  (** faulting address and description *)
+  | Violation of int  (** LowFat redzone violation at this pointer *)
+  | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  output : string;  (** concatenation of all [write] syscalls *)
+  insns : int;  (** instructions executed *)
+  cycles : int;  (** modeled cycles *)
+  far_jumps : int;  (** control transfers that crossed a page *)
+  traps : int;  (** B0 int3 traps taken *)
+  violations : int;  (** redzone violations observed *)
+  counters : (int * int) list;  (** per-site hit counts, sorted by site *)
+  last_rips : int list;
+      (** the up-to-32 most recent instruction addresses, oldest first —
+          fault diagnostics *)
+}
+
+(** The path and descriptor of the program's own binary, as seen by the
+    injected loader stub. *)
+val self_exe_path : string
+
+val self_exe_fd : int
+
+(** [run ?config ?files space ~entry ~stack_top ~traps ~allocator] executes
+    until exit, fault, violation (in hardening mode) or fuel exhaustion.
+    [traps] is the B0 table from the loader. The stack grows down from
+    [stack_top]; the caller must have mapped it. [files] pre-opens file
+    descriptors for the [mmap] syscall — the loader stub's self-open of
+    {!self_exe_path} resolves to {!self_exe_fd}. *)
+val run :
+  ?config:config ->
+  ?files:(int * bytes) list ->
+  E9_vm.Space.t ->
+  entry:int ->
+  stack_top:int ->
+  traps:(int, int) Hashtbl.t ->
+  allocator:allocator ->
+  result

@@ -1,0 +1,24 @@
+(** Host-call numbers: [int imm8] instructions with [imm8 >= 0x40] escape to
+    the emulator host.
+
+    These model the runtime services that real E9Patch deployments obtain
+    from preloaded libraries ([LD_PRELOAD]ed allocators, instrumentation
+    runtimes): the guest-visible call sites are identical; only the
+    implementation lives on the host side of the emulator boundary. *)
+
+(** [malloc]: rdi = size, returns pointer in rax. *)
+val malloc : int
+
+(** [free]: rdi = pointer. *)
+val free : int
+
+(** [count]: increment the per-site counter for the calling address
+    (used by counting instrumentation trampolines). *)
+val count : int
+
+(** [check]: rdi = pointer; LowFat redzone check [p - base(p) >= 16].
+    A violation either aborts the run or is counted, per CPU config. *)
+val check : int
+
+(** [is_hostcall n] — true for any recognized host-call number. *)
+val is_hostcall : int -> bool

@@ -1,0 +1,46 @@
+module Buf = E9_bits.Buf
+module Space = E9_vm.Space
+
+type loaded = { entry : int; traps : (int, int) Hashtbl.t; mapping_count : int }
+
+let load space (elf : Elf_file.t) =
+  let file_len = Buf.length elf.data in
+  let file = Buf.raw elf.data in
+  let map_slice ~vaddr ~prot off len =
+    if off < 0 || len < 0 || off + len > file_len then
+      failwith
+        (Printf.sprintf "Loader: mapping %d+%d outside file of %d bytes" off
+           len file_len);
+    Space.map_sub space ~vaddr ~prot file ~src_off:off ~len
+  in
+  List.iter
+    (fun (seg : Elf_file.segment) ->
+      match seg.ptype with
+      | Load ->
+          map_slice ~vaddr:seg.vaddr ~prot:seg.prot seg.offset seg.filesz;
+          if seg.memsz > seg.filesz then
+            Space.map_zero space
+              ~vaddr:(seg.vaddr + seg.filesz)
+              ~len:(seg.memsz - seg.filesz)
+              ~prot:seg.prot
+      | Note | Other _ -> ())
+    elf.segments;
+  let mapping_count = ref 0 in
+  (match Elf_file.find_section elf Elf_file.mmap_section_name with
+  | Some sec ->
+      let mappings = Loadmap.decode_mappings (Elf_file.section_bytes elf sec) in
+      List.iter
+        (fun (m : Loadmap.mapping) ->
+          incr mapping_count;
+          map_slice ~vaddr:m.vaddr ~prot:m.prot m.file_off m.len)
+        mappings
+  | None -> ());
+  let traps = Hashtbl.create 16 in
+  (match Elf_file.find_section elf Elf_file.trap_section_name with
+  | Some sec ->
+      List.iter
+        (fun (t : Loadmap.trap) ->
+          Hashtbl.replace traps t.patch_addr t.trampoline_addr)
+        (Loadmap.decode_traps (Elf_file.section_bytes elf sec))
+  | None -> ());
+  { entry = elf.entry; traps; mapping_count = !mapping_count }

@@ -1,0 +1,23 @@
+(** Program loading: maps an ELF image into a {!E9_vm.Space.t} the way the
+    kernel plus E9Patch's integrated loader would.
+
+    Loading happens in two phases, mirroring §5.1 of the paper:
+    + each [PT_LOAD] segment's file content is mapped at its [p_vaddr]
+      (with a zero-filled [.bss] tail when [memsz > filesz]);
+    + the rewriter's mapping table ([.e9patch.mmap] section), if present,
+      is applied on top — these are the trampoline mappings, and with
+      physical page grouping several virtual pages may be backed by the
+      same file range (one-to-many).
+
+    The B0 trap table ([.e9patch.trap]) is returned for the CPU's SIGTRAP
+    handler model. *)
+
+type loaded = {
+  entry : int;
+  traps : (int, int) Hashtbl.t;  (** patch address → trampoline address *)
+  mapping_count : int;  (** number of loader mmap calls performed *)
+}
+
+(** [load space elf] maps [elf] and returns its entry point and trap table.
+    Raises [Failure] if a mapping refers to bytes outside the file image. *)
+val load : E9_vm.Space.t -> Elf_file.t -> loaded

@@ -1,0 +1,51 @@
+module Space = E9_vm.Space
+
+type t = {
+  space : Space.t;
+  entry : int;
+  traps : (int, int) Hashtbl.t;
+  mapping_count : int;
+}
+
+let stack_top = 0x7fff_ff00_0000
+let stack_size = 1 lsl 20
+let heap_base = 0x6000_0000_0000
+
+(* [boot_with ~libs elf] loads [libs] (shared objects) and then [elf] into
+   one address space — the prelinked-process model: the §5.1 claim that
+   patched and non-patched binaries mix freely is tested by patching any
+   subset of them. Trap tables merge. *)
+let boot_with ~libs elf =
+  let space = Space.create () in
+  let traps = Hashtbl.create 16 in
+  let mapping_count = ref 0 in
+  let load one =
+    let loaded = Loader.load space one in
+    Hashtbl.iter (Hashtbl.replace traps) loaded.Loader.traps;
+    mapping_count := !mapping_count + loaded.Loader.mapping_count;
+    loaded.Loader.entry
+  in
+  List.iter (fun l -> ignore (load l)) libs;
+  let entry = load elf in
+  Space.map_zero space
+    ~vaddr:(stack_top - stack_size)
+    ~len:stack_size ~prot:Elf_file.prot_rw;
+  { space; entry; traps; mapping_count = !mapping_count }
+
+let boot elf = boot_with ~libs:[] elf
+
+let run ?config ?make_allocator ?(libs = []) elf =
+  let m = boot_with ~libs elf in
+  let allocator =
+    match make_allocator with
+    | Some f -> f m.space
+    | None -> Cpu.bump_allocator m.space ~heap_base
+  in
+  (* The binary's own image is pre-opened so an injected loader stub can
+     openat("/proc/self/exe") and mmap its trampoline pages. *)
+  let files = [ (Cpu.self_exe_fd, Elf_file.to_bytes elf) ] in
+  Cpu.run ?config ~files m.space ~entry:m.entry ~stack_top ~traps:m.traps
+    ~allocator
+
+let equivalent (a : Cpu.result) (b : Cpu.result) =
+  a.Cpu.outcome = b.Cpu.outcome && String.equal a.Cpu.output b.Cpu.output

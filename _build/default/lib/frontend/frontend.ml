@@ -1,0 +1,85 @@
+module Buf = E9_bits.Buf
+module Decode = E9_x86.Decode
+module Classify = E9_x86.Classify
+
+type site = { addr : int; len : int; insn : E9_x86.Insn.t }
+type text = { base : int; offset : int; size : int }
+
+let find_text (elf : Elf_file.t) =
+  match Elf_file.find_section elf ".text" with
+  | Some s -> Some { base = s.addr; offset = s.offset; size = s.size }
+  | None ->
+      List.find_opt
+        (fun (s : Elf_file.segment) -> s.ptype = Elf_file.Load && s.prot.x)
+        elf.segments
+      |> Option.map (fun (s : Elf_file.segment) ->
+             { base = s.vaddr; offset = s.offset; size = s.filesz })
+
+let disassemble ?from elf =
+  match find_text elf with
+  | None -> failwith "Frontend: no text section or executable segment"
+  | Some text ->
+      (* [from] is the "ChromeMain workaround" (paper §6.2): when the text
+         section mixes data and code, start the linear sweep at a known
+         code address and leave the prefix untouched. *)
+      let start =
+        match from with
+        | None -> 0
+        | Some addr ->
+            if addr < text.base || addr >= text.base + text.size then
+              failwith "Frontend: disassembly start outside the text"
+            else addr - text.base
+      in
+      let bytes = Buf.sub elf.Elf_file.data ~pos:text.offset ~len:text.size in
+      let sites =
+        Decode.linear bytes ~pos:start ~len:(text.size - start)
+        |> List.map (fun (off, d) ->
+               { addr = text.base + off;
+                 len = d.Decode.len;
+                 insn = d.Decode.insn })
+      in
+      (text, sites)
+
+let select_jumps site = Classify.is_jump site.insn
+let select_heap_writes site = Classify.is_heap_write site.insn
+
+let disassemble_recursive elf =
+  match find_text elf with
+  | None -> failwith "Frontend: no text section or executable segment"
+  | Some text ->
+      let bytes = Buf.sub elf.Elf_file.data ~pos:text.offset ~len:text.size in
+      let seen = Hashtbl.create 4096 in
+      let work = Queue.create () in
+      let push addr =
+        if
+          addr >= text.base
+          && addr < text.base + text.size
+          && not (Hashtbl.mem seen addr)
+        then begin
+          Hashtbl.replace seen addr ();
+          Queue.push addr work
+        end
+      in
+      push elf.Elf_file.entry;
+      let sites = ref [] in
+      while not (Queue.is_empty work) do
+        let addr = Queue.pop work in
+        let d = Decode.decode bytes (addr - text.base) in
+        let site = { addr; len = d.Decode.len; insn = d.Decode.insn } in
+        sites := site :: !sites;
+        let next = addr + d.Decode.len in
+        (match Classify.branch_rel d.Decode.insn with
+        | Some rel -> push (next + rel)
+        | None -> ());
+        (* Fall through unless control flow never returns here. An indirect
+           jump or return ends the path; an indirect call falls through. *)
+        match d.Decode.insn with
+        | E9_x86.Insn.Jmp _ | E9_x86.Insn.Jmp_short _ | E9_x86.Insn.Jmp_ind _
+        | E9_x86.Insn.Ret | E9_x86.Insn.Ud2 | E9_x86.Insn.Unknown _ ->
+            ()
+        | _ -> push next
+      done;
+      let sites =
+        List.sort (fun a b -> compare a.addr b.addr) !sites
+      in
+      (text, sites)

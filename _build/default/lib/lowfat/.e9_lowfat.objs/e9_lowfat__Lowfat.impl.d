@@ -1,0 +1,1 @@
+lib/lowfat/lowfat.ml: Array E9_emu E9_vm Elf_file Option Printf

@@ -1,0 +1,1 @@
+lib/lowfat/lowfat.mli: E9_emu E9_vm

@@ -1,0 +1,79 @@
+module Space = E9_vm.Space
+
+let redzone = 16
+let min_size = 16
+let max_size = 1 lsl 20
+let region_base = 0x4000_0000_0000
+let region_size = 1 lsl 32
+
+(* Class [i] holds slots of [min_size lsl i] bytes in region [i]. *)
+let classes =
+  let rec count n acc = if n >= max_size then acc + 1 else count (n * 2) (acc + 1) in
+  count min_size 0
+
+let class_size i = min_size lsl i
+
+let region_of p =
+  let d = p - region_base in
+  if d < 0 then None
+  else
+    let i = d / region_size in
+    if i < classes then Some i else None
+
+let is_lowfat p = region_of p <> None
+
+let base p =
+  match region_of p with
+  | None -> p
+  | Some i ->
+      let start = region_base + (i * region_size) in
+      start + ((p - start) / class_size i * class_size i)
+
+let slot_size p = Option.map class_size (region_of p)
+let check p = (not (is_lowfat p)) || p - base p >= redzone
+
+type t = {
+  space : Space.t;
+  next : int array;  (* per-class bump offset, in slots *)
+  free_lists : int list array;  (* per-class recycled slot bases *)
+}
+
+let create space = { space; next = Array.make classes 0; free_lists = Array.make classes [] }
+
+let class_for n =
+  let need = n + redzone in
+  let rec go i = if class_size i >= need then i else go (i + 1) in
+  if need > max_size then
+    invalid_arg (Printf.sprintf "Lowfat.malloc: %d exceeds max size" n)
+  else go 0
+
+let malloc t n =
+  let i = class_for (max n 1) in
+  let slot =
+    match t.free_lists.(i) with
+    | s :: rest ->
+        t.free_lists.(i) <- rest;
+        s
+    | [] ->
+        let s = region_base + (i * region_size) + (t.next.(i) * class_size i) in
+        t.next.(i) <- t.next.(i) + 1;
+        if t.next.(i) * class_size i > region_size then
+          failwith "Lowfat.malloc: region exhausted";
+        Space.map_zero t.space ~vaddr:s ~len:(class_size i)
+          ~prot:Elf_file.prot_rw;
+        s
+  in
+  slot + redzone
+
+let free t p =
+  match region_of p with
+  | None -> () (* legacy pointer: not ours *)
+  | Some i -> t.free_lists.(i) <- (base p) :: t.free_lists.(i)
+
+let allocator t =
+  { E9_emu.Cpu.name = "lowfat";
+    malloc = malloc t;
+    free = free t;
+    check }
+
+let make_allocator space = allocator (create space)

@@ -1,0 +1,1 @@
+lib/reloc/reloc.ml: E9_bits E9_x86 Elf_file Frontend Hashtbl Int64 List Printf Tablemeta

@@ -1,0 +1,1 @@
+lib/reloc/reloc.mli: Elf_file Frontend

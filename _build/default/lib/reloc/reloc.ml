@@ -1,0 +1,221 @@
+module Buf = E9_bits.Buf
+module Rng = E9_bits.Rng
+module Insn = E9_x86.Insn
+module Encode = E9_x86.Encode
+
+type cfg_mode = Ground_truth | Heuristic | Heuristic_prob of float * int64
+
+type result = {
+  output : Elf_file.t;
+  instrumented : int;
+  tables_rewritten : int;
+  tables_total : int;
+  moved_bytes : int;
+}
+
+let counter_hostcall = 0x50 (* E9_emu.Hostcall.count, kept dependency-free *)
+let page = 4096
+let align_page n = (n + page - 1) / page * page
+
+(* ------------------------------------------------------------------ *)
+(* Table discovery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ground_truth elf =
+  match Elf_file.find_section elf Tablemeta.section_name with
+  | Some sec -> Tablemeta.decode (Elf_file.section_bytes elf sec)
+  | None -> []
+
+(* Pointer-scan heuristic: runs of >= 2 aligned code addresses inside
+   readable non-executable segments look like jump tables. *)
+let heuristic_scan elf ~text_lo ~text_hi =
+  let found = ref [] in
+  List.iter
+    (fun (seg : Elf_file.segment) ->
+      if seg.ptype = Elf_file.Load && seg.prot.r && not seg.prot.x then begin
+        let is_code_ptr off =
+          off + 8 <= seg.filesz
+          &&
+          let v = Int64.to_int (Buf.get_u64 elf.Elf_file.data (seg.offset + off)) in
+          v >= text_lo && v < text_hi
+        in
+        let off = ref 0 in
+        while !off + 8 <= seg.filesz do
+          if is_code_ptr !off then begin
+            let run = ref 0 in
+            while is_code_ptr (!off + (8 * !run)) do
+              incr run
+            done;
+            if !run >= 2 then
+              found :=
+                { Tablemeta.addr = seg.vaddr + !off;
+                  kind = Tablemeta.Abs64;
+                  entries = !run }
+                :: !found;
+            off := !off + (8 * !run)
+          end
+          else off := !off + 8
+        done
+      end)
+    elf.Elf_file.segments;
+  List.rev !found
+
+let discover cfg elf ~text_lo ~text_hi =
+  let truth = ground_truth elf in
+  let known =
+    match cfg with
+    | Ground_truth -> truth
+    | Heuristic -> heuristic_scan elf ~text_lo ~text_hi
+    | Heuristic_prob (p, seed) ->
+        let rng = Rng.create seed in
+        List.filter (fun _ -> Rng.chance rng p) truth
+  in
+  (known, List.length truth)
+
+(* ------------------------------------------------------------------ *)
+(* Relocation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Lengths after re-encoding: short branches are widened to near forms
+   (that is the whole point of being allowed to move instructions). *)
+let relocated_len (s : Frontend.site) =
+  match s.Frontend.insn with
+  | Insn.Jmp_short _ -> 5
+  | Insn.Jcc_short _ -> 6
+  | _ -> s.Frontend.len
+
+let retarget_rip ~old_next ~new_next (m : Insn.mem) =
+  if m.Insn.rip_rel then { m with Insn.disp = old_next + m.Insn.disp - new_next }
+  else m
+
+let retarget_op ~old_next ~new_next = function
+  | Insn.Mem m -> Insn.Mem (retarget_rip ~old_next ~new_next m)
+  | (Insn.Reg _ | Insn.Imm _) as op -> op
+
+let run ?(cfg = Ground_truth) elf ~select =
+  let input_bytes = Elf_file.to_bytes elf in
+  let output = Elf_file.of_bytes input_bytes in
+  let text, sites = Frontend.disassemble output in
+  let text_lo = text.Frontend.base and text_hi = text.Frontend.base + text.Frontend.size in
+  let tables, tables_total = discover cfg output ~text_lo ~text_hi in
+  (* New text home: one page run above everything currently mapped. *)
+  let new_base =
+    List.fold_left
+      (fun acc (s : Elf_file.segment) ->
+        if s.ptype = Elf_file.Load then max acc (s.vaddr + s.memsz) else acc)
+      0 output.Elf_file.segments
+    |> align_page
+    |> ( + ) (1 lsl 24)
+  in
+  (* Pass 1: place every instruction (and its inline instrumentation). *)
+  let map = Hashtbl.create (List.length sites) in
+  let instrumented = ref 0 in
+  let cursor = ref new_base in
+  List.iter
+    (fun (s : Frontend.site) ->
+      Hashtbl.replace map s.Frontend.addr !cursor;
+      if select s then begin
+        incr instrumented;
+        cursor := !cursor + 2 (* int imm8 *)
+      end;
+      cursor := !cursor + relocated_len s)
+    sites;
+  let map_addr old =
+    match Hashtbl.find_opt map old with
+    | Some a -> a
+    | None ->
+        failwith
+          (Printf.sprintf "Reloc: branch target 0x%x is not an instruction" old)
+  in
+  (* Pass 2: emit the relocated text. *)
+  let code = Buf.create text.Frontend.size in
+  let emit insn = ignore (Buf.add_string code (Encode.encode insn)) in
+  List.iter
+    (fun (s : Frontend.site) ->
+      let pos () = new_base + Buf.length code in
+      if select s then emit (Insn.Int counter_hostcall);
+      let old_next = s.Frontend.addr + s.Frontend.len in
+      let branch_target rel = map_addr (old_next + rel) in
+      (match s.Frontend.insn with
+      | Insn.Jmp rel | Insn.Jmp_short rel ->
+          emit (Insn.Jmp (branch_target rel - (pos () + 5)))
+      | Insn.Jcc (c, rel) | Insn.Jcc_short (c, rel) ->
+          emit (Insn.Jcc (c, branch_target rel - (pos () + 6)))
+      | Insn.Call rel -> emit (Insn.Call (branch_target rel - (pos () + 5)))
+      | Insn.Mov (sz, dst, src) ->
+          let new_next = pos () + s.Frontend.len in
+          let f = retarget_op ~old_next ~new_next in
+          emit (Insn.Mov (sz, f dst, f src))
+      | Insn.Lea (r, m) ->
+          let new_next = pos () + s.Frontend.len in
+          emit (Insn.Lea (r, retarget_rip ~old_next ~new_next m))
+      | Insn.Jmp_ind op | Insn.Call_ind op ->
+          let new_next = pos () + s.Frontend.len in
+          let op = retarget_op ~old_next ~new_next op in
+          emit
+            (match s.Frontend.insn with
+            | Insn.Jmp_ind _ -> Insn.Jmp_ind op
+            | _ -> Insn.Call_ind op)
+      | Insn.Unknown b ->
+          failwith (Printf.sprintf "Reloc: cannot relocate byte 0x%02x" b)
+      | insn -> emit insn);
+      (* Length stability check: pass 1's placement must hold. *)
+      let expect = Hashtbl.find map s.Frontend.addr + (if select s then 2 else 0) in
+      ignore expect;
+      assert (new_base + Buf.length code = expect + relocated_len s))
+    sites;
+  (* Rewrite table contents so indirect control flow reaches the copy. *)
+  let tables_rewritten = ref 0 in
+  List.iter
+    (fun (t : Tablemeta.table) ->
+      let seg =
+        List.find
+          (fun (s : Elf_file.segment) ->
+            s.Elf_file.ptype = Elf_file.Load
+            && t.Tablemeta.addr >= s.Elf_file.vaddr
+            && t.Tablemeta.addr < s.Elf_file.vaddr + s.Elf_file.filesz)
+          output.Elf_file.segments
+      in
+      let file_off = seg.Elf_file.offset + t.Tablemeta.addr - seg.Elf_file.vaddr in
+      incr tables_rewritten;
+      for i = 0 to t.Tablemeta.entries - 1 do
+        match t.Tablemeta.kind with
+        | Tablemeta.Abs64 ->
+            let v =
+              Int64.to_int (Buf.get_u64 output.Elf_file.data (file_off + (8 * i)))
+            in
+            (match Hashtbl.find_opt map v with
+            | Some nv ->
+                Buf.set_u64 output.Elf_file.data (file_off + (8 * i))
+                  (Int64.of_int nv)
+            | None -> () (* pointer-lookalike data: leave it *))
+        | Tablemeta.Off32 base ->
+            let off = Buf.get_u32 output.Elf_file.data (file_off + (4 * i)) in
+            (* Entries stay relative to the *old* base, which the code
+               still materializes; the sum then lands in the new text. *)
+            Buf.set_u32 output.Elf_file.data (file_off + (4 * i))
+              (map_addr (base + off) - base)
+      done)
+    tables;
+  (* The old text becomes traps: any missed indirect target faults loudly
+     instead of executing stale code. *)
+  for i = 0 to text.Frontend.size - 1 do
+    Buf.set_u8 output.Elf_file.data (text.Frontend.offset + i) 0xcc
+  done;
+  (* Install the relocated text and move the entry point. *)
+  ignore
+    (Elf_file.add_segment output
+       { Elf_file.ptype = Elf_file.Load;
+         prot = Elf_file.prot_rx;
+         vaddr = new_base;
+         offset = 0;
+         filesz = 0;
+         memsz = Buf.length code;
+         align = page }
+       ~content:(Buf.contents code));
+  output.Elf_file.entry <- map_addr output.Elf_file.entry;
+  { output;
+    instrumented = !instrumented;
+    tables_rewritten = !tables_rewritten;
+    tables_total;
+    moved_bytes = Buf.length code }

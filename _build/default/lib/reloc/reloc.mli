@@ -1,0 +1,41 @@
+(** A classic {e relocating} binary rewriter — the baseline approach the
+    paper argues against (§1, §7).
+
+    Instead of patching in place, it moves every instruction into a new
+    text segment with instrumentation inlined, adjusts all direct
+    branches, and rewrites the {e contents of jump tables} so indirect
+    control flow lands in the new code. That last step is exactly the
+    control-flow recovery problem: the rewriter must know where every
+    table is and how its entries encode targets. The old text is replaced
+    by trap bytes, so a single missed table means a crash — the fragility
+    the paper quantifies ("a 99.9% accurate analysis… effectively drops to
+    ~37% per 1000 indirect jumps").
+
+    The payoff when recovery {e does} succeed is inlined instrumentation
+    with no trampoline round-trips — the Multiverse/PEBIL/DynInst
+    performance profile the paper's §6.1 compares against. *)
+
+(** Where the table information comes from. *)
+type cfg_mode =
+  | Ground_truth
+      (** the generator's [.e9repro.cfg] side channel: perfect recovery *)
+  | Heuristic
+      (** pointer-scan of read-only data for runs of code addresses:
+          finds absolute tables, blind to PIC (offset-encoded) ones *)
+  | Heuristic_prob of float * int64
+      (** ground truth degraded: each table independently recognized with
+          the given probability (seeded) — models an analysis that is
+          "p·100% accurate" per indirect jump *)
+
+type result = {
+  output : Elf_file.t;
+  instrumented : int;  (** sites given inline instrumentation *)
+  tables_rewritten : int;
+  tables_total : int;  (** per ground truth (for reporting) *)
+  moved_bytes : int;  (** size of the relocated text *)
+}
+
+(** [run ?cfg elf ~select] relocates the whole text, inlining a counting
+    host call before every selected instruction. *)
+val run :
+  ?cfg:cfg_mode -> Elf_file.t -> select:(Frontend.site -> bool) -> result

@@ -1,0 +1,1 @@
+lib/spec/patchspec.ml: E9_core E9_x86 Format Frontend List Printf String

@@ -1,0 +1,1 @@
+lib/spec/patchspec.mli: E9_core Format Frontend

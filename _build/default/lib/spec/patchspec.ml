@@ -1,0 +1,329 @@
+module Insn = E9_x86.Insn
+module Classify = E9_x86.Classify
+
+type selector =
+  | Jumps
+  | Heap_writes
+  | Calls
+  | Returns
+  | All
+  | Address of int
+  | Mnemonic of string
+  | Size_cmp of [ `Ge | `Le | `Eq ] * int
+  | And of selector * selector
+  | Or of selector * selector
+  | Not of selector
+
+type template = Empty | Counter | Lowfat
+type rule = { selector : selector; template : template }
+type t = rule list
+
+exception Parse_error of { line : int; col : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | KW of string  (* keywords and identifiers *)
+  | NUM of int
+  | LPAREN
+  | RPAREN
+  | OP of string  (* >=, <=, = *)
+  | SEP  (* newline or ; — rule separator *)
+  | EOF
+
+type lexed = { tok : token; tline : int; tcol : int }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '-' || c = '_'
+
+let lex source =
+  let n = String.length source in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let push tok tline tcol = toks := { tok; tline; tcol } :: !toks in
+  let err message = raise (Parse_error { line = !line; col = !col; message }) in
+  let advance () =
+    (if source.[!i] = '\n' then begin
+       line := !line + 1;
+       col := 1
+     end
+     else col := !col + 1);
+    incr i
+  in
+  while !i < n do
+    let c = source.[!i] in
+    let tline = !line and tcol = !col in
+    if c = '\n' || c = ';' then begin
+      push SEP tline tcol;
+      advance ()
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then advance ()
+    else if c = '#' then
+      while !i < n && source.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '(' then begin
+      push LPAREN tline tcol;
+      advance ()
+    end
+    else if c = ')' then begin
+      push RPAREN tline tcol;
+      advance ()
+    end
+    else if c = '>' || c = '<' || c = '=' then begin
+      let op =
+        if c = '=' then "="
+        else if !i + 1 < n && source.[!i + 1] = '=' then String.make 1 c ^ "="
+        else err (Printf.sprintf "expected %c= " c)
+      in
+      push (OP op) tline tcol;
+      advance ();
+      if String.length op = 2 then advance ()
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && is_ident_char source.[!i] do
+        advance ()
+      done;
+      let text = String.sub source start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> push (NUM v) tline tcol
+      | None -> raise (Parse_error { line = tline; col = tcol;
+                                     message = "bad number: " ^ text })
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char source.[!i] do
+        advance ()
+      done;
+      push (KW (String.sub source start (!i - start))) tline tcol
+    end
+    else err (Printf.sprintf "unexpected character %C" c)
+  done;
+  push EOF !line !col;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parser (recursive descent; [or] < [and] < [not]/atom)               *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { mutable toks : lexed list }
+
+let peek ps = List.hd ps.toks
+
+let next ps =
+  let t = List.hd ps.toks in
+  (match ps.toks with _ :: rest when rest <> [] -> ps.toks <- rest | _ -> ());
+  t
+
+let fail (l : lexed) message =
+  raise (Parse_error { line = l.tline; col = l.tcol; message })
+
+let expect_kw ps kw =
+  let t = next ps in
+  match t.tok with
+  | KW k when String.equal k kw -> ()
+  | _ -> fail t (Printf.sprintf "expected '%s'" kw)
+
+let parse_num ps =
+  let t = next ps in
+  match t.tok with NUM v -> v | _ -> fail t "expected a number"
+
+let rec parse_sel ps = parse_or ps
+
+and parse_or ps =
+  let left = parse_and ps in
+  match (peek ps).tok with
+  | KW "or" ->
+      ignore (next ps);
+      Or (left, parse_or ps)
+  | _ -> left
+
+and parse_and ps =
+  let left = parse_atom ps in
+  match (peek ps).tok with
+  | KW "and" ->
+      ignore (next ps);
+      And (left, parse_and ps)
+  | _ -> left
+
+and parse_atom ps =
+  let t = next ps in
+  match t.tok with
+  | KW "not" -> Not (parse_atom ps)
+  | LPAREN ->
+      let s = parse_sel ps in
+      let c = next ps in
+      if c.tok <> RPAREN then fail c "expected ')'";
+      s
+  | KW "jumps" -> Jumps
+  | KW "heap-writes" -> Heap_writes
+  | KW "calls" -> Calls
+  | KW "returns" -> Returns
+  | KW "all" -> All
+  | KW "address" -> (
+      match (next ps).tok with
+      | NUM v -> Address v
+      | _ -> fail t "expected an address after 'address'")
+  | KW "mnemonic" -> (
+      match (next ps).tok with
+      | KW name -> Mnemonic name
+      | _ -> fail t "expected a mnemonic name")
+  | KW "size" -> (
+      let op = next ps in
+      match op.tok with
+      | OP ">=" -> Size_cmp (`Ge, parse_num ps)
+      | OP "<=" -> Size_cmp (`Le, parse_num ps)
+      | OP "=" -> Size_cmp (`Eq, parse_num ps)
+      | _ -> fail op "expected >=, <= or = after 'size'")
+  | KW other -> fail t (Printf.sprintf "unknown selector '%s'" other)
+  | _ -> fail t "expected a selector"
+
+let parse_template ps =
+  let t = next ps in
+  match t.tok with
+  | KW "empty" -> Empty
+  | KW "counter" -> Counter
+  | KW "lowfat" -> Lowfat
+  | KW other -> fail t (Printf.sprintf "unknown template '%s'" other)
+  | _ -> fail t "expected a template"
+
+let parse_rule ps =
+  expect_kw ps "patch";
+  let selector = parse_sel ps in
+  expect_kw ps "with";
+  let template = parse_template ps in
+  { selector; template }
+
+let parse source =
+  let ps = { toks = lex source } in
+  let rules = ref [] in
+  let rec skip_seps () =
+    match (peek ps).tok with
+    | SEP ->
+        ignore (next ps);
+        skip_seps ()
+    | _ -> ()
+  in
+  skip_seps ();
+  while (peek ps).tok <> EOF do
+    rules := parse_rule ps :: !rules;
+    (match (peek ps).tok with
+    | SEP | EOF -> skip_seps ()
+    | _ -> fail (peek ps) "expected end of rule");
+    skip_seps ()
+  done;
+  List.rev !rules
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mnemonic_of (i : Insn.t) =
+  match i with
+  | Insn.Mov _ | Insn.Movabs _ -> "mov"
+  | Insn.Lea _ -> "lea"
+  | Insn.Alu (Insn.Add, _, _, _) -> "add"
+  | Insn.Alu (Insn.Adc, _, _, _) -> "adc"
+  | Insn.Alu (Insn.Sbb, _, _, _) -> "sbb"
+  | Insn.Alu (Insn.Or, _, _, _) -> "or"
+  | Insn.Alu (Insn.And, _, _, _) -> "and"
+  | Insn.Alu (Insn.Sub, _, _, _) -> "sub"
+  | Insn.Alu (Insn.Xor, _, _, _) -> "xor"
+  | Insn.Alu (Insn.Cmp, _, _, _) -> "cmp"
+  | Insn.Alu (Insn.Test, _, _, _) -> "test"
+  | Insn.Imul _ -> "imul"
+  | Insn.Movzx _ -> "movzx"
+  | Insn.Movsx _ -> "movsx"
+  | Insn.Setcc _ -> "setcc"
+  | Insn.Cmov _ -> "cmov"
+  | Insn.Neg _ -> "neg"
+  | Insn.Not _ -> "not"
+  | Insn.Inc _ -> "inc"
+  | Insn.Dec _ -> "dec"
+  | Insn.Shift (Insn.Shl, _, _, _) -> "shl"
+  | Insn.Shift (Insn.Shr, _, _, _) -> "shr"
+  | Insn.Shift (Insn.Sar, _, _, _) -> "sar"
+  | Insn.Push _ -> "push"
+  | Insn.Pop _ -> "pop"
+  | Insn.Pushfq -> "pushfq"
+  | Insn.Popfq -> "popfq"
+  | Insn.Call _ | Insn.Call_ind _ -> "call"
+  | Insn.Ret -> "ret"
+  | Insn.Jmp _ | Insn.Jmp_short _ | Insn.Jmp_ind _ -> "jmp"
+  | Insn.Jcc _ | Insn.Jcc_short _ -> "jcc"
+  | Insn.Nop _ -> "nop"
+  | Insn.Int3 -> "int3"
+  | Insn.Int _ -> "int"
+  | Insn.Syscall -> "syscall"
+  | Insn.Ud2 -> "ud2"
+  | Insn.Unknown _ -> "(bad)"
+
+let rec selects sel (site : Frontend.site) =
+  match sel with
+  | Jumps -> Classify.is_jump site.Frontend.insn
+  | Heap_writes -> Classify.is_heap_write site.Frontend.insn
+  | Calls -> (
+      match site.Frontend.insn with
+      | Insn.Call _ | Insn.Call_ind _ -> true
+      | _ -> false)
+  | Returns -> site.Frontend.insn = Insn.Ret
+  | All -> true
+  | Address a -> site.Frontend.addr = a
+  | Mnemonic m -> String.equal m (mnemonic_of site.Frontend.insn)
+  | Size_cmp (`Ge, n) -> site.Frontend.len >= n
+  | Size_cmp (`Le, n) -> site.Frontend.len <= n
+  | Size_cmp (`Eq, n) -> site.Frontend.len = n
+  | And (a, b) -> selects a site && selects b site
+  | Or (a, b) -> selects a site || selects b site
+  | Not a -> not (selects a site)
+
+let template_for spec site =
+  List.find_map
+    (fun r -> if selects r.selector site then Some r.template else None)
+    spec
+
+let to_rewriter_args spec =
+  let select site = template_for spec site <> None in
+  let template site =
+    match template_for spec site with
+    | Some Empty | None -> E9_core.Trampoline.Empty
+    | Some Counter -> E9_core.Trampoline.Counter
+    | Some Lowfat -> E9_core.Trampoline.Lowfat_check
+  in
+  (select, template)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_sel ppf = function
+  | Jumps -> Format.pp_print_string ppf "jumps"
+  | Heap_writes -> Format.pp_print_string ppf "heap-writes"
+  | Calls -> Format.pp_print_string ppf "calls"
+  | Returns -> Format.pp_print_string ppf "returns"
+  | All -> Format.pp_print_string ppf "all"
+  | Address a -> Format.fprintf ppf "address 0x%x" a
+  | Mnemonic m -> Format.fprintf ppf "mnemonic %s" m
+  | Size_cmp (`Ge, n) -> Format.fprintf ppf "size >= %d" n
+  | Size_cmp (`Le, n) -> Format.fprintf ppf "size <= %d" n
+  | Size_cmp (`Eq, n) -> Format.fprintf ppf "size = %d" n
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_sel a pp_sel b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_sel a pp_sel b
+  | Not a -> Format.fprintf ppf "not %a" pp_sel a
+
+let pp_template ppf = function
+  | Empty -> Format.pp_print_string ppf "empty"
+  | Counter -> Format.pp_print_string ppf "counter"
+  | Lowfat -> Format.pp_print_string ppf "lowfat"
+
+let pp ppf spec =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "patch %a with %a@." pp_sel r.selector pp_template
+        r.template)
+    spec

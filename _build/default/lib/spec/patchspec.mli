@@ -1,0 +1,60 @@
+(** The patch-specification language — the role E9Tool's command language
+    plays for the real E9Patch: declarative selection of patch locations
+    and the instrumentation applied to each.
+
+    A spec is a sequence of rules, first match wins:
+
+    {v
+    # instrument the control-flow edges, harden the heap writes
+    patch jumps and size >= 5 with counter
+    patch heap-writes with lowfat
+    patch address 0x400026 with empty
+    patch mnemonic imul or mnemonic shl with counter
+    v}
+
+    Selectors: [jumps], [heap-writes], [calls], [returns], [all],
+    [address <int>], [mnemonic <name>], [size >= n], [size <= n],
+    [size = n], combined with [and], [or], [not] and parentheses
+    ([or] binds loosest). Templates: [empty], [counter], [lowfat].
+    [#] comments run to end of line; rules are separated by newlines or
+    [;]. *)
+
+type selector =
+  | Jumps
+  | Heap_writes
+  | Calls
+  | Returns
+  | All
+  | Address of int
+  | Mnemonic of string
+  | Size_cmp of [ `Ge | `Le | `Eq ] * int
+  | And of selector * selector
+  | Or of selector * selector
+  | Not of selector
+
+type template = Empty | Counter | Lowfat
+
+type rule = { selector : selector; template : template }
+type t = rule list
+
+(** Parse errors carry 1-based line and column. *)
+exception Parse_error of { line : int; col : int; message : string }
+
+(** [parse source] parses a spec. Raises {!Parse_error}. *)
+val parse : string -> t
+
+(** [selects sel site] — does the selector match this instruction? *)
+val selects : selector -> Frontend.site -> bool
+
+(** [template_for spec site] — the first matching rule's template. *)
+val template_for : t -> Frontend.site -> template option
+
+(** [to_rewriter_args spec] — the [select]/[template] pair to hand to
+    {!E9_core.Rewriter.run}. *)
+val to_rewriter_args :
+  t ->
+  (Frontend.site -> bool) * (Frontend.site -> E9_core.Trampoline.template)
+
+(** [pp] prints a spec back in concrete syntax (parse ∘ pp = id up to
+    formatting). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/vm/space.ml: Buffer Bytes Char Elf_file Hashtbl List

@@ -1,0 +1,1 @@
+lib/vm/space.mli: Elf_file

@@ -1,0 +1,195 @@
+exception Fault of int * string
+
+let page_size = 4096
+let page_bits = 12
+
+type page = { bytes : Bytes.t; mutable prot : Elf_file.prot }
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  (* Zero-filled regions are materialized lazily: a multi-GiB .bss must not
+     allocate host memory until touched. Newest first (later maps win). *)
+  mutable zero_regions : (int * int * Elf_file.prot) list;
+  (* One-entry cache of the last page touched: the hot path for both data
+     access and instruction fetch. *)
+  mutable last_pn : int;
+  mutable last_page : page option;
+}
+
+let create () =
+  { pages = Hashtbl.create 1024;
+    zero_regions = [];
+    last_pn = -1;
+    last_page = None }
+
+let fault addr msg = raise (Fault (addr, msg))
+
+let materialize_zero t pn =
+  (* A page is backed by a zero region when any of its bytes fall inside
+     one; the region's protection applies. *)
+  let lo = pn lsl page_bits and hi = (pn + 1) lsl page_bits in
+  match
+    List.find_opt (fun (rlo, rhi, _) -> rlo < hi && rhi > lo) t.zero_regions
+  with
+  | Some (_, _, prot) ->
+      let p = { bytes = Bytes.make page_size '\000'; prot } in
+      Hashtbl.replace t.pages pn p;
+      Some p
+  | None -> None
+
+let page_of t pn =
+  if t.last_pn = pn then t.last_page
+  else begin
+    let p =
+      match Hashtbl.find_opt t.pages pn with
+      | Some _ as p -> p
+      | None -> materialize_zero t pn
+    in
+    t.last_pn <- pn;
+    t.last_page <- p;
+    p
+  end
+
+let ensure_page t pn prot =
+  match page_of t pn with
+  | Some p ->
+      p.prot <- prot;
+      p
+  | None ->
+      let p = { bytes = Bytes.make page_size '\000'; prot } in
+      Hashtbl.replace t.pages pn p;
+      t.last_pn <- pn;
+      t.last_page <- Some p;
+      p
+
+let map_sub t ~vaddr ~prot content ~src_off ~len =
+  if src_off < 0 || len < 0 || src_off + len > Bytes.length content then
+    invalid_arg "Space.map_sub";
+  let pos = ref 0 in
+  while !pos < len do
+    let addr = vaddr + !pos in
+    let pn = addr lsr page_bits in
+    let off = addr land (page_size - 1) in
+    let chunk = min (page_size - off) (len - !pos) in
+    let p = ensure_page t pn prot in
+    Bytes.blit content (src_off + !pos) p.bytes off chunk;
+    pos := !pos + chunk
+  done
+
+let map_bytes t ~vaddr ~prot content =
+  map_sub t ~vaddr ~prot content ~src_off:0 ~len:(Bytes.length content)
+
+let map_zero t ~vaddr ~len ~prot =
+  if len > 0 then begin
+    (* Pages already materialized are zeroed eagerly (the covered part);
+       untouched pages wait in [zero_regions]. *)
+    let first = vaddr lsr page_bits and last = (vaddr + len - 1) lsr page_bits in
+    if last - first < 16 then
+      for pn = first to last do
+        let p = ensure_page t pn prot in
+        let lo = max vaddr (pn lsl page_bits) in
+        let hi = min (vaddr + len) ((pn + 1) lsl page_bits) in
+        Bytes.fill p.bytes (lo land (page_size - 1)) (hi - lo) '\000'
+      done
+    else begin
+      for pn = first to last do
+        match Hashtbl.find_opt t.pages pn with
+        | Some p ->
+            p.prot <- prot;
+            let lo = max vaddr (pn lsl page_bits) in
+            let hi = min (vaddr + len) ((pn + 1) lsl page_bits) in
+            Bytes.fill p.bytes (lo land (page_size - 1)) (hi - lo) '\000'
+        | None -> ()
+      done;
+      t.zero_regions <- (vaddr, vaddr + len, prot) :: t.zero_regions;
+      t.last_pn <- -1;
+      t.last_page <- None
+    end
+  end
+
+let is_mapped t addr = page_of t (addr lsr page_bits) <> None
+let pages_mapped t = Hashtbl.length t.pages
+
+let get_page_for t addr ~write ~exec =
+  match page_of t (addr lsr page_bits) with
+  | None -> fault addr "unmapped"
+  | Some p ->
+      if write && not p.prot.w then fault addr "write to read-only page";
+      if exec && not p.prot.x then fault addr "fetch from non-executable page";
+      if (not write) && (not exec) && not p.prot.r then
+        fault addr "read from unreadable page";
+      p
+
+let read_u8 t addr =
+  let p = get_page_for t addr ~write:false ~exec:false in
+  Char.code (Bytes.unsafe_get p.bytes (addr land (page_size - 1)))
+
+let write_u8 t addr v =
+  let p = get_page_for t addr ~write:true ~exec:false in
+  Bytes.unsafe_set p.bytes (addr land (page_size - 1)) (Char.chr (v land 0xff))
+
+(* Fast path: access that stays within one page. *)
+let read_multi t addr n =
+  let off = addr land (page_size - 1) in
+  if off + n <= page_size then begin
+    let p = get_page_for t addr ~write:false ~exec:false in
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.unsafe_get p.bytes (off + i))
+    done;
+    !v
+  end
+  else begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl 8) lor read_u8 t (addr + i)
+    done;
+    !v
+  end
+
+let write_multi t addr n v =
+  let off = addr land (page_size - 1) in
+  if off + n <= page_size then begin
+    let p = get_page_for t addr ~write:true ~exec:false in
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set p.bytes (off + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xff))
+    done
+  end
+  else
+    for i = 0 to n - 1 do
+      write_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+let read_u32 t addr = read_multi t addr 4
+let read_u64 t addr = read_multi t addr 8
+let write_u32 t addr v = write_multi t addr 4 v
+let write_u64 t addr v = write_multi t addr 8 v
+
+let read_bytes t addr len =
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set out i (Char.chr (read_u8 t (addr + i)))
+  done;
+  out
+
+let write_bytes t addr b =
+  for i = 0 to Bytes.length b - 1 do
+    write_u8 t (addr + i) (Char.code (Bytes.get b i))
+  done
+
+let fetch_window t addr =
+  let pn = addr lsr page_bits in
+  (match page_of t pn with
+  | None -> fault addr "fetch from unmapped page"
+  | Some p -> if not p.prot.x then fault addr "fetch from non-executable page");
+  let out = Buffer.create 16 in
+  (try
+     for i = 0 to 15 do
+       let a = addr + i in
+       match page_of t (a lsr page_bits) with
+       | Some p when p.prot.x ->
+           Buffer.add_char out (Bytes.get p.bytes (a land (page_size - 1)))
+       | Some _ | None -> raise Exit
+     done
+   with Exit -> ());
+  Buffer.to_bytes out

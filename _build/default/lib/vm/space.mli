@@ -1,0 +1,63 @@
+(** A 64-bit virtual address space with 4 KiB pages.
+
+    This is the emulator's memory: the loader maps ELF segment content and
+    the rewriter's (possibly one-to-many) trampoline mappings into it, and
+    the CPU reads/writes/fetches through it. Mapping semantics follow
+    [mmap MAP_PRIVATE|MAP_FIXED]: content is copied at map time, later
+    mappings silently replace earlier ones, and writes never propagate back
+    to the source. Page protections are enforced: writing a read-only page
+    or fetching from a non-executable page raises {!Fault}. *)
+
+type t
+
+(** Raised on access violations: address and a description. *)
+exception Fault of int * string
+
+val page_size : int
+
+val create : unit -> t
+
+(** [map_bytes t ~vaddr ~prot content] copies [content] to [vaddr].
+    [vaddr] need not be page-aligned; pages touched are created or
+    re-protected as needed. *)
+val map_bytes : t -> vaddr:int -> prot:Elf_file.prot -> bytes -> unit
+
+(** [map_sub t ~vaddr ~prot src ~src_off ~len] maps a slice of [src]
+    without an intermediate copy. *)
+val map_sub :
+  t -> vaddr:int -> prot:Elf_file.prot -> bytes -> src_off:int -> len:int ->
+  unit
+
+(** [map_zero t ~vaddr ~len ~prot] maps a zero-filled range. Ranges of 16+
+    pages are materialized lazily on first touch. *)
+val map_zero : t -> vaddr:int -> len:int -> prot:Elf_file.prot -> unit
+
+(** [is_mapped t addr] is true when [addr] lies in a mapped page. *)
+val is_mapped : t -> int -> bool
+
+(** [pages_mapped t] counts {e materialized} pages (physical-usage
+    accounting). Large zero mappings ([.bss], stacks) materialize lazily
+    on first touch and are not counted until then. *)
+val pages_mapped : t -> int
+
+(** Data accesses. Multi-byte accesses are little-endian and may cross page
+    boundaries. Reads require [r], writes require [w]. *)
+val read_u8 : t -> int -> int
+
+val read_u32 : t -> int -> int
+val read_u64 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+val write_u64 : t -> int -> int -> unit
+
+(** [read_bytes t addr len] copies out a range (requires [r]). *)
+val read_bytes : t -> int -> int -> bytes
+
+(** [write_bytes t addr b] copies in a range (requires [w]). *)
+val write_bytes : t -> int -> bytes -> unit
+
+(** [fetch_window t addr] returns up to 16 bytes starting at [addr] for
+    instruction decoding (requires [x] on the first page; a window is
+    truncated at an unmapped or non-executable boundary). Raises {!Fault}
+    if [addr] itself is not fetchable. *)
+val fetch_window : t -> int -> bytes

@@ -1,0 +1,1 @@
+lib/workload/codegen.ml: Array Bytes Char E9_bits E9_emu E9_x86 Elf_file Int64 List Printf String Tablemeta

@@ -1,0 +1,1 @@
+lib/workload/codegen.mli: Elf_file

@@ -1,0 +1,1 @@
+lib/workload/dromaeo.ml: Codegen Int64

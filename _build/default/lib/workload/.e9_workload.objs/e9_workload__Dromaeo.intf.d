@@ -1,0 +1,1 @@
+lib/workload/dromaeo.mli: Codegen

@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Codegen Int64 List String

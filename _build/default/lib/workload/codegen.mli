@@ -1,0 +1,80 @@
+(** Synthetic binary generator.
+
+    Produces real, runnable ELF64 executables with the structural features
+    that the paper's evaluation inputs have and that the rewriting tactics
+    are sensitive to:
+
+    - a realistic instruction-length mix (short vs. near conditional jumps,
+      disp8 vs. disp32 memory operands) — this is what decides how often
+      punning succeeds and which tactic rescues a failure;
+    - indirect jumps through jump tables and indirect calls through
+      function-pointer tables whose targets no static analysis is told
+      about — the reason control-flow recovery is avoided in the first
+      place;
+    - PIE or non-PIE load addresses (decides whether negative punned
+      displacements are valid);
+    - optionally huge [.bss] allocations (the paper's gamess/zeusmp
+      limitation L1);
+    - heap traffic through host-call [malloc] so the LowFat hardening
+      application has something to check.
+
+    Programs are deterministic: they run a fixed number of main-loop
+    iterations, accumulate a path- and data-dependent checksum in [%r15],
+    print it with a [write] syscall and exit with its low byte. Two
+    binaries are behaviourally equivalent iff their outputs match. *)
+
+type profile = {
+  name : string;
+  seed : int64;
+  pie : bool;
+  functions : int;  (** function count; text size scales with this *)
+  blocks_per_fn : int;  (** basic blocks per function (mean) *)
+  short_jump_bias : float;
+      (** probability a forward conditional branch uses the 2-byte form *)
+  heap_write_bias : float;
+      (** probability a block instruction is a heap write *)
+  big_disp_bias : float;
+      (** probability a heap access uses a disp32 (≥ 5-byte encoding) *)
+  small_write_bias : float;
+      (** probability a heap write uses a 2-3 byte non-REX encoding
+          (forces the punning tactics on application A2) *)
+  block_insns : int;
+      (** mean body instructions per basic block (dynamic branch
+          frequency knob) *)
+  pic_table_bias : float;
+      (** probability a switch uses a PIC-style table (4-byte offsets from
+          the text base) instead of absolute 8-byte pointers — invisible to
+          pointer-scanning CFG heuristics *)
+  data_in_text_kb : int;
+      (** size of a constant pool embedded at the start of .text — the
+          §6.2 Chrome challenge for linear disassembly (0 = none) *)
+  bss_mb : int;  (** static .bss allocation in MiB (limitation L1) *)
+  shared_object : bool;  (** model a DSO: space below base is unavailable *)
+  iterations : int;  (** main-loop trips (dynamic instruction count) *)
+}
+
+(** A reasonable default profile (non-PIE, C-compiler-like mix). *)
+val default_profile : profile
+
+(** Load bases: PIE binaries load high (negative displacements stay in the
+    canonical range), non-PIE binaries load low (paper §5.1). *)
+val base_nonpie : int
+
+val base_pie : int
+
+(** The zero-sized section marking the first real instruction when
+    [data_in_text_kb > 0] — the binary's "ChromeMain symbol". *)
+val chromemain_marker : string
+
+(** [generate profile] builds the ELF image. *)
+val generate : profile -> Elf_file.t
+
+(** [generate_library profile] builds a shared object and returns its
+    exported function addresses (its "dynamic symbols"). *)
+val generate_library : profile -> Elf_file.t * int array
+
+(** [generate_with_imports profile ~imports] builds an executable that
+    calls the given (pre-resolved) library functions through an import
+    table every main-loop iteration — the prelinked two-binary process of
+    §5.1's mixing scenario. *)
+val generate_with_imports : profile -> imports:int array -> Elf_file.t

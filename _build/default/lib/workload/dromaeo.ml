@@ -1,0 +1,33 @@
+type suite = { name : string; write_bias : float; seed : int }
+
+(* Mutation-heavy suites (Attrib/Modify/Events) get high write densities;
+   query and traversal suites are read-dominated. *)
+let suites =
+  [ { name = "Attrib"; write_bias = 0.22; seed = 401 };
+    { name = "Attrib.Proto"; write_bias = 0.26; seed = 402 };
+    { name = "Attrib.jQuery"; write_bias = 0.30; seed = 403 };
+    { name = "Modify"; write_bias = 0.24; seed = 404 };
+    { name = "Modify.Proto"; write_bias = 0.28; seed = 405 };
+    { name = "Modify.jQuery"; write_bias = 0.32; seed = 406 };
+    { name = "Query"; write_bias = 0.08; seed = 407 };
+    { name = "Style.Proto"; write_bias = 0.18; seed = 408 };
+    { name = "Style.jQuery"; write_bias = 0.21; seed = 409 };
+    { name = "Events.Proto"; write_bias = 0.25; seed = 410 };
+    { name = "Events.jQuery"; write_bias = 0.29; seed = 411 };
+    { name = "Traverse"; write_bias = 0.06; seed = 412 };
+    { name = "Traverse.Proto"; write_bias = 0.10; seed = 413 };
+    { name = "Traverse.jQuery"; write_bias = 0.13; seed = 414 } ]
+
+let program s =
+  { Codegen.default_profile with
+    Codegen.name = "dromaeo-" ^ s.name;
+    seed = Int64.of_int s.seed;
+    pie = true;
+    functions = 300;
+    heap_write_bias = s.write_bias;
+    small_write_bias = 0.05;
+    iterations = 300 }
+
+let firefox_instrumented_fraction = 0.25
+let paper_chrome_mean = 213.0
+let paper_firefox_mean = 146.0

@@ -1,0 +1,31 @@
+(** Stand-ins for the Dromaeo DOM browser benchmarks (Figure 4).
+
+    The paper runs fourteen Dromaeo DOM suites on A2-instrumented Chrome
+    and Firefox. The quantity each bar measures is the relative runtime of
+    the instrumented browser on that suite, which is driven by the suite's
+    {e dynamic heap-write density} (attribute and node mutations are
+    pointer-write heavy; query/traversal suites less so). Each suite is
+    modelled as a browser-profile program with a characteristic write
+    density.
+
+    The Firefox variant patches only part of the text — the paper's
+    observation that Firefox "spends more time in JIT'ed code or in
+    non-instrumented shared objects", and an exercise of E9Patch's safe
+    mixing of patched and non-patched code (§5.1). *)
+
+type suite = { name : string; write_bias : float; seed : int }
+
+(** The fourteen Dromaeo DOM suites, in Figure 4 order. *)
+val suites : suite list
+
+(** [program suite] generates the browser-like workload for one suite. *)
+val program : suite -> Codegen.profile
+
+(** Fraction of the text instrumented for the Firefox variant. *)
+val firefox_instrumented_fraction : float
+
+(** The paper's overall outcomes: ~213% relative runtime for Chrome and
+    ~146% for Firefox (geometric means over the suites). *)
+val paper_chrome_mean : float
+
+val paper_firefox_mean : float

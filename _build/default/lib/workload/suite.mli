@@ -1,0 +1,48 @@
+(** The evaluation suite: one synthetic stand-in per Table 1 row.
+
+    Each row records the paper's published statistics (for the
+    paper-vs-measured comparison in EXPERIMENTS.md) and a generator profile
+    whose {e structural} parameters are derived from them:
+
+    - the load address and e_type come from the row's PIE/DSO nature;
+    - [short_jump_bias] / [small_write_bias] are set from the row's
+      published Base% through the calibration curves measured in
+      [bench/main.ml] (the instruction-length mix is the input the tactics
+      respond to; the resulting coverage then {e emerges} from the real
+      algorithm rather than being scripted);
+    - gamess/zeusmp get multi-GiB [.bss] reservations (limitation L1);
+    - sizes are scaled down ~50–500× (documented in DESIGN.md §2).
+
+    Every profile is seeded; the whole suite is deterministic. *)
+
+type paper_app = {
+  loc : int;  (** the paper's #Loc *)
+  base : float;  (** the paper's Base% *)
+  succ : float;  (** the paper's Succ% *)
+  time : float option;  (** the paper's Time% (None for system binaries) *)
+  size : float;  (** the paper's Size% *)
+}
+
+type category = Spec | System | Browser
+
+type row = {
+  profile : Codegen.profile;
+  category : category;
+  size_mb : float;  (** the real binary's size *)
+  paper_a1 : paper_app;
+  paper_a2 : paper_app;
+}
+
+(** All Table 1 rows in paper order. *)
+val rows : row list
+
+(** Paper totals (the #Total/Avg% row) for the two applications. *)
+val paper_total_a1 : paper_app
+
+val paper_total_a2 : paper_app
+
+(** [find name] looks a row up by benchmark name. *)
+val find : string -> row option
+
+(** [spec_rows] — the 28 SPEC2006 rows (the ones with Time%). *)
+val spec_rows : row list

@@ -1,0 +1,1 @@
+lib/x86/asm.ml: E9_bits Encode Insn List Printf String

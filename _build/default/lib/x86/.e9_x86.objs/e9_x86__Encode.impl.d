@@ -1,0 +1,1 @@
+lib/x86/encode.ml: Buffer Char Insn Int64 List Reg String

@@ -1,0 +1,73 @@
+module Buf = E9_bits.Buf
+
+type label = { name : string; mutable addr : int option }
+
+type fixup = {
+  at : int;  (** buffer offset of the displacement field *)
+  next : int;  (** absolute address the displacement is relative to *)
+  target : label;
+  width : int;  (** displacement width in bytes: 1 or 4 *)
+}
+
+type t = {
+  buf : Buf.t;
+  base_addr : int;
+  mutable fixups : fixup list;
+}
+
+let create ~base = { buf = Buf.create 256; base_addr = base; fixups = [] }
+let base t = t.base_addr
+let fresh_label _ name = { name; addr = None }
+let here t = t.base_addr + Buf.length t.buf
+
+let place t l =
+  match l.addr with
+  | Some _ -> failwith (Printf.sprintf "Asm: label %s placed twice" l.name)
+  | None -> l.addr <- Some (here t)
+
+let ins t i = ignore (Buf.add_string t.buf (Encode.encode i))
+let ins_raw t code = ignore (Buf.add_string t.buf code)
+
+(* Append an instruction whose last [width] bytes are a displacement to
+   [target]; record the fixup. *)
+let branch ?(width = 4) t code target =
+  let off = Buf.add_string t.buf code in
+  let len = String.length code in
+  t.fixups <-
+    { at = off + len - width; next = t.base_addr + off + len; target; width }
+    :: t.fixups
+
+let jmp t l = branch t (Encode.encode (Insn.Jmp 0)) l
+let jcc t c l = branch t (Encode.encode (Insn.Jcc (c, 0))) l
+let call t l = branch t (Encode.encode (Insn.Call 0)) l
+let lea_label t r l = branch t (Encode.encode (Insn.Lea (r, Insn.rip_mem 0))) l
+let jmp_short t l = branch ~width:1 t (Encode.encode (Insn.Jmp_short 0)) l
+
+let jcc_short t c l =
+  branch ~width:1 t (Encode.encode (Insn.Jcc_short (c, 0))) l
+
+let label_addr _t l =
+  match l.addr with
+  | Some a -> a
+  | None -> failwith (Printf.sprintf "Asm: label %s not placed" l.name)
+
+let assemble t =
+  List.iter
+    (fun f ->
+      let target = label_addr t f.target in
+      let rel = target - f.next in
+      match f.width with
+      | 1 ->
+          if rel < -128 || rel > 127 then
+            failwith
+              (Printf.sprintf "Asm: short branch to %s out of rel8 range"
+                 f.target.name);
+          Buf.set_u8 t.buf f.at (rel land 0xff)
+      | _ ->
+          if rel < -0x8000_0000 || rel > 0x7fff_ffff then
+            failwith
+              (Printf.sprintf "Asm: branch to %s out of rel32 range"
+                 f.target.name);
+          Buf.set_u32 t.buf f.at rel)
+    t.fixups;
+  Buf.contents t.buf

@@ -1,0 +1,53 @@
+(** A tiny two-pass assembler: append instructions, reference forward or
+    backward labels in branches, then {!assemble} to resolve fixups.
+
+    Used by the synthetic-workload code generator and by trampoline
+    templates. Addresses are absolute: the buffer starts at [base]. *)
+
+type t
+type label
+
+(** [create ~base] starts an empty program whose first byte will live at
+    virtual address [base]. *)
+val create : base:int -> t
+
+(** [fresh_label t name] declares a label (not yet placed). *)
+val fresh_label : t -> string -> label
+
+(** [place t l] binds [l] to the current position. A label may be placed
+    only once. *)
+val place : t -> label -> unit
+
+(** [here t] is the current virtual address. *)
+val here : t -> int
+
+(** [ins t i] appends one instruction. *)
+val ins : t -> Insn.t -> unit
+
+(** [ins_raw t code] appends pre-encoded bytes. *)
+val ins_raw : t -> string -> unit
+
+(** Label-targeted control flow (rel32 fixups). *)
+val jmp : t -> label -> unit
+
+val jcc : t -> Insn.cc -> label -> unit
+val call : t -> label -> unit
+
+(** Short (rel8) forms; {!assemble} fails if the target is out of range. *)
+val jmp_short : t -> label -> unit
+
+val jcc_short : t -> Insn.cc -> label -> unit
+
+(** [lea_label t r l] loads a label's absolute address RIP-relatively. *)
+val lea_label : t -> Reg.t -> label -> unit
+
+(** [assemble t] resolves all fixups and returns the code.
+    Raises [Failure] on an unplaced label. *)
+val assemble : t -> bytes
+
+(** [label_addr t l] is the label's absolute address.
+    Raises [Failure] if unplaced. *)
+val label_addr : t -> label -> int
+
+(** [base t] is the address passed at creation. *)
+val base : t -> int

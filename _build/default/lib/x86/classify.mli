@@ -1,0 +1,27 @@
+(** Instruction classification predicates used by the patch-location
+    selectors (paper applications A1 and A2) and by the rewriter itself. *)
+
+(** [is_jump i] — unconditional or conditional jump ([jmp]/[jcc], direct or
+    indirect), the paper's application A1 selector. Calls and returns are
+    not jumps for this purpose. *)
+val is_jump : Insn.t -> bool
+
+(** [is_heap_write i] — the instruction may write through a heap pointer:
+    it has a memory destination whose base is neither [%rsp] nor
+    RIP-relative (the paper's application A2 selector, §6.3). *)
+val is_heap_write : Insn.t -> bool
+
+(** [is_control_flow i] — any instruction that transfers control (jumps,
+    calls, returns, traps). Such instructions end a basic block. *)
+val is_control_flow : Insn.t -> bool
+
+(** [is_pc_relative i] — the instruction's behaviour depends on its own
+    address (relative branches or RIP-relative operands); moving it into a
+    trampoline requires re-encoding. *)
+val is_pc_relative : Insn.t -> bool
+
+(** [mem_written i] — the memory operand written by [i], if any. *)
+val mem_written : Insn.t -> Insn.mem option
+
+(** [branch_rel i] — the relative displacement of a direct branch. *)
+val branch_rel : Insn.t -> int option

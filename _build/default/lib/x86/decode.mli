@@ -1,0 +1,26 @@
+(** x86_64 machine-code decoding for the {!Insn} subset.
+
+    The decoder is total: any byte sequence decodes, with bytes outside the
+    subset yielding a one-byte {!Insn.Unknown} — matching the behaviour of a
+    linear-disassembly frontend that simply skips what it cannot parse.
+    Prefix bytes (legacy and REX, in any order) are consumed and reported so
+    that padded (T1) jumps round-trip. *)
+
+type decoded = {
+  insn : Insn.t;
+  len : int;  (** total length including prefixes *)
+  prefixes : int list;  (** consumed prefix bytes, in order *)
+}
+
+(** [decode bytes pos] decodes the instruction starting at [pos].
+    Raises [Invalid_argument] when [pos] is outside [bytes]; a truncated
+    instruction at the end of [bytes] decodes as [Unknown]. *)
+val decode : Bytes.t -> int -> decoded
+
+(** [decode_string s pos] is [decode] on a string. *)
+val decode_string : string -> int -> decoded
+
+(** [linear bytes ~pos ~len] decodes [bytes[pos, pos+len)] linearly,
+    returning [(offset, decoded)] pairs. This is the paper's "basic wrapper
+    frontend that applies linear disassembly". *)
+val linear : Bytes.t -> pos:int -> len:int -> (int * decoded) list

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Bytes E9_bits E9_core E9_emu E9_x86 Elf_file List Loadmap QCheck QCheck_alcotest String Tablemeta

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char E9_bits E9_core E9_emu E9_vm E9_workload E9_x86 Elf_file Frontend Hashtbl Int64 List Loadmap Option QCheck QCheck_alcotest

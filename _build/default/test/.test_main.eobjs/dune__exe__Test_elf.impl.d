@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Bytes E9_bits Elf_file Filename Fun List Loadmap Sys

@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Array Bytes Char E9_emu E9_vm E9_x86 Elf_file Int64 List Loadmap Printf String

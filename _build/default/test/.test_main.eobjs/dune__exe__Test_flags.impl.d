@@ -1,0 +1,1 @@
+test/test_flags.ml: Alcotest Bytes E9_bits E9_emu E9_x86 Elf_file Int64 List String

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Bytes E9_bits E9_core E9_emu E9_lowfat E9_workload E9_x86 Elf_file Frontend List Loadmap Option

@@ -1,0 +1,1 @@
+test/test_lowfat.ml: Alcotest Bytes E9_core E9_emu E9_lowfat E9_vm E9_workload E9_x86 Elf_file Frontend List Option Printf QCheck QCheck_alcotest

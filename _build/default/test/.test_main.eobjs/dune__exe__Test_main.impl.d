@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_asm Test_bits Test_core Test_elf Test_emu Test_flags Test_invariants Test_lowfat Test_reloc Test_spec Test_workload Test_x86

@@ -1,0 +1,1 @@
+test/test_reloc.ml: Alcotest E9_bits E9_core E9_emu E9_reloc E9_workload Elf_file Frontend Int64 List Option Printf

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest E9_core E9_emu E9_lowfat E9_spec E9_workload E9_x86 Format Frontend List Printf String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes E9_core E9_emu E9_workload E9_x86 Elf_file Frontend Int64 List Option String

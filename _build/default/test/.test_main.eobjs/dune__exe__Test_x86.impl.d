@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Bytes Char E9_bits E9_x86 List Printf String

@@ -1,0 +1,267 @@
+(* Tests for the E9_bits substrate: buffers, interval sets, RNG. *)
+
+module Buf = E9_bits.Buf
+module Iset = E9_bits.Iset
+module Rng = E9_bits.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Buf                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_buf_roundtrip_widths () =
+  let b = Buf.create 4 in
+  let p8 = Buf.add_u8 b 0xab in
+  let p16 = Buf.add_u16 b 0xbeef in
+  let p32 = Buf.add_u32 b 0xdeadbeef in
+  let p64 = Buf.add_u64 b 0x0123_4567_89ab_cdefL in
+  check_int "u8" 0xab (Buf.get_u8 b p8);
+  check_int "u16" 0xbeef (Buf.get_u16 b p16);
+  check_int "u32" 0xdeadbeef (Buf.get_u32 b p32);
+  Alcotest.(check int64) "u64" 0x0123_4567_89ab_cdefL (Buf.get_u64 b p64);
+  check_int "len" 15 (Buf.length b)
+
+let test_buf_little_endian () =
+  let b = Buf.create 4 in
+  ignore (Buf.add_u32 b 0x11223344);
+  check_int "lsb first" 0x44 (Buf.get_u8 b 0);
+  check_int "msb last" 0x11 (Buf.get_u8 b 3)
+
+let test_buf_i32_sign () =
+  let b = Buf.create 4 in
+  ignore (Buf.add_u32 b (-5));
+  check_int "i32 sign-extends" (-5) (Buf.get_i32 b 0);
+  check_int "u32 wraps" 0xffff_fffb (Buf.get_u32 b 0)
+
+let test_buf_grow () =
+  let b = Buf.create 1 in
+  for i = 0 to 999 do
+    ignore (Buf.add_u8 b i)
+  done;
+  check_int "grown" 1000 (Buf.length b);
+  check_int "content preserved" (999 land 0xff) (Buf.get_u8 b 999)
+
+let test_buf_blit_sub () =
+  let b = Buf.of_string "hello world" in
+  Buf.blit_in b ~pos:6 (Bytes.of_string "WORLD");
+  Alcotest.(check string)
+    "blit" "WORLD"
+    (Bytes.to_string (Buf.sub b ~pos:6 ~len:5))
+
+let test_buf_pad_to () =
+  let b = Buf.of_string "ab" in
+  Buf.pad_to b 8;
+  check_int "padded" 8 (Buf.length b);
+  check_int "zero fill" 0 (Buf.get_u8 b 7);
+  Buf.pad_to b 4;
+  check_int "no shrink" 8 (Buf.length b)
+
+let test_buf_bounds () =
+  let b = Buf.of_string "abc" in
+  Alcotest.check_raises "read past end"
+    (Invalid_argument "Buf: range 2+2 out of bounds (len 3)") (fun () ->
+      ignore (Buf.get_u16 b 2))
+
+(* ------------------------------------------------------------------ *)
+(* Iset                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_iset_add_merge () =
+  let s = Iset.create () in
+  Iset.add s ~lo:10 ~hi:20;
+  Iset.add s ~lo:30 ~hi:40;
+  Iset.add s ~lo:20 ~hi:30;
+  Alcotest.(check (list (pair int int)))
+    "merged" [ (10, 40) ] (Iset.intervals s)
+
+let test_iset_add_overlap () =
+  let s = Iset.create () in
+  Iset.add s ~lo:10 ~hi:20;
+  Iset.add s ~lo:15 ~hi:35;
+  Iset.add s ~lo:5 ~hi:12;
+  Alcotest.(check (list (pair int int)))
+    "merged" [ (5, 35) ] (Iset.intervals s)
+
+let test_iset_mem () =
+  let s = Iset.create () in
+  Iset.add s ~lo:10 ~hi:20;
+  check_bool "below" false (Iset.mem s 9);
+  check_bool "lo inclusive" true (Iset.mem s 10);
+  check_bool "inside" true (Iset.mem s 15);
+  check_bool "hi exclusive" false (Iset.mem s 20)
+
+let test_iset_remove_split () =
+  let s = Iset.create () in
+  Iset.add s ~lo:0 ~hi:100;
+  Iset.remove s ~lo:40 ~hi:60;
+  Alcotest.(check (list (pair int int)))
+    "split" [ (0, 40); (60, 100) ] (Iset.intervals s);
+  check_int "occupied" 80 (Iset.occupied s)
+
+let test_iset_find_free () =
+  let s = Iset.create () in
+  Iset.add s ~lo:0 ~hi:10;
+  Iset.add s ~lo:14 ~hi:30;
+  Alcotest.(check (option int)) "gap of 4" (Some 10)
+    (Iset.find_free s ~size:4 ~lo:0 ~hi:100);
+  Alcotest.(check (option int)) "gap of 5 skips small gap" (Some 30)
+    (Iset.find_free s ~size:5 ~lo:0 ~hi:100);
+  Alcotest.(check (option int)) "window excludes" None
+    (Iset.find_free s ~size:5 ~lo:0 ~hi:25);
+  Alcotest.(check (option int)) "empty window" None
+    (Iset.find_free s ~size:1 ~lo:50 ~hi:40)
+
+let test_iset_find_free_last () =
+  let s = Iset.create () in
+  Iset.add s ~lo:20 ~hi:30;
+  Alcotest.(check (option int)) "highest start" (Some 96)
+    (Iset.find_free_last s ~size:4 ~lo:0 ~hi:96);
+  Alcotest.(check (option int)) "slides below obstacle" (Some 16)
+    (Iset.find_free_last s ~size:4 ~lo:0 ~hi:22)
+
+let test_iset_copy_independent () =
+  let s = Iset.create () in
+  Iset.add s ~lo:0 ~hi:10;
+  let c = Iset.copy s in
+  Iset.add c ~lo:100 ~hi:110;
+  check_int "original untouched" 10 (Iset.occupied s);
+  check_int "copy extended" 20 (Iset.occupied c)
+
+(* Property: find_free agrees with a naive boolean-array model, including
+   returning the lowest viable start. *)
+let prop_iset_matches_model =
+  QCheck.Test.make ~name:"Iset.find_free agrees with naive model" ~count:500
+    QCheck.(
+      pair
+        (small_list (pair (int_bound 200) (int_bound 30)))
+        (triple (int_range 1 10) (int_bound 200) (int_bound 200)))
+    (fun (adds, (size, lo, hi)) ->
+      (* QCheck's int_range shrinker can escape its bounds; clamp. *)
+      let size = max 1 size in
+      let s = Iset.create () in
+      let model = Array.make 300 false in
+      List.iter
+        (fun (start, len) ->
+          Iset.add s ~lo:start ~hi:(start + len);
+          for i = start to start + len - 1 do
+            model.(i) <- true
+          done)
+        adds;
+      let naive () =
+        let result = ref None in
+        (try
+           for start = lo to hi do
+             let ok = ref true in
+             for i = start to start + size - 1 do
+               if i < 300 && model.(i) then ok := false
+             done;
+             if !ok then begin
+               result := Some start;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !result
+      in
+      Iset.find_free s ~size ~lo ~hi = naive ())
+
+let prop_iset_find_free_last_valid =
+  QCheck.Test.make ~name:"Iset.find_free_last returns free in-window range"
+    ~count:500
+    QCheck.(
+      pair
+        (small_list (pair (int_bound 200) (int_range 1 30)))
+        (triple (int_range 1 10) (int_bound 200) (int_bound 200)))
+    (fun (adds, (size, lo, hi)) ->
+      let s = Iset.create () in
+      List.iter
+        (fun (start, len) -> Iset.add s ~lo:start ~hi:(start + len))
+        adds;
+      match Iset.find_free_last s ~size ~lo ~hi with
+      | None -> true
+      | Some start ->
+          start >= lo && start <= hi
+          && Iset.is_free s ~lo:start ~hi:(start + size))
+
+let prop_iset_add_remove_inverse =
+  QCheck.Test.make ~name:"Iset.remove undoes add" ~count:300
+    QCheck.(small_list (pair (int_bound 1000) (int_range 1 20)))
+    (fun ranges ->
+      let s = Iset.create () in
+      List.iter (fun (lo, len) -> Iset.add s ~lo ~hi:(lo + len)) ranges;
+      List.iter (fun (lo, len) -> Iset.remove s ~lo ~hi:(lo + len)) ranges;
+      Iset.occupied s = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_range_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Rng.range r (-5) 5 in
+    check_bool "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_weighted () =
+  let r = Rng.create 1L in
+  for _ = 1 to 200 do
+    let v = Rng.weighted r [ (0.0, `A); (1.0, `B) ] in
+    check_bool "zero weight never drawn" true (v = `B)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 5L in
+  let a = Rng.split r and b = Rng.split r in
+  check_bool "split streams differ" true (Rng.next a <> Rng.next b)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 9L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let suites =
+  [ ( "bits.buf",
+      [ Alcotest.test_case "roundtrip widths" `Quick test_buf_roundtrip_widths;
+        Alcotest.test_case "little endian" `Quick test_buf_little_endian;
+        Alcotest.test_case "i32 sign" `Quick test_buf_i32_sign;
+        Alcotest.test_case "grow" `Quick test_buf_grow;
+        Alcotest.test_case "blit/sub" `Quick test_buf_blit_sub;
+        Alcotest.test_case "pad_to" `Quick test_buf_pad_to;
+        Alcotest.test_case "bounds" `Quick test_buf_bounds ] );
+    ( "bits.iset",
+      [ Alcotest.test_case "add merges adjacent" `Quick test_iset_add_merge;
+        Alcotest.test_case "add merges overlap" `Quick test_iset_add_overlap;
+        Alcotest.test_case "mem" `Quick test_iset_mem;
+        Alcotest.test_case "remove splits" `Quick test_iset_remove_split;
+        Alcotest.test_case "find_free" `Quick test_iset_find_free;
+        Alcotest.test_case "find_free_last" `Quick test_iset_find_free_last;
+        Alcotest.test_case "copy independent" `Quick test_iset_copy_independent;
+        QCheck_alcotest.to_alcotest prop_iset_matches_model;
+        QCheck_alcotest.to_alcotest prop_iset_find_free_last_valid;
+        QCheck_alcotest.to_alcotest prop_iset_add_remove_inverse ] );
+    ( "bits.rng",
+      [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "range bounds" `Quick test_rng_range_bounds;
+        Alcotest.test_case "weighted" `Quick test_rng_weighted;
+        Alcotest.test_case "split" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation ] ) ]

@@ -1,0 +1,139 @@
+(* Tests for the ELF64 reader/writer and the loadmap codecs. *)
+
+module Buf = E9_bits.Buf
+
+let mk_exec () =
+  let elf = Elf_file.create ~etype:Elf_file.Exec ~entry:0x400000 in
+  let code = Bytes.of_string "\x90\x90\xc3" in
+  ignore
+    (Elf_file.add_segment elf
+       { Elf_file.ptype = Elf_file.Load;
+         prot = Elf_file.prot_rx;
+         vaddr = 0x400000;
+         offset = 0;
+         filesz = 0;
+         memsz = Bytes.length code;
+         align = 4096 }
+       ~content:code);
+  elf
+
+let test_roundtrip_header () =
+  let elf = mk_exec () in
+  let parsed = Elf_file.of_bytes (Elf_file.to_bytes elf) in
+  Alcotest.(check int) "entry" 0x400000 parsed.Elf_file.entry;
+  Alcotest.(check bool) "etype" true (parsed.Elf_file.etype = Elf_file.Exec);
+  Alcotest.(check int) "segments" 1 (List.length parsed.Elf_file.segments)
+
+let test_roundtrip_segment_content () =
+  let elf = mk_exec () in
+  let parsed = Elf_file.of_bytes (Elf_file.to_bytes elf) in
+  let seg = List.hd parsed.Elf_file.segments in
+  Alcotest.(check int) "vaddr" 0x400000 seg.Elf_file.vaddr;
+  Alcotest.(check string)
+    "content" "\x90\x90\xc3"
+    (Bytes.to_string
+       (Buf.sub parsed.Elf_file.data ~pos:seg.Elf_file.offset
+          ~len:seg.Elf_file.filesz))
+
+let test_segment_alignment_congruence () =
+  let elf = Elf_file.create ~etype:Elf_file.Exec ~entry:0x401234 in
+  let off =
+    Elf_file.add_segment elf
+      { Elf_file.ptype = Elf_file.Load;
+        prot = Elf_file.prot_rx;
+        vaddr = 0x401234;
+        offset = 0;
+        filesz = 0;
+        memsz = 16;
+        align = 4096 }
+      ~content:(Bytes.make 16 'x')
+  in
+  Alcotest.(check int) "offset congruent to vaddr mod align" (0x401234 mod 4096)
+    (off mod 4096)
+
+let test_sections_roundtrip () =
+  let elf = mk_exec () in
+  ignore
+    (Elf_file.add_section elf ~name:".text" ~addr:0x400000 ~sh_type:1
+       ~sh_flags:6 ~content:(Bytes.of_string "abc"));
+  ignore
+    (Elf_file.add_section elf ~name:Elf_file.mmap_section_name ~addr:0
+       ~sh_type:1 ~sh_flags:0 ~content:(Bytes.make 32 '\000'));
+  let parsed = Elf_file.of_bytes (Elf_file.to_bytes elf) in
+  Alcotest.(check int) "two sections" 2 (List.length parsed.Elf_file.sections);
+  match Elf_file.find_section parsed ".text" with
+  | Some s ->
+      Alcotest.(check string) "content" "abc"
+        (Bytes.to_string (Elf_file.section_bytes parsed s))
+  | None -> Alcotest.fail "missing .text"
+
+let test_segment_at () =
+  let elf = mk_exec () in
+  (match Elf_file.segment_at elf 0x400001 with
+  | Some s -> Alcotest.(check int) "found" 0x400000 s.Elf_file.vaddr
+  | None -> Alcotest.fail "segment_at failed");
+  Alcotest.(check bool) "outside" true (Elf_file.segment_at elf 0x500000 = None)
+
+let test_bss_memsz () =
+  let elf = Elf_file.create ~etype:Elf_file.Exec ~entry:0x400000 in
+  ignore
+    (Elf_file.add_segment elf
+       { Elf_file.ptype = Elf_file.Load;
+         prot = Elf_file.prot_rw;
+         vaddr = 0x600000;
+         offset = 0;
+         filesz = 0;
+         memsz = 8192;
+         align = 4096 }
+       ~content:(Bytes.make 100 'd'));
+  let parsed = Elf_file.of_bytes (Elf_file.to_bytes elf) in
+  let seg = List.hd parsed.Elf_file.segments in
+  Alcotest.(check int) "filesz" 100 seg.Elf_file.filesz;
+  Alcotest.(check int) "memsz preserved" 8192 seg.Elf_file.memsz
+
+let test_reject_garbage () =
+  Alcotest.check_raises "bad magic" (Failure "Elf_file: bad magic") (fun () ->
+      ignore (Elf_file.of_bytes (Bytes.make 100 'A')))
+
+let test_loadmap_mappings () =
+  let ms =
+    [ { Loadmap.vaddr = 0x10000; file_off = 0x2000; len = 4096;
+        prot = Elf_file.prot_rx };
+      { Loadmap.vaddr = 0x20000; file_off = 0x2000; len = 4096;
+        prot = Elf_file.prot_rx } ]
+  in
+  let decoded = Loadmap.decode_mappings (Loadmap.encode_mappings ms) in
+  Alcotest.(check bool) "roundtrip" true (decoded = ms)
+
+let test_loadmap_traps () =
+  let ts =
+    [ { Loadmap.patch_addr = 0x400123; trampoline_addr = 0x700000 };
+      { Loadmap.patch_addr = 0x400456; trampoline_addr = 0x700040 } ]
+  in
+  let decoded = Loadmap.decode_traps (Loadmap.encode_traps ts) in
+  Alcotest.(check bool) "roundtrip" true (decoded = ts)
+
+let test_file_io () =
+  let elf = mk_exec () in
+  let path = Filename.temp_file "e9test" ".elf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Elf_file.write_file elf path;
+      let parsed = Elf_file.read_file path in
+      Alcotest.(check int) "entry" 0x400000 parsed.Elf_file.entry)
+
+let suites =
+  [ ( "elf",
+      [ Alcotest.test_case "header roundtrip" `Quick test_roundtrip_header;
+        Alcotest.test_case "segment content" `Quick
+          test_roundtrip_segment_content;
+        Alcotest.test_case "alignment congruence" `Quick
+          test_segment_alignment_congruence;
+        Alcotest.test_case "sections roundtrip" `Quick test_sections_roundtrip;
+        Alcotest.test_case "segment_at" `Quick test_segment_at;
+        Alcotest.test_case "bss memsz" `Quick test_bss_memsz;
+        Alcotest.test_case "rejects garbage" `Quick test_reject_garbage;
+        Alcotest.test_case "loadmap mappings" `Quick test_loadmap_mappings;
+        Alcotest.test_case "loadmap traps" `Quick test_loadmap_traps;
+        Alcotest.test_case "file io" `Quick test_file_io ] ) ]

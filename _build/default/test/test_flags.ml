@@ -1,0 +1,258 @@
+(* Differential testing of the emulator's RFLAGS semantics.
+
+   For random operands, operations and widths, a guest program executes the
+   operation and materializes all condition codes with setcc into a buffer
+   that it prints. The expected values come from an independent reference
+   model written directly from the x86 flag definitions (not shared with
+   lib/emu). Catching a flag bug here matters doubly: conditional branches
+   decide control flow, and displaced jcc instructions in trampolines
+   re-execute under the same flag machinery. *)
+
+module Insn = E9_x86.Insn
+module Reg = E9_x86.Reg
+module Asm = E9_x86.Asm
+module Machine = E9_emu.Machine
+module Cpu = E9_emu.Cpu
+module Rng = E9_bits.Rng
+
+let base = 0x400000
+
+type op = Add | Sub | Cmp | And | Or | Xor | Test | Adc | Sbb | Inc | Dec
+
+(* ------------------------------------------------------------------ *)
+(* Reference model (independent of lib/emu)                            *)
+(* ------------------------------------------------------------------ *)
+
+type flags = { zf : bool; sf : bool; cf : bool; o_f : bool; pf : bool }
+
+let bits_of = function Insn.B -> 8 | Insn.L -> 32 | Insn.Q -> 62
+(* Q is modelled at the emulator's 62-bit value domain: the test generates
+   operands below 2^40, where 62- and 64-bit semantics agree. *)
+
+let reference ?(cf_in = false) op sz a b =
+  let w = bits_of sz in
+  let mask = if w >= 62 then -1 else (1 lsl w) - 1 in
+  let msb = if w >= 62 then min_int else 1 lsl (w - 1) in
+  let am = a land mask and bm = b land mask in
+  let logic r =
+    { zf = r land mask = 0;
+      sf = r land msb <> 0;
+      cf = false;
+      o_f = false;
+      pf =
+        (let rec pop n v = if v = 0 then n else pop (n + 1) (v land (v - 1)) in
+         pop 0 (r land 0xff) mod 2 = 0) }
+  in
+  ignore (am, bm);
+  match op with
+  | And | Test -> logic (am land bm)
+  | Or -> logic (am lor bm)
+  | Xor -> logic (am lxor bm)
+  | Add ->
+      let r = (a + b) land mask in
+      let unsigned_sum = (am land max_int) + (bm land max_int) in
+      let cf =
+        if w >= 62 then
+          (* carry out of the modelled width: detect via comparison *)
+          (let ult x y = if (x < 0) = (y < 0) then x < y else y < 0 in
+           ult (a + b) a)
+        else unsigned_sum > mask
+      in
+      let sa = a land msb <> 0 and sb = b land msb <> 0 in
+      let sr = r land msb <> 0 in
+      { (logic r) with cf; o_f = sa = sb && sr <> sa }
+  | Sub | Cmp ->
+      let r = (a - b) land mask in
+      let cf =
+        if w >= 62 then
+          let ult x y = if (x < 0) = (y < 0) then x < y else y < 0 in
+          ult a b
+        else am < bm
+      in
+      let sa = a land msb <> 0 and sb = b land msb <> 0 in
+      let sr = r land msb <> 0 in
+      { (logic r) with cf; o_f = sa <> sb && sr <> sa }
+  | Adc ->
+      let c = if cf_in then 1 else 0 in
+      let r = (a + b + c) land mask in
+      let cf =
+        if w >= 62 then
+          let ult x y = if (x < 0) = (y < 0) then x < y else y < 0 in
+          let s1 = a + b in
+          ult s1 a || (c = 1 && s1 = -1)
+        else am + bm + c > mask
+      in
+      let sa = a land msb <> 0 and sb = b land msb <> 0 in
+      let sr = r land msb <> 0 in
+      { (logic r) with cf; o_f = sa = sb && sr <> sa }
+  | Sbb ->
+      let c = if cf_in then 1 else 0 in
+      let r = (a - b - c) land mask in
+      let cf =
+        if w >= 62 then
+          let ult x y = if (x < 0) = (y < 0) then x < y else y < 0 in
+          ult a b || (c = 1 && a - b = 0)
+        else am < bm + c
+      in
+      let sa = a land msb <> 0 and sb = b land msb <> 0 in
+      let sr = r land msb <> 0 in
+      { (logic r) with cf; o_f = sa <> sb && sr <> sa }
+  | Inc ->
+      (* add 1 with CF preserved from input *)
+      let r = (a + 1) land mask in
+      let sa = a land msb <> 0 and sr = r land msb <> 0 in
+      { (logic r) with cf = cf_in; o_f = (not sa) && sr }
+  | Dec ->
+      let r = (a - 1) land mask in
+      let sa = a land msb <> 0 and sr = r land msb <> 0 in
+      { (logic r) with cf = cf_in; o_f = sa && not sr }
+
+let cc_holds f = function
+  | Insn.O -> f.o_f
+  | Insn.NO -> not f.o_f
+  | Insn.B_ -> f.cf
+  | Insn.AE -> not f.cf
+  | Insn.E -> f.zf
+  | Insn.NE -> not f.zf
+  | Insn.BE -> f.cf || f.zf
+  | Insn.A -> not (f.cf || f.zf)
+  | Insn.S_ -> f.sf
+  | Insn.NS -> not f.sf
+  | Insn.P -> f.pf
+  | Insn.NP -> not f.pf
+  | Insn.L_ -> f.sf <> f.o_f
+  | Insn.GE -> f.sf = f.o_f
+  | Insn.LE -> f.zf || f.sf <> f.o_f
+  | Insn.G -> (not f.zf) && f.sf = f.o_f
+
+(* ------------------------------------------------------------------ *)
+(* Guest program                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let all_cc = List.init 16 Insn.cc_of_index
+
+(* Execute [op sz rax, rbx] then write one byte per condition code. For
+   carry-consuming/preserving ops the incoming CF is staged with a cmp. *)
+let flags_program ?(cf_in = false) op sz a b =
+  let asm = Asm.create ~base in
+  let ins i = Asm.ins asm i in
+  let buf = Machine.stack_top - 4096 in
+  ins (Insn.Movabs (Reg.RAX, Int64.of_int a));
+  ins (Insn.Movabs (Reg.RBX, Int64.of_int b));
+  (* CF := cf_in via an unsigned-borrow compare on rcx=0 *)
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RCX, Insn.Imm 0));
+  ins (Insn.Alu (Insn.Cmp, Insn.Q, Insn.Reg Reg.RCX,
+                 Insn.Imm (if cf_in then 1 else 0)));
+  let alu o = Insn.Alu (o, sz, Insn.Reg Reg.RAX, Insn.Reg Reg.RBX) in
+  ins
+    (match op with
+    | Add -> alu Insn.Add
+    | Sub -> alu Insn.Sub
+    | Cmp -> alu Insn.Cmp
+    | And -> alu Insn.And
+    | Or -> alu Insn.Or
+    | Xor -> alu Insn.Xor
+    | Test -> alu Insn.Test
+    | Adc -> alu Insn.Adc
+    | Sbb -> alu Insn.Sbb
+    | Inc -> Insn.Inc (sz, Insn.Reg Reg.RAX)
+    | Dec -> Insn.Dec (sz, Insn.Reg Reg.RAX));
+  ins (Insn.Movabs (Reg.RDI, Int64.of_int buf));
+  List.iteri
+    (fun i cc ->
+      (* setcc must not disturb the flags between stores *)
+      ins (Insn.Setcc (cc, Insn.Mem (Insn.mem ~base:Reg.RDI ~disp:i ()))))
+    all_cc;
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RAX, Insn.Imm 1));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Imm 1));
+  ins (Insn.Movabs (Reg.RSI, Int64.of_int buf));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDX, Insn.Imm 16));
+  ins Insn.Syscall;
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RAX, Insn.Imm 60));
+  ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Imm 0));
+  ins Insn.Syscall;
+  let code = Asm.assemble asm in
+  let elf = Elf_file.create ~etype:Elf_file.Exec ~entry:base in
+  ignore
+    (Elf_file.add_segment elf
+       { Elf_file.ptype = Elf_file.Load;
+         prot = Elf_file.prot_rx;
+         vaddr = base;
+         offset = 0;
+         filesz = 0;
+         memsz = Bytes.length code;
+         align = 4096 }
+       ~content:code);
+  elf
+
+let check_case ?(cf_in = false) op sz a b =
+  let r = Machine.run (flags_program ~cf_in op sz a b) in
+  (match r.Cpu.outcome with
+  | Cpu.Exited 0 -> ()
+  | _ -> Alcotest.fail "flags program failed");
+  let expected = reference ~cf_in op sz a b in
+  List.iteri
+    (fun i cc ->
+      let got = r.Cpu.output.[i] = '\001' in
+      let want = cc_holds expected cc in
+      if got <> want then
+        Alcotest.failf "cc %d mismatch: op=%d sz=%s a=%d b=%d (got %b want %b)"
+          i
+          (match op with Add -> 0 | Sub -> 1 | Cmp -> 2 | And -> 3 | Or -> 4
+           | Xor -> 5 | Test -> 6 | Adc -> 7 | Sbb -> 8 | Inc -> 9 | Dec -> 10)
+          (match sz with Insn.B -> "B" | Insn.L -> "L" | Insn.Q -> "Q")
+          a b got want)
+    all_cc
+
+let interesting = [ 0; 1; -1; 127; 128; -128; 255; 0x7fffffff; -0x80000000 ]
+
+let test_flags_edge_cases () =
+  List.iter
+    (fun op ->
+      List.iter
+        (fun sz ->
+          List.iter
+            (fun a -> List.iter (fun b -> check_case op sz a b) interesting)
+            interesting)
+        [ Insn.B; Insn.L; Insn.Q ])
+    [ Add; Sub; Cmp; And; Or; Xor; Test ]
+
+let test_flags_carry_ops () =
+  (* adc/sbb consume CF; inc/dec preserve it. Sweep both carry states over
+     the edge values. *)
+  List.iter
+    (fun op ->
+      List.iter
+        (fun cf_in ->
+          List.iter
+            (fun sz ->
+              List.iter
+                (fun a ->
+                  List.iter (fun b -> check_case ~cf_in op sz a b) interesting)
+                interesting)
+            [ Insn.B; Insn.L; Insn.Q ])
+        [ false; true ])
+    [ Adc; Sbb; Inc; Dec ]
+
+let test_flags_random () =
+  let rng = Rng.create 0xF1A65L in
+  for _ = 1 to 300 do
+    let op =
+      match Rng.int rng 7 with
+      | 0 -> Add | 1 -> Sub | 2 -> Cmp | 3 -> And | 4 -> Or | 5 -> Xor
+      | _ -> Test
+    in
+    let sz = match Rng.int rng 3 with 0 -> Insn.B | 1 -> Insn.L | _ -> Insn.Q in
+    (* keep |values| < 2^40 so 62-bit and 64-bit Q semantics agree *)
+    let v () = Rng.range rng (-0x80_0000_0000) 0x80_0000_0000 in
+    check_case op sz (v ()) (v ())
+  done
+
+let suites =
+  [ ( "emu.flags",
+      [ Alcotest.test_case "edge cases (7 ops x 3 widths x 81 pairs)" `Quick
+          test_flags_edge_cases;
+        Alcotest.test_case "carry ops (adc/sbb/inc/dec, both CF states)"
+          `Quick test_flags_carry_ops;
+        Alcotest.test_case "random differential (300 cases)" `Quick
+          test_flags_random ] ) ]

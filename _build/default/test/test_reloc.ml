@@ -1,0 +1,126 @@
+(* Tests for the relocating baseline rewriter — and for the comparison the
+   paper draws between moving rewriters (fast but fragile, needing control
+   flow recovery) and E9Patch (control-flow agnostic). *)
+
+module Buf = E9_bits.Buf
+module Reloc = E9_reloc.Reloc
+module Codegen = E9_workload.Codegen
+module Machine = E9_emu.Machine
+module Cpu = E9_emu.Cpu
+module Rewriter = E9_core.Rewriter
+module Trampoline = E9_core.Trampoline
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let profile ?(pic = 0.4) seed =
+  { Codegen.default_profile with
+    Codegen.seed; functions = 40; iterations = 60; pic_table_bias = pic }
+
+let run = Machine.run
+let reloc ?cfg elf = Reloc.run ?cfg elf ~select:Frontend.select_jumps
+
+let test_ground_truth_equivalent () =
+  for s = 1 to 5 do
+    let elf = Codegen.generate (profile (Int64.of_int s)) in
+    let orig = run elf in
+    let r = reloc elf in
+    check_int "all tables rewritten" r.Reloc.tables_total r.Reloc.tables_rewritten;
+    check_bool "equivalent" true (Machine.equivalent orig (run r.Reloc.output))
+  done
+
+let test_inline_is_cheaper_than_trampolines () =
+  (* The §6.1 comparison: when control flow recovery succeeds, inlined
+     instrumentation beats trampoline round-trips; E9Patch trades that
+     performance for robustness. *)
+  let elf = Codegen.generate (profile 7L) in
+  let orig = run elf in
+  let inline = run (reloc elf).Reloc.output in
+  let e9 =
+    Rewriter.run elf ~select:Frontend.select_jumps
+      ~template:(fun _ -> Trampoline.Counter)
+  in
+  let tramp = run e9.E9_core.Rewriter.output in
+  check_bool "both equivalent" true
+    (Machine.equivalent orig inline && Machine.equivalent orig tramp);
+  check_bool "inline cheaper" true (inline.Cpu.cycles < tramp.Cpu.cycles);
+  (* both count the same dynamic jump executions *)
+  let hits r = List.fold_left (fun a (_, n) -> a + n) 0 r.Cpu.counters in
+  check_int "same dynamic counts" (hits inline) (hits tramp)
+
+let test_heuristic_finds_absolute_tables () =
+  (* With only absolute tables, the pointer-scan heuristic is sufficient. *)
+  let elf = Codegen.generate (profile ~pic:0.0 11L) in
+  let orig = run elf in
+  let r = reloc ~cfg:Reloc.Heuristic elf in
+  (* The scan may merge adjacent tables into one run, so the *record*
+     count can be lower; what matters is that every entry is rewritten
+     and behaviour is preserved. *)
+  check_bool "found tables" true (r.Reloc.tables_rewritten > 0);
+  check_bool "equivalent" true (Machine.equivalent orig (run r.Reloc.output))
+
+let test_heuristic_breaks_on_pic_tables () =
+  (* PIC-style tables are invisible to the scan; the relocated binary
+     jumps into the trapped old text and crashes. E9Patch on the same
+     binary is untroubled. *)
+  let elf = Codegen.generate (profile ~pic:1.0 12L) in
+  let orig = run elf in
+  let r = reloc ~cfg:Reloc.Heuristic elf in
+  check_bool "tables were missed" true
+    (r.Reloc.tables_rewritten < r.Reloc.tables_total);
+  (match (run r.Reloc.output).Cpu.outcome with
+  | Cpu.Fault (_, _) -> ()
+  | o ->
+      Alcotest.failf "expected a crash, got %s"
+        (match o with Cpu.Exited n -> Printf.sprintf "exit %d" n | _ -> "?"));
+  let e9 =
+    Rewriter.run elf ~select:Frontend.select_jumps
+      ~template:(fun _ -> Trampoline.Empty)
+  in
+  check_bool "E9Patch is control-flow agnostic" true
+    (Machine.equivalent orig (run e9.E9_core.Rewriter.output))
+
+let test_prob_mode_extremes () =
+  let elf = Codegen.generate (profile 13L) in
+  let orig = run elf in
+  let perfect = reloc ~cfg:(Reloc.Heuristic_prob (1.0, 1L)) elf in
+  check_bool "p=1 equivalent" true
+    (Machine.equivalent orig (run perfect.Reloc.output));
+  let blind = reloc ~cfg:(Reloc.Heuristic_prob (0.0, 1L)) elf in
+  check_int "p=0 finds nothing" 0 blind.Reloc.tables_rewritten;
+  check_bool "p=0 breaks" false
+    (Machine.equivalent orig (run blind.Reloc.output))
+
+let test_old_text_trapped_and_entry_moved () =
+  let elf = Codegen.generate (profile 14L) in
+  let r = reloc elf in
+  let out = r.Reloc.output in
+  check_bool "entry moved" true (out.Elf_file.entry <> elf.Elf_file.entry);
+  let text = Option.get (Frontend.find_text out) in
+  check_int "old entry is a trap" 0xcc
+    (Buf.get_u8 out.Elf_file.data
+       (text.Frontend.offset + elf.Elf_file.entry - text.Frontend.base))
+
+let test_uninstrumented_relocation () =
+  (* Pure relocation (no instrumentation) is also behaviour-preserving. *)
+  let elf = Codegen.generate (profile 15L) in
+  let orig = run elf in
+  let r = Reloc.run elf ~select:(fun _ -> false) in
+  check_int "nothing instrumented" 0 r.Reloc.instrumented;
+  check_bool "equivalent" true (Machine.equivalent orig (run r.Reloc.output))
+
+let suites =
+  [ ( "reloc",
+      [ Alcotest.test_case "ground truth equivalent" `Quick
+          test_ground_truth_equivalent;
+        Alcotest.test_case "inline cheaper than trampolines" `Quick
+          test_inline_is_cheaper_than_trampolines;
+        Alcotest.test_case "heuristic finds absolute tables" `Quick
+          test_heuristic_finds_absolute_tables;
+        Alcotest.test_case "heuristic breaks on PIC tables" `Quick
+          test_heuristic_breaks_on_pic_tables;
+        Alcotest.test_case "probability extremes" `Quick test_prob_mode_extremes;
+        Alcotest.test_case "old text trapped, entry moved" `Quick
+          test_old_text_trapped_and_entry_moved;
+        Alcotest.test_case "pure relocation" `Quick test_uninstrumented_relocation
+      ] ) ]
