@@ -1,0 +1,27 @@
+# Convenience wrappers around dune. CI runs `build`, `test`, `bench-smoke`.
+
+DUNE ?= dune
+SMOKE_TIMEOUT ?= 300
+
+.PHONY: all build test bench bench-smoke fmt clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+# Full evaluation run: every table/figure, all sizes. Minutes, not for CI.
+bench: build
+	$(DUNE) exec bench/main.exe
+
+# Reduced bench under a hard timeout: the experiments that exercise the
+# emulator throughput path (scalability) and end-to-end patched-binary
+# emulation (figure4), at --smoke sizes. Writes BENCH_throughput.json.
+bench-smoke: build
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke scalability figure4
+
+clean:
+	$(DUNE) clean

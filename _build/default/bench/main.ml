@@ -6,11 +6,26 @@
      ... robustness | figure4 | figure5 | grouping | ablation | pie | b0
      ... scalability | calibration | bechamel
 
+   Flags (EXPERIMENTS.md "Reproducing"):
+     --serial       run every task on one domain (the speedup baseline)
+     --domains N    fan tasks across exactly N domains
+     --smoke        reduced sizes/trial counts, for CI timeouts
+     --json PATH    dump every experiment's rows as JSON to PATH
+
+   Independent (app × tactic-config) rewrite+emulate tasks are fanned
+   across domains with E9_bits.Pool; results are collected per task and
+   printed in input order, so the output is byte-identical to a serial run
+   (only wall-clock changes — DESIGN.md §7). A machine-readable
+   BENCH_throughput.json (wall time, emulated insns/sec, superblock-cache
+   hit rate, domain count) is written after every run so successive PRs
+   have a perf trajectory to regress against.
+
    Absolute numbers differ from the paper (the substrate is an emulator
    with a documented cost model, and binaries are scaled down); the shapes
    — who wins, by what factor, where the cliffs are — are the reproduced
    quantities. EXPERIMENTS.md records the comparison. *)
 
+module Pool = E9_bits.Pool
 module Codegen = E9_workload.Codegen
 module Suite = E9_workload.Suite
 module Dromaeo = E9_workload.Dromaeo
@@ -29,8 +44,130 @@ let heading title =
   printf "@.=== %s ===@.@." title
 
 (* ------------------------------------------------------------------ *)
+(* Harness options                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let serial = ref false
+let smoke = ref false
+let domains_opt : int option ref = ref None
+let json_path : string option ref = ref None
+
+let domains () =
+  if !serial then 1
+  else match !domains_opt with Some d -> max 1 d | None -> Pool.default_domains ()
+
+(* Fan independent tasks across domains; results come back in input order,
+   so the caller's sequential printing is deterministic. *)
+let par_map f xs = Pool.map ~domains:(domains ()) f xs
+
+(* Smoke mode trims task lists so CI can run under a tight timeout. *)
+let cut n xs = if !smoke then List.filteri (fun i _ -> i < n) xs else xs
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON (hand-rolled: no external dependencies)                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let add_escaped b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 32 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let rec write b = function
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        (* NaN/inf have no JSON spelling; null keeps consumers honest. *)
+        if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+        else Buffer.add_string b "null"
+    | Str s ->
+        Buffer.add_char b '"';
+        add_escaped b s;
+        Buffer.add_char b '"'
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            write b x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            add_escaped b k;
+            Buffer.add_string b "\":";
+            write b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 1024 in
+    write b j;
+    Buffer.contents b
+
+  let to_file path j =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_string j);
+        output_char oc '\n')
+end
+
+(* Per-experiment row store for --json. Rows are recorded from the serial
+   print phase (never from parallel tasks), in print order. *)
+let json_rows : (string * Json.t list ref) list ref = ref []
+
+let record_row exp fields =
+  let row = Json.Obj fields in
+  match List.assoc_opt exp !json_rows with
+  | Some r -> r := row :: !r
+  | None -> json_rows := !json_rows @ [ (exp, ref [ row ]) ]
+
+let rows_json () =
+  Json.Obj
+    (List.map (fun (exp, r) -> (exp, Json.List (List.rev !r))) !json_rows)
+
+(* ------------------------------------------------------------------ *)
 (* Shared measurement machinery                                        *)
 (* ------------------------------------------------------------------ *)
+
+(* Emulation accounting, aggregated across domains: every guest run in the
+   bench goes through [run_emu] so the throughput summary and
+   BENCH_throughput.json see all of them. *)
+let emu_insns = Atomic.make 0
+let emu_wall_us = Atomic.make 0
+let emu_block_hits = Atomic.make 0
+let emu_block_misses = Atomic.make 0
+
+let run_emu ?config ?make_allocator ?libs elf =
+  let t0 = Unix.gettimeofday () in
+  let r = Machine.run ?config ?make_allocator ?libs elf in
+  let dt_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  ignore (Atomic.fetch_and_add emu_insns r.Cpu.insns);
+  ignore (Atomic.fetch_and_add emu_wall_us dt_us);
+  ignore (Atomic.fetch_and_add emu_block_hits r.Cpu.block_hits);
+  ignore (Atomic.fetch_and_add emu_block_misses r.Cpu.block_misses);
+  r
 
 type app_result = {
   loc : int;
@@ -42,6 +179,17 @@ type app_result = {
   time : float;  (** patched cycles / original cycles, percent *)
   size : float;  (** output file size / input file size, percent *)
 }
+
+let json_of_app (a : app_result) =
+  Json.Obj
+    [ ("loc", Json.Int a.loc);
+      ("base_pct", Json.Float a.base);
+      ("t1_pct", Json.Float a.t1);
+      ("t2_pct", Json.Float a.t2);
+      ("t3_pct", Json.Float a.t3);
+      ("succ_pct", Json.Float a.succ);
+      ("time_pct", Json.Float a.time);
+      ("size_pct", Json.Float a.size) ]
 
 let expect_exit name (r : Cpu.result) =
   match r.Cpu.outcome with
@@ -65,7 +213,7 @@ let disasm_from_of elf =
 let measure_app ?(options = Rewriter.default_options) ?make_allocator
     ~select ~template elf (orig : Cpu.result) =
   let r = Rewriter.run ~options ?disasm_from:(disasm_from_of elf) elf ~select ~template in
-  let patched = Machine.run ?make_allocator r.Rewriter.output in
+  let patched = run_emu ?make_allocator r.Rewriter.output in
   expect_exit "patched" patched;
   let s = r.Rewriter.stats in
   { loc = Stats.total s;
@@ -101,28 +249,38 @@ let bench_table1 () =
     "%-12s | %7s %6s %5s %5s %5s %6s %7s %7s | %7s %6s %5s %5s %5s %6s %7s %7s@."
     "binary" "#Loc" "Base%" "T1%" "T2%" "T3%" "Succ%" "Time%" "Size%" "#Loc"
     "Base%" "T1%" "T2%" "T3%" "Succ%" "Time%" "Size%";
+  let measured =
+    par_map
+      (fun (row : Suite.row) ->
+        let elf = Codegen.generate row.Suite.profile in
+        let orig = run_emu elf in
+        expect_exit row.Suite.profile.Codegen.name orig;
+        let options = options_for row in
+        let a1 =
+          measure_app ~options ~select:Frontend.select_jumps
+            ~template:(fun _ -> Trampoline.Empty)
+            elf orig
+        in
+        let a2 =
+          measure_app ~options ~select:Frontend.select_heap_writes
+            ~template:(fun _ -> Trampoline.Empty)
+            elf orig
+        in
+        (row, a1, a2))
+      (cut 4 Suite.rows)
+  in
   let acc_a1 = ref [] and acc_a2 = ref [] in
   List.iter
-    (fun (row : Suite.row) ->
-      let elf = Codegen.generate row.Suite.profile in
-      let orig = Machine.run elf in
-      expect_exit row.Suite.profile.Codegen.name orig;
-      let options = options_for row in
-      let a1 =
-        measure_app ~options ~select:Frontend.select_jumps
-          ~template:(fun _ -> Trampoline.Empty)
-          elf orig
-      in
-      let a2 =
-        measure_app ~options ~select:Frontend.select_heap_writes
-          ~template:(fun _ -> Trampoline.Empty)
-          elf orig
-      in
+    (fun ((row : Suite.row), a1, a2) ->
+      let name = row.Suite.profile.Codegen.name in
       acc_a1 := a1 :: !acc_a1;
       acc_a2 := a2 :: !acc_a2;
-      printf "%-12s | %a | %a@." row.Suite.profile.Codegen.name pp_app a1
-        pp_app a2)
-    Suite.rows;
+      record_row "table1"
+        [ ("binary", Json.Str name);
+          ("a1", json_of_app a1);
+          ("a2", json_of_app a2) ];
+      printf "%-12s | %a | %a@." name pp_app a1 pp_app a2)
+    measured;
   let avg sel rs = mean (List.map sel rs) in
   let total sel rs = List.fold_left (fun a r -> a + sel r) 0 rs in
   let summary name rs (paper : Suite.paper_app) paper_breakdown =
@@ -151,28 +309,38 @@ let bench_compare () =
   heading "Per-row comparison: measured vs paper (Base% and Succ%)";
   printf "%-12s | %21s | %21s | %21s | %21s@." "" "A1 Base% (mea/pap)"
     "A1 Succ% (mea/pap)" "A2 Base% (mea/pap)" "A2 Succ% (mea/pap)";
+  let measured =
+    par_map
+      (fun (row : Suite.row) ->
+        let elf = Codegen.generate row.Suite.profile in
+        let options = options_for row in
+        let stats select =
+          let r =
+            Rewriter.run ~options ?disasm_from:(disasm_from_of elf) elf ~select
+              ~template:(fun _ -> Trampoline.Empty)
+          in
+          r.Rewriter.stats
+        in
+        (row, stats Frontend.select_jumps, stats Frontend.select_heap_writes))
+      (cut 4 Suite.rows)
+  in
   let d_base_a1 = ref [] and d_base_a2 = ref [] in
   List.iter
-    (fun (row : Suite.row) ->
-      let elf = Codegen.generate row.Suite.profile in
-      let options = options_for row in
-      let stats select =
-        let r =
-          Rewriter.run ~options ?disasm_from:(disasm_from_of elf) elf ~select
-            ~template:(fun _ -> Trampoline.Empty)
-        in
-        r.Rewriter.stats
-      in
-      let a1 = stats Frontend.select_jumps in
-      let a2 = stats Frontend.select_heap_writes in
+    (fun ((row : Suite.row), a1, a2) ->
       let p1 = row.Suite.paper_a1 and p2 = row.Suite.paper_a2 in
       d_base_a1 := abs_float (Stats.base_pct a1 -. p1.Suite.base) :: !d_base_a1;
       d_base_a2 := abs_float (Stats.base_pct a2 -. p2.Suite.base) :: !d_base_a2;
+      record_row "compare"
+        [ ("binary", Json.Str row.Suite.profile.Codegen.name);
+          ("a1_base_pct", Json.Float (Stats.base_pct a1));
+          ("a1_base_paper", Json.Float p1.Suite.base);
+          ("a2_base_pct", Json.Float (Stats.base_pct a2));
+          ("a2_base_paper", Json.Float p2.Suite.base) ];
       printf "%-12s | %9.2f / %9.2f | %9.2f / %9.2f | %9.2f / %9.2f | %9.2f / %9.2f@."
         row.Suite.profile.Codegen.name (Stats.base_pct a1) p1.Suite.base
         (Stats.succ_pct a1) p1.Suite.succ (Stats.base_pct a2) p2.Suite.base
         (Stats.succ_pct a2) p2.Suite.succ)
-    Suite.rows;
+    measured;
   printf "@.mean |Base%% delta|: A1 %.2f points, A2 %.2f points@."
     (mean !d_base_a1) (mean !d_base_a2)
 
@@ -190,35 +358,46 @@ let bar width pct =
 let bench_figure4 () =
   heading "Figure 4: Dromaeo DOM overheads (A2 instrumentation)";
   printf "%-18s %10s %10s@." "suite" "Chrome%" "FireFox%";
+  let measured =
+    par_map
+      (fun (s : Dromaeo.suite) ->
+        let elf = Codegen.generate (Dromaeo.program s) in
+        let orig = run_emu elf in
+        expect_exit s.Dromaeo.name orig;
+        let text, _ = Frontend.disassemble elf in
+        let limit =
+          text.Frontend.base
+          + int_of_float
+              (float_of_int text.Frontend.size
+              *. Dromaeo.firefox_instrumented_fraction)
+        in
+        let run select =
+          (measure_app ~select ~template:(fun _ -> Trampoline.Empty) elf orig)
+            .time
+        in
+        (* Chrome: the whole binary is instrumented. FireFox: the bulk of
+           the time is spent in code E9Patch did not patch (JIT output,
+           other DSOs) — only part of the text is instrumented. *)
+        let chrome = run Frontend.select_heap_writes in
+        let firefox =
+          run (fun st ->
+              Frontend.select_heap_writes st && st.Frontend.addr < limit)
+        in
+        (s, chrome, firefox))
+      (cut 3 Dromaeo.suites)
+  in
   let chrome_res = ref [] and firefox_res = ref [] in
   List.iter
-    (fun (s : Dromaeo.suite) ->
-      let elf = Codegen.generate (Dromaeo.program s) in
-      let orig = Machine.run elf in
-      expect_exit s.Dromaeo.name orig;
-      let text, _ = Frontend.disassemble elf in
-      let limit =
-        text.Frontend.base
-        + int_of_float
-            (float_of_int text.Frontend.size
-            *. Dromaeo.firefox_instrumented_fraction)
-      in
-      let run select =
-        (measure_app ~select ~template:(fun _ -> Trampoline.Empty) elf orig).time
-      in
-      (* Chrome: the whole binary is instrumented. FireFox: the bulk of the
-         time is spent in code E9Patch did not patch (JIT output, other
-         DSOs) — only part of the text is instrumented. *)
-      let chrome = run Frontend.select_heap_writes in
-      let firefox =
-        run (fun st ->
-            Frontend.select_heap_writes st && st.Frontend.addr < limit)
-      in
+    (fun ((s : Dromaeo.suite), chrome, firefox) ->
       chrome_res := chrome :: !chrome_res;
       firefox_res := firefox :: !firefox_res;
+      record_row "figure4"
+        [ ("suite", Json.Str s.Dromaeo.name);
+          ("chrome_pct", Json.Float chrome);
+          ("firefox_pct", Json.Float firefox) ];
       printf "%-18s %9.1f%% %9.1f%%  |%-20s|%-20s@." s.Dromaeo.name chrome
         firefox (bar 20 chrome) (bar 20 firefox))
-    Dromaeo.suites;
+    measured;
   printf "%-18s %9.1f%% %9.1f%%   (geometric mean)@." "Geom.Mean"
     (geomean !chrome_res) (geomean !firefox_res);
   printf "%-18s %9.1f%% %9.1f%%@." "  (paper)" Dromaeo.paper_chrome_mean
@@ -228,53 +407,62 @@ let bench_figure4 () =
 (* Figure 5: empty A2 vs LowFat hardening                              *)
 (* ------------------------------------------------------------------ *)
 
+let measure_a2_lowfat (row : Suite.row) =
+  let elf = Codegen.generate row.Suite.profile in
+  let orig = run_emu elf in
+  expect_exit row.Suite.profile.Codegen.name orig;
+  let options = options_for row in
+  let a2 =
+    measure_app ~options ~select:Frontend.select_heap_writes
+      ~template:(fun _ -> Trampoline.Empty)
+      elf orig
+  in
+  let lf =
+    measure_app ~options ~select:Frontend.select_heap_writes
+      ~template:(fun _ -> Trampoline.Lowfat_check)
+      ~make_allocator:Lowfat.make_allocator elf orig
+  in
+  (a2, lf)
+
 let bench_figure5 () =
   heading "Figure 5: heap-write timings, empty (A2) vs LowFat instrumentation";
   printf "%-12s %10s %10s@." "binary" "A2%" "LowFat%";
+  let measured =
+    par_map
+      (fun (row : Suite.row) -> (row, measure_a2_lowfat row))
+      (cut 4 Suite.spec_rows)
+  in
   let a2s = ref [] and lfs = ref [] in
   List.iter
-    (fun (row : Suite.row) ->
-      let elf = Codegen.generate row.Suite.profile in
-      let orig = Machine.run elf in
-      expect_exit row.Suite.profile.Codegen.name orig;
-      let options = options_for row in
-      let a2 =
-        measure_app ~options ~select:Frontend.select_heap_writes
-          ~template:(fun _ -> Trampoline.Empty)
-          elf orig
-      in
-      let lf =
-        measure_app ~options ~select:Frontend.select_heap_writes
-          ~template:(fun _ -> Trampoline.Lowfat_check)
-          ~make_allocator:Lowfat.make_allocator elf orig
-      in
+    (fun ((row : Suite.row), (a2, lf)) ->
       a2s := a2.time :: !a2s;
       lfs := lf.time :: !lfs;
+      record_row "figure5"
+        [ ("binary", Json.Str row.Suite.profile.Codegen.name);
+          ("a2_pct", Json.Float a2.time);
+          ("lowfat_pct", Json.Float lf.time) ];
       printf "%-12s %9.1f%% %9.1f%%  |%-20s|%-20s@."
         row.Suite.profile.Codegen.name a2.time lf.time (bar 20 a2.time)
         (bar 20 lf.time))
-    Suite.spec_rows;
+    measured;
   printf "%-12s %9.1f%% %9.1f%%   (SPEC mean)@." "Mean" (mean !a2s) (mean !lfs);
   printf "%-12s %9.1f%% %9.1f%%@." "  (paper)" 164.71 227.27;
   (* Browser rows, as in the figure's right-hand bars. *)
+  let browsers =
+    par_map
+      (fun name ->
+        let row = Option.get (Suite.find name) in
+        (name, measure_a2_lowfat row))
+      [ "chrome"; "firefox" ]
+  in
   List.iter
-    (fun name ->
-      let row = Option.get (Suite.find name) in
-      let elf = Codegen.generate row.Suite.profile in
-      let orig = Machine.run elf in
-      let options = options_for row in
-      let a2 =
-        measure_app ~options ~select:Frontend.select_heap_writes
-          ~template:(fun _ -> Trampoline.Empty)
-          elf orig
-      in
-      let lf =
-        measure_app ~options ~select:Frontend.select_heap_writes
-          ~template:(fun _ -> Trampoline.Lowfat_check)
-          ~make_allocator:Lowfat.make_allocator elf orig
-      in
+    (fun (name, (a2, lf)) ->
+      record_row "figure5"
+        [ ("binary", Json.Str name);
+          ("a2_pct", Json.Float a2.time);
+          ("lowfat_pct", Json.Float lf.time) ];
       printf "%-12s %9.1f%% %9.1f%%@." name a2.time lf.time)
-    [ "chrome"; "firefox" ]
+    browsers
 
 (* ------------------------------------------------------------------ *)
 (* §4/§6.1: physical page grouping                                     *)
@@ -282,32 +470,52 @@ let bench_figure5 () =
 
 let bench_grouping () =
   heading "Physical page grouping (§4): file size and mapping counts";
-  let rows = [ "perlbench"; "gcc"; "povray"; "xalancbmk"; "vim"; "libc.so" ] in
+  let rows = cut 3 [ "perlbench"; "gcc"; "povray"; "xalancbmk"; "vim"; "libc.so" ] in
   printf "%-11s %-4s | %10s %10s %10s %10s@." "binary" "app" "grouped%"
     "naive%" "#mappings" "#phys";
+  let measured =
+    par_map
+      (fun name ->
+        let row = Option.get (Suite.find name) in
+        let elf = Codegen.generate row.Suite.profile in
+        let per_app =
+          List.map
+            (fun (app, select) ->
+              let size grouping =
+                let options = { (options_for row) with Rewriter.grouping } in
+                let r =
+                  Rewriter.run ~options elf ~select
+                    ~template:(fun _ -> Trampoline.Empty)
+                in
+                (Rewriter.size_pct r, r.Rewriter.mappings,
+                 r.Rewriter.physical_blocks)
+              in
+              let g, maps, phys = size true in
+              let n, _, _ = size false in
+              (app, g, n, maps, phys))
+            [ ("A1", Frontend.select_jumps); ("A2", Frontend.select_heap_writes) ]
+        in
+        (name, per_app))
+      rows
+  in
   let g_sizes = ref [] and n_sizes = ref [] in
   List.iter
-    (fun name ->
-      let row = Option.get (Suite.find name) in
-      let elf = Codegen.generate row.Suite.profile in
+    (fun (name, per_app) ->
       List.iter
-        (fun (app, select) ->
-          let size grouping =
-            let options = { (options_for row) with Rewriter.grouping } in
-            let r =
-              Rewriter.run ~options elf ~select
-                ~template:(fun _ -> Trampoline.Empty)
-            in
-            (Rewriter.size_pct r, r.Rewriter.mappings, r.Rewriter.physical_blocks)
-          in
-          let g, maps, phys = size true in
-          let n, _, _ = size false in
+        (fun (app, g, n, maps, phys) ->
           g_sizes := g :: !g_sizes;
           n_sizes := n :: !n_sizes;
+          record_row "grouping"
+            [ ("binary", Json.Str name);
+              ("app", Json.Str app);
+              ("grouped_pct", Json.Float g);
+              ("naive_pct", Json.Float n);
+              ("mappings", Json.Int maps);
+              ("phys", Json.Int phys) ];
           printf "%-11s %-4s | %9.1f%% %9.1f%% %10d %10d@." name app g n maps
             phys)
-        [ ("A1", Frontend.select_jumps); ("A2", Frontend.select_heap_writes) ])
-    rows;
+        per_app)
+    measured;
   printf "%-16s | %9.1f%% %9.1f%%@." "Mean" (mean !g_sizes) (mean !n_sizes);
   printf "%-16s | %9s %9s  (A1: 157.4 vs 2339.8; A2: 130.9 vs 669.0)@."
     "  (paper)" "" "";
@@ -315,16 +523,25 @@ let bench_grouping () =
   printf "@.Granularity sweep (gcc, A1): M vs #mappings vs Size%%@.";
   let row = Option.get (Suite.find "gcc") in
   let elf = Codegen.generate row.Suite.profile in
+  let sweep =
+    par_map
+      (fun m ->
+        let options = { (options_for row) with Rewriter.granularity = m } in
+        let r =
+          Rewriter.run ~options elf ~select:Frontend.select_jumps
+            ~template:(fun _ -> Trampoline.Empty)
+        in
+        (m, r.Rewriter.mappings, Rewriter.size_pct r))
+      (cut 3 [ 1; 2; 4; 16; 64 ])
+  in
   List.iter
-    (fun m ->
-      let options = { (options_for row) with Rewriter.granularity = m } in
-      let r =
-        Rewriter.run ~options elf ~select:Frontend.select_jumps
-          ~template:(fun _ -> Trampoline.Empty)
-      in
-      printf "  M=%-3d  mappings=%-6d  size=%.1f%%@." m r.Rewriter.mappings
-        (Rewriter.size_pct r))
-    [ 1; 2; 4; 16; 64 ]
+    (fun (m, mappings, size) ->
+      record_row "grouping-granularity"
+        [ ("granularity", Json.Int m);
+          ("mappings", Json.Int mappings);
+          ("size_pct", Json.Float size) ];
+      printf "  M=%-3d  mappings=%-6d  size=%.1f%%@." m mappings size)
+    sweep
 
 (* ------------------------------------------------------------------ *)
 (* §6.1: tactic ablation ("without T3, coverage would be ~90.5%")      *)
@@ -343,29 +560,47 @@ let bench_ablation () =
   printf "%-14s" "binary";
   List.iter (fun (n, _) -> printf " %12s" n) stacks;
   printf "@.";
-  let rows = [ "perlbench"; "gcc"; "leslie3d"; "GemsFDTD"; "vim"; "libxul.so" ] in
+  let rows =
+    cut 3 [ "perlbench"; "gcc"; "leslie3d"; "GemsFDTD"; "vim"; "libxul.so" ]
+  in
+  let measured =
+    par_map
+      (fun name ->
+        let row = Option.get (Suite.find name) in
+        let elf = Codegen.generate row.Suite.profile in
+        let per_stack =
+          List.map
+            (fun (_, f) ->
+              let options =
+                { (options_for row) with
+                  Rewriter.tactics = f Tactics.default_options }
+              in
+              let r =
+                Rewriter.run ~options elf ~select:Frontend.select_jumps
+                  ~template:(fun _ -> Trampoline.Empty)
+              in
+              Stats.succ_pct r.Rewriter.stats)
+            stacks
+        in
+        (name, per_stack))
+      rows
+  in
   let accs = Array.make (List.length stacks) [] in
   List.iter
-    (fun name ->
-      let row = Option.get (Suite.find name) in
-      let elf = Codegen.generate row.Suite.profile in
+    (fun (name, per_stack) ->
       printf "%-14s" name;
+      record_row "ablation"
+        (("binary", Json.Str name)
+        :: List.map2
+             (fun (stack, _) s -> (stack, Json.Float s))
+             stacks per_stack);
       List.iteri
-        (fun i (_, f) ->
-          let options =
-            { (options_for row) with
-              Rewriter.tactics = f Tactics.default_options }
-          in
-          let r =
-            Rewriter.run ~options elf ~select:Frontend.select_jumps
-              ~template:(fun _ -> Trampoline.Empty)
-          in
-          let s = Stats.succ_pct r.Rewriter.stats in
+        (fun i s ->
           accs.(i) <- s :: accs.(i);
           printf " %11.2f%%" s)
-        stacks;
+        per_stack;
       printf "@.")
-    rows;
+    measured;
   printf "%-14s" "Mean";
   Array.iter (fun xs -> printf " %11.2f%%" (mean xs)) accs;
   printf "@.(paper: Base 72.8%% -> ~90.5%% without T3 -> ~100%% with T3)@."
@@ -377,21 +612,31 @@ let bench_ablation () =
 let bench_pie () =
   heading "PIE vs non-PIE (§5.1): valid displacement space doubles";
   printf "%-10s %12s %12s@." "app" "non-PIE Base%" "PIE Base%";
+  let measured =
+    par_map
+      (fun (app, select) ->
+        let base pie =
+          let prof =
+            { Codegen.default_profile with
+              Codegen.seed = 999L; functions = 600; iterations = 1; pie }
+          in
+          let r =
+            Rewriter.run (Codegen.generate prof) ~select
+              ~template:(fun _ -> Trampoline.Empty)
+          in
+          Stats.base_pct r.Rewriter.stats
+        in
+        (app, base false, base true))
+      [ ("A1", Frontend.select_jumps); ("A2", Frontend.select_heap_writes) ]
+  in
   List.iter
-    (fun (app, select) ->
-      let base pie =
-        let prof =
-          { Codegen.default_profile with
-            Codegen.seed = 999L; functions = 600; iterations = 1; pie }
-        in
-        let r =
-          Rewriter.run (Codegen.generate prof) ~select
-            ~template:(fun _ -> Trampoline.Empty)
-        in
-        Stats.base_pct r.Rewriter.stats
-      in
-      printf "%-10s %11.2f%% %11.2f%%@." app (base false) (base true))
-    [ ("A1", Frontend.select_jumps); ("A2", Frontend.select_heap_writes) ];
+    (fun (app, nonpie, pie) ->
+      record_row "pie"
+        [ ("app", Json.Str app);
+          ("nonpie_base_pct", Json.Float nonpie);
+          ("pie_base_pct", Json.Float pie) ];
+      printf "%-10s %11.2f%% %11.2f%%@." app nonpie pie)
+    measured;
   printf "(paper: PIE binaries have Base%% > 93%%)@."
 
 (* ------------------------------------------------------------------ *)
@@ -405,14 +650,14 @@ let bench_b0 () =
       Codegen.seed = 31L; functions = 60; iterations = 150 }
   in
   let elf = Codegen.generate prof in
-  let orig = Machine.run elf in
+  let orig = run_emu elf in
   expect_exit "orig" orig;
   let time options =
     let r =
       Rewriter.run ~options elf ~select:Frontend.select_jumps
         ~template:(fun _ -> Trampoline.Empty)
     in
-    let p = Machine.run r.Rewriter.output in
+    let p = run_emu r.Rewriter.output in
     expect_exit "patched" p;
     (100.0 *. float_of_int p.Cpu.cycles /. float_of_int orig.Cpu.cycles,
      r.Rewriter.stats)
@@ -428,6 +673,10 @@ let bench_b0 () =
             enable_t3 = false;
             b0_fallback = true } }
   in
+  record_row "b0"
+    [ ("jump_tactics_pct", Json.Float jumps);
+      ("b0_pct", Json.Float b0);
+      ("b0_traps", Json.Int stats.Stats.b0) ];
   printf "jump tactics (B1/B2/T1/T2/T3): %8.0f%%@." jumps;
   printf "B0 fallback (%d int3 traps):   %8.0f%%  (%.0fx the jump tactics)@."
     stats.Stats.b0 b0 (b0 /. jumps);
@@ -447,28 +696,37 @@ let bench_robustness () =
       Codegen.seed = 5L; functions = 60; iterations = 150 }
   in
   let elf = Codegen.generate prof in
-  let orig = Machine.run elf in
+  let orig = run_emu elf in
   expect_exit "orig" orig;
   let describe name (r : Cpu.result) tables =
     let eq = Machine.equivalent orig r in
-    printf "  %-26s %-10s time=%3.0f%%  %s@." name
-      (if eq then "CORRECT"
-       else
-         match r.Cpu.outcome with
-         | Cpu.Fault _ -> "CRASH"
-         | _ -> "WRONG OUTPUT")
+    let verdict =
+      if eq then "CORRECT"
+      else
+        match r.Cpu.outcome with
+        | Cpu.Fault _ -> "CRASH"
+        | _ -> "WRONG OUTPUT"
+    in
+    record_row "robustness"
+      [ ("rewriter", Json.Str name);
+        ("verdict", Json.Str verdict);
+        ("time_pct",
+         Json.Float
+           (100.0 *. float_of_int r.Cpu.cycles /. float_of_int orig.Cpu.cycles))
+      ];
+    printf "  %-26s %-10s time=%3.0f%%  %s@." name verdict
       (100.0 *. float_of_int r.Cpu.cycles /. float_of_int orig.Cpu.cycles)
       tables
   in
   let rl cfg = Reloc.run ~cfg elf ~select:Frontend.select_jumps in
   let gt = rl Reloc.Ground_truth in
   describe "reloc (ground-truth CFG)"
-    (Machine.run gt.Reloc.output)
+    (run_emu gt.Reloc.output)
     (Printf.sprintf "(tables %d/%d)" gt.Reloc.tables_rewritten
        gt.Reloc.tables_total);
   let hz = rl Reloc.Heuristic in
   describe "reloc (heuristic CFG)"
-    (Machine.run hz.Reloc.output)
+    (run_emu hz.Reloc.output)
     (Printf.sprintf "(tables %d/%d: PIC tables invisible)"
        hz.Reloc.tables_rewritten hz.Reloc.tables_total);
   let e9 =
@@ -476,7 +734,7 @@ let bench_robustness () =
       ~template:(fun _ -> Trampoline.Counter)
   in
   describe "e9patch (no CFG at all)"
-    (Machine.run e9.Rewriter.output)
+    (run_emu e9.Rewriter.output)
     "";
   (* Part 2: the paper's probability argument. "Consider a static binary
      analysis for detecting indirect jump targets that is 99.9% accurate
@@ -487,33 +745,50 @@ let bench_robustness () =
     "@.Per-table CFG accuracy p vs whole-binary soundness (predicted p^n):@.";
   printf "  %8s %8s %8s %11s %9s %15s@." "p" "tables" "trials" "predicted"
     "sound" "runs surviving";
+  let trials = if !smoke then 4 else 12 in
+  let measured =
+    par_map
+      (fun (p, functions) ->
+        let survived = ref 0 in
+        let sound = ref 0 in
+        let tables = ref 0 in
+        for t = 1 to trials do
+          let prof =
+            { Codegen.default_profile with
+              Codegen.seed = Int64.of_int (1000 + t); functions;
+              iterations = 20 }
+          in
+          let elf = Codegen.generate prof in
+          let orig = run_emu elf in
+          let r =
+            Reloc.run ~cfg:(Reloc.Heuristic_prob (p, Int64.of_int t)) elf
+              ~select:(fun _ -> false)
+          in
+          tables := r.Reloc.tables_total;
+          if r.Reloc.tables_rewritten = r.Reloc.tables_total then incr sound;
+          if Machine.equivalent orig (run_emu r.Reloc.output) then
+            incr survived
+        done;
+        (p, !tables, !sound, !survived))
+      (cut 3 [ (1.0, 60); (0.999, 60); (0.99, 60); (0.99, 240); (0.95, 60) ])
+  in
   List.iter
-    (fun (p, functions) ->
-      let trials = 12 in
-      let survived = ref 0 in
-      let sound = ref 0 in
-      let tables = ref 0 in
-      for t = 1 to trials do
-        let prof =
-          { Codegen.default_profile with
-            Codegen.seed = Int64.of_int (1000 + t); functions; iterations = 20 }
-        in
-        let elf = Codegen.generate prof in
-        let orig = Machine.run elf in
-        let r =
-          Reloc.run ~cfg:(Reloc.Heuristic_prob (p, Int64.of_int t)) elf
-            ~select:(fun _ -> false)
-        in
-        tables := r.Reloc.tables_total;
-        if r.Reloc.tables_rewritten = r.Reloc.tables_total then incr sound;
-        if Machine.equivalent orig (Machine.run r.Reloc.output) then
-          incr survived
-      done;
-      printf "  %8.3f %8d %8d %10.0f%% %8.0f%% %14.0f%%@." p !tables trials
-        (100.0 *. (p ** float_of_int !tables))
-        (100.0 *. float_of_int !sound /. float_of_int trials)
-        (100.0 *. float_of_int !survived /. float_of_int trials))
-    [ (1.0, 60); (0.999, 60); (0.99, 60); (0.99, 240); (0.95, 60) ];
+    (fun (p, tables, sound, survived) ->
+      record_row "robustness-prob"
+        [ ("p", Json.Float p);
+          ("tables", Json.Int tables);
+          ("trials", Json.Int trials);
+          ("predicted_pct", Json.Float (100.0 *. (p ** float_of_int tables)));
+          ("sound_pct",
+           Json.Float (100.0 *. float_of_int sound /. float_of_int trials));
+          ("survived_pct",
+           Json.Float (100.0 *. float_of_int survived /. float_of_int trials))
+        ];
+      printf "  %8.3f %8d %8d %10.0f%% %8.0f%% %14.0f%%@." p tables trials
+        (100.0 *. (p ** float_of_int tables))
+        (100.0 *. float_of_int sound /. float_of_int trials)
+        (100.0 *. float_of_int survived /. float_of_int trials))
+    measured;
   printf "  (\"sound\" = every table recovered. A run can survive an unsound@.";
   printf "   rewrite by luck when the missed jump is not exercised — the@.";
   printf "   fragility is latent: testing passes, production crashes.@.";
@@ -525,28 +800,63 @@ let bench_robustness () =
 
 let bench_scalability () =
   heading "Scalability: rewriting time vs text size (A1, all tactics)";
-  printf "%10s %10s %10s %12s %10s@." "text KB" "#Loc" "Succ%" "rewrite s"
-    "KB/s";
+  printf "%10s %10s %10s %12s %10s %10s %8s@." "text KB" "#Loc" "Succ%"
+    "rewrite s" "KB/s" "Minsn/s" "bhit%";
+  let sizes = if !smoke then [ 250; 1000 ] else [ 250; 1000; 4000; 10000 ] in
+  let measured =
+    par_map
+      (fun functions ->
+        let prof =
+          { Codegen.default_profile with
+            Codegen.seed = 64L; functions; iterations = 50 }
+        in
+        let elf = Codegen.generate prof in
+        let text, _ = Frontend.disassemble elf in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Rewriter.run elf ~select:Frontend.select_jumps
+            ~template:(fun _ -> Trampoline.Empty)
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        (* End-to-end: run the patched output, which both validates the
+           rewrite at this size and exercises the emulator's superblock
+           cache on a large text. *)
+        let t1 = Unix.gettimeofday () in
+        let patched = run_emu r.Rewriter.output in
+        let emu_dt = Unix.gettimeofday () -. t1 in
+        expect_exit "patched" patched;
+        (functions, text, r, dt, patched, emu_dt))
+      sizes
+  in
   List.iter
-    (fun functions ->
-      let prof =
-        { Codegen.default_profile with
-          Codegen.seed = 64L; functions; iterations = 1 }
+    (fun (_, (text : Frontend.text), (r : Rewriter.result), dt,
+          (patched : Cpu.result), emu_dt) ->
+      let minsns_s =
+        if emu_dt > 0.0 then float_of_int patched.Cpu.insns /. emu_dt /. 1e6
+        else 0.0
       in
-      let elf = Codegen.generate prof in
-      let text, _ = Frontend.disassemble elf in
-      let t0 = Unix.gettimeofday () in
-      let r =
-        Rewriter.run elf ~select:Frontend.select_jumps
-          ~template:(fun _ -> Trampoline.Empty)
+      let bhit =
+        let total = patched.Cpu.block_hits + patched.Cpu.block_misses in
+        if total = 0 then 0.0
+        else 100.0 *. float_of_int patched.Cpu.block_hits /. float_of_int total
       in
-      let dt = Unix.gettimeofday () -. t0 in
-      printf "%10d %10d %9.2f%% %12.2f %10.0f@." (text.Frontend.size / 1024)
+      record_row "scalability"
+        [ ("text_kb", Json.Int (text.Frontend.size / 1024));
+          ("loc", Json.Int (Stats.total r.Rewriter.stats));
+          ("succ_pct", Json.Float (Stats.succ_pct r.Rewriter.stats));
+          ("rewrite_s", Json.Float dt);
+          ("kb_per_s", Json.Float (float_of_int text.Frontend.size /. 1024.0 /. dt));
+          ("emu_insns", Json.Int patched.Cpu.insns);
+          ("emu_minsns_per_s", Json.Float minsns_s);
+          ("block_hit_pct", Json.Float bhit) ];
+      printf "%10d %10d %9.2f%% %12.2f %10.0f %10.1f %7.1f%%@."
+        (text.Frontend.size / 1024)
         (Stats.total r.Rewriter.stats)
         (Stats.succ_pct r.Rewriter.stats)
         dt
-        (float_of_int text.Frontend.size /. 1024.0 /. dt))
-    [ 250; 1000; 4000; 10000 ]
+        (float_of_int text.Frontend.size /. 1024.0 /. dt)
+        minsns_s bhit)
+    measured
 
 (* ------------------------------------------------------------------ *)
 (* Calibration curves (documents how suite parameters were derived)    *)
@@ -555,36 +865,50 @@ let bench_scalability () =
 let bench_calibration () =
   heading "Calibration: generator bias vs Base% (suite parameter derivation)";
   printf "A1: short_jump_bias -> Base%% (non-PIE)@.";
+  let a1 =
+    par_map
+      (fun bias ->
+        let prof =
+          { Codegen.default_profile with
+            Codegen.seed = 11L; functions = 400; iterations = 1;
+            short_jump_bias = bias }
+        in
+        let r =
+          Rewriter.run (Codegen.generate prof) ~select:Frontend.select_jumps
+            ~template:(fun _ -> Trampoline.Empty)
+        in
+        (bias, Stats.base_pct r.Rewriter.stats))
+      [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+  in
   List.iter
-    (fun bias ->
-      let prof =
-        { Codegen.default_profile with
-          Codegen.seed = 11L; functions = 400; iterations = 1;
-          short_jump_bias = bias }
-      in
-      let r =
-        Rewriter.run (Codegen.generate prof) ~select:Frontend.select_jumps
-          ~template:(fun _ -> Trampoline.Empty)
-      in
-      printf "  bias=%.1f -> Base=%.2f%%@." bias
-        (Stats.base_pct r.Rewriter.stats))
-    [ 0.1; 0.3; 0.5; 0.7; 0.9 ];
+    (fun (bias, base) ->
+      record_row "calibration-a1"
+        [ ("short_jump_bias", Json.Float bias); ("base_pct", Json.Float base) ];
+      printf "  bias=%.1f -> Base=%.2f%%@." bias base)
+    a1;
   printf "A2: small_write_bias -> Base%% (non-PIE)@.";
+  let a2 =
+    par_map
+      (fun sw ->
+        let prof =
+          { Codegen.default_profile with
+            Codegen.seed = 11L; functions = 400; iterations = 1;
+            small_write_bias = sw }
+        in
+        let r =
+          Rewriter.run (Codegen.generate prof)
+            ~select:Frontend.select_heap_writes
+            ~template:(fun _ -> Trampoline.Empty)
+        in
+        (sw, Stats.base_pct r.Rewriter.stats))
+      [ 0.0; 0.2; 0.4; 0.6; 0.8 ]
+  in
   List.iter
-    (fun sw ->
-      let prof =
-        { Codegen.default_profile with
-          Codegen.seed = 11L; functions = 400; iterations = 1;
-          small_write_bias = sw }
-      in
-      let r =
-        Rewriter.run (Codegen.generate prof)
-          ~select:Frontend.select_heap_writes
-          ~template:(fun _ -> Trampoline.Empty)
-      in
-      printf "  small=%.1f -> Base=%.2f%%@." sw
-        (Stats.base_pct r.Rewriter.stats))
-    [ 0.0; 0.2; 0.4; 0.6; 0.8 ]
+    (fun (sw, base) ->
+      record_row "calibration-a2"
+        [ ("small_write_bias", Json.Float sw); ("base_pct", Json.Float base) ];
+      printf "  small=%.1f -> Base=%.2f%%@." sw base)
+    a2
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: rewriter throughput per experiment       *)
@@ -658,22 +982,97 @@ let all =
     ("calibration", bench_calibration);
     ("bechamel", bench_bechamel) ]
 
+let usage () =
+  printf "usage: main.exe [--serial] [--domains N] [--smoke] [--json PATH] \
+          [experiment ...]@.";
+  printf "experiments: %s@." (String.concat " " (List.map fst all));
+  exit 1
+
+let rec parse_args = function
+  | [] -> []
+  | "--" :: rest -> parse_args rest
+  | "--serial" :: rest ->
+      serial := true;
+      parse_args rest
+  | "--smoke" :: rest ->
+      smoke := true;
+      parse_args rest
+  | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse_args rest
+  | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some d when d >= 1 ->
+          domains_opt := Some d;
+          parse_args rest
+      | Some _ | None ->
+          printf "--domains expects a positive integer, got %s@." n;
+          usage ())
+  | flag :: _ when String.length flag > 2 && String.sub flag 0 2 = "--" ->
+      printf "unknown flag %s@." flag;
+      usage ()
+  | name :: rest -> name :: parse_args rest
+
+let throughput_path = "BENCH_throughput.json"
+
 let () =
-  let args =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> a <> "--")
+  let names = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let chosen =
+    match names with
+    | [] -> all
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name all with
+            | Some f -> (name, f)
+            | None ->
+                printf "unknown benchmark %s; available: %s@." name
+                  (String.concat " " (List.map fst all));
+                exit 1)
+          names
   in
   let t0 = Unix.gettimeofday () in
-  (match args with
-  | [] -> List.iter (fun (_, f) -> f ()) all
-  | names ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name all with
-          | Some f -> f ()
-          | None ->
-              printf "unknown benchmark %s; available: %s@." name
-                (String.concat " " (List.map fst all));
-              exit 1)
-        names);
-  printf "@.[total bench time: %.1fs]@." (Unix.gettimeofday () -. t0)
+  let exp_times =
+    List.map
+      (fun (name, f) ->
+        let s = Unix.gettimeofday () in
+        f ();
+        (name, Unix.gettimeofday () -. s))
+      chosen
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let tp =
+    { Stats.wall_s = wall;
+      emu_insns = Atomic.get emu_insns;
+      emu_wall_s = float_of_int (Atomic.get emu_wall_us) /. 1e6;
+      block_hits = Atomic.get emu_block_hits;
+      block_misses = Atomic.get emu_block_misses;
+      domains = domains () }
+  in
+  printf "@.[throughput: %a]@." Stats.pp_throughput tp;
+  Json.to_file throughput_path
+    (Json.Obj
+       [ ("schema", Json.Str "e9repro-bench-throughput/1");
+         ("domains", Json.Int tp.Stats.domains);
+         ("serial", Json.Bool !serial);
+         ("smoke", Json.Bool !smoke);
+         ("wall_s", Json.Float tp.Stats.wall_s);
+         ("emu",
+          Json.Obj
+            [ ("insns", Json.Int tp.Stats.emu_insns);
+              ("wall_s", Json.Float tp.Stats.emu_wall_s);
+              ("insns_per_sec", Json.Float (Stats.insns_per_sec tp));
+              ("block_hits", Json.Int tp.Stats.block_hits);
+              ("block_misses", Json.Int tp.Stats.block_misses);
+              ("block_hit_rate", Json.Float (Stats.block_hit_rate tp)) ]);
+         ("experiments",
+          Json.List
+            (List.map
+               (fun (name, dt) ->
+                 Json.Obj
+                   [ ("name", Json.Str name); ("wall_s", Json.Float dt) ])
+               exp_times)) ]);
+  (match !json_path with
+  | Some path -> Json.to_file path (rows_json ())
+  | None -> ());
+  printf "@.[total bench time: %.1fs]@." wall

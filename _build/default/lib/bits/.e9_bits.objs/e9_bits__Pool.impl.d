@@ -1,0 +1,1 @@
+lib/bits/pool.ml: Array Atomic Domain List Printexc String Sys

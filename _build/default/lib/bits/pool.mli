@@ -1,0 +1,25 @@
+(** Domain-parallel map over independent tasks.
+
+    The bench harness fans independent (app × tactic-config)
+    rewrite+emulate runs across cores with this. Tasks must be
+    self-contained — no shared mutable state — which every bench task
+    satisfies: each builds its own [Elf_file], [Space] and CPU state.
+
+    Results are returned in input order whatever the completion order, so
+    a caller that computes in parallel and prints sequentially produces
+    output byte-identical to a serial run (DESIGN.md §7). *)
+
+(** [default_domains ()] is the domain count used when [?domains] is not
+    given: the [E9_DOMAINS] environment variable if set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+val default_domains : unit -> int
+
+(** [map ?domains f xs] is [List.map f xs], computed by up to [domains]
+    domains (never more than [List.length xs]; with 1 domain it runs
+    serially in the calling domain). If tasks raise, the exception at the
+    lowest input index is re-raised with its backtrace. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [iter ?domains f xs] runs [f] over [xs] in parallel for its effects
+    (each task's effects must stay within the task). *)
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

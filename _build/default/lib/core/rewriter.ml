@@ -31,8 +31,8 @@ type result = {
 
 let run ?(options = default_options) ?disasm_from ?frontend input ~select
     ~template =
-  let input_bytes = Elf_file.to_bytes input in
-  let output = Elf_file.of_bytes input_bytes in
+  let input_size = Elf_file.serialized_size input in
+  let output = Elf_file.copy input in
   let disassemble =
     match frontend with
     | Some f -> f
@@ -121,18 +121,18 @@ let run ?(options = default_options) ?disasm_from ?frontend input ~select
       ignore
         (Elf_file.add_section output ~name:Elf_file.trap_section_name ~addr:0
            ~sh_type:1 ~sh_flags:0 ~content:(Loadmap.encode_traps traps)));
-  let output_size = Bytes.length (Elf_file.to_bytes output) in
+  let output_size = Elf_file.serialized_size output in
   Logs.info (fun m ->
       m "rewrote %s: %a; %d -> %d bytes; %d trampolines in %d mappings"
         (match Frontend.find_text output with
         | Some t -> Printf.sprintf "text@0x%x" t.Frontend.base
         | None -> "?")
-        (fun ppf -> Stats.pp ppf) stats (Bytes.length input_bytes) output_size
+        (fun ppf -> Stats.pp ppf) stats input_size output_size
         (List.length tramps)
         (List.length grouped.Pagegroup.mappings));
   { output;
     stats;
-    input_size = Bytes.length input_bytes;
+    input_size;
     output_size;
     trampoline_bytes =
       List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 tramps;

@@ -1,1 +1,1 @@
-lib/elf/elf_file.ml: Buffer Bytes E9_bits Format Fun Int64 List Printf
+lib/elf/elf_file.ml: Buffer Bytes E9_bits Format Fun Int64 List Printf String

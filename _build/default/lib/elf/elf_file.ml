@@ -76,6 +76,16 @@ let add_section t ~name ~addr ~sh_type ~sh_flags ~content =
 
 let find_section t name = List.find_opt (fun s -> s.name = name) t.sections
 
+(* Independent clone: one content blit, no serialize/re-parse round trip.
+   Segments and sections are immutable records, so sharing the list spines
+   is safe; only the lists themselves and the data buffer are fresh. *)
+let copy t =
+  { etype = t.etype;
+    entry = t.entry;
+    segments = t.segments;
+    sections = t.sections;
+    data = Buf.of_bytes (Buf.contents t.data) }
+
 let section_bytes t s = Buf.sub t.data ~pos:s.offset ~len:s.size
 
 let segment_at t vaddr =
@@ -90,6 +100,19 @@ let prot_of_flags f = { x = f land 1 <> 0; w = f land 2 <> 0; r = f land 4 <> 0 
 
 let ptype_code = function Load -> 1 | Note -> 4 | Other n -> n
 let ptype_of_code = function 1 -> Load | 4 -> Note | n -> Other n
+
+(* Size [to_bytes t] would have, without materializing it: content, then
+   .shstrtab, padding to 8, then the section header table (null + sections
+   + shstrtab). Must mirror the layout arithmetic of [to_bytes] exactly. *)
+let serialized_size t =
+  let shstrtab_len =
+    List.fold_left
+      (fun acc s -> acc + String.length s.name + 1)
+      (1 + String.length ".shstrtab" + 1)
+      t.sections
+  in
+  let shoff = (Buf.length t.data + shstrtab_len + 7) / 8 * 8 in
+  shoff + ((List.length t.sections + 2) * shent_size)
 
 let to_bytes t =
   let phnum = List.length t.segments in

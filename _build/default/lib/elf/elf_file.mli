@@ -76,6 +76,17 @@ val add_section :
 (** [find_section t name] is the first section named [name], if any. *)
 val find_section : t -> string -> section option
 
+(** [copy t] is an independent clone of [t]: edits to either file image do
+    not affect the other. One content blit — much cheaper than the
+    [of_bytes (to_bytes t)] round trip (no header re-emission or re-parse,
+    and the clone's image does not accumulate the serialized header
+    block's string table). *)
+val copy : t -> t
+
+(** [serialized_size t] is [Bytes.length (to_bytes t)] without
+    materializing the serialization. *)
+val serialized_size : t -> int
+
 (** [section_bytes t s] copies a section's content out of the image. *)
 val section_bytes : t -> section -> bytes
 

@@ -1,1 +1,1 @@
-lib/emu/cpu.ml: Array Buffer Bytes Char E9_vm E9_x86 Elf_file Hashtbl Hostcall Int64 List Option Printf String
+lib/emu/cpu.ml: Array Buffer Bytes Char E9_vm E9_x86 Elf_file Hashtbl Hostcall Int64 Lazy List Option Printf String

@@ -1,1 +1,1 @@
-lib/emu/cpu.mli: E9_vm Hashtbl
+lib/emu/cpu.mli: E9_vm Hashtbl Lazy

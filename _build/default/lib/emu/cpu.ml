@@ -51,7 +51,16 @@ type result = {
   violations : int;
   counters : (int * int) list;
   last_rips : int list;  (** most recent instruction addresses, oldest first *)
+  block_hits : int;
+  block_misses : int;
+  blocks_cached : int;
 }
+
+(* A superblock: a straight-line run of decoded instructions starting at
+   [entry] and ending at the first instruction that can transfer control
+   (or at [max_block_len]). Executing one costs a single cache lookup and
+   a single fuel check instead of one of each per instruction. *)
+type block = { entry : int; code : Decode.decoded array }
 
 type state = {
   space : Space.t;
@@ -68,9 +77,15 @@ type state = {
   mutable trap_count : int;
   mutable violations : int;
   output : Buffer.t;
-  files : (int, bytes) Hashtbl.t;  (* open file descriptors (mmap source) *)
+  files : (int, bytes Lazy.t) Hashtbl.t;  (* open file descriptors (mmap source) *)
   ring : int array;  (* recent RIP trace for fault diagnostics *)
   icache : (int, Decode.decoded) Hashtbl.t;
+  bcache : (int, block) Hashtbl.t;
+  (* Space.generation the caches were filled under; a mismatch means
+     executable memory changed and every cached decode is suspect. *)
+  mutable cache_gen : int;
+  mutable block_hits : int;
+  mutable block_misses : int;
   trap_table : (int, int) Hashtbl.t;
   counters : (int, int) Hashtbl.t;
   alloc : allocator;
@@ -298,7 +313,8 @@ let syscall st =
       else begin
         match Hashtbl.find_opt st.files fd with
         | None -> st.regs.(rax) <- -9 (* EBADF *)
-        | Some bytes ->
+        | Some lazy_bytes ->
+            let bytes = Lazy.force lazy_bytes in
             if off < 0 || off + len > Bytes.length bytes then
               raise (Stop (Fault (st.rip, "mmap beyond end of file")))
             else begin
@@ -539,6 +555,22 @@ let exec st (d : Decode.decoded) =
   | Insn.Unknown b ->
       raise (Stop (Fault (here, Printf.sprintf "undecodable byte 0x%02x" b)))
 
+(* ------------------------------------------------------------------ *)
+(* Decoded-code caches and their invalidation                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Both caches (per-instruction and superblock) are valid only while
+   [Space.generation] is unchanged: a guest write to an executable page, or
+   a syscall that remaps one, must flush them or stale code would run
+   silently. The check is one load and compare. *)
+let check_code_gen st =
+  let g = Space.generation st.space in
+  if g <> st.cache_gen then begin
+    Hashtbl.reset st.icache;
+    Hashtbl.reset st.bcache;
+    st.cache_gen <- g
+  end
+
 let decode_at st addr =
   match Hashtbl.find_opt st.icache addr with
   | Some d -> d
@@ -547,6 +579,80 @@ let decode_at st addr =
       let d = Decode.decode window 0 in
       Hashtbl.replace st.icache addr d;
       d
+
+(* Instructions that may set RIP to anything other than the next address
+   terminate a superblock. [Int] hostcalls and [Syscall] fall through
+   sequentially, so they stay inside blocks (a syscall that remaps
+   executable memory is caught by the generation check after each step). *)
+let terminates (d : Decode.decoded) =
+  match d.insn with
+  | Insn.Call _ | Insn.Call_ind _ | Insn.Ret
+  | Insn.Jmp _ | Insn.Jmp_short _ | Insn.Jmp_ind _
+  | Insn.Jcc _ | Insn.Jcc_short _
+  | Insn.Int3 | Insn.Ud2 | Insn.Unknown _ -> true
+  | _ -> false
+
+let max_block_len = 128
+
+let build_block st entry =
+  let buf = ref [] in
+  let n = ref 0 in
+  let a = ref entry in
+  let stop = ref false in
+  while not !stop do
+    (* A fetch fault on the first instruction is the guest's own fault and
+       propagates. A fault on a lookahead fetch only truncates the block:
+       the guest may never fall through this far (an exit syscall, say),
+       and if it does, re-entering the block cache at the bad address
+       raises the fault with the correct RIP. *)
+    match
+      if !n = 0 then Some (Space.fetch_window st.space !a)
+      else
+        (try Some (Space.fetch_window st.space !a)
+         with Space.Fault _ -> None)
+    with
+    | None -> stop := true
+    | Some window ->
+        let d = Decode.decode window 0 in
+        buf := d :: !buf;
+        incr n;
+        a := !a + d.Decode.len;
+        if terminates d || !n >= max_block_len then stop := true
+  done;
+  { entry; code = Array.of_list (List.rev !buf) }
+
+let block_at st addr =
+  match Hashtbl.find_opt st.bcache addr with
+  | Some b ->
+      st.block_hits <- st.block_hits + 1;
+      b
+  | None ->
+      let b = build_block st addr in
+      st.block_misses <- st.block_misses + 1;
+      Hashtbl.replace st.bcache addr b;
+      b
+
+(* Execute a whole superblock. The fuel check happened at block entry; per
+   instruction only the counters, the RIP ring and the generation check
+   remain. A mid-block write to executable memory (self-modifying code)
+   aborts the block after the writing instruction: the rest of the decoded
+   array may be stale, so control returns to the outer loop, which re-decodes
+   from the (already correct) RIP. *)
+let exec_block st b =
+  let n = Array.length b.code in
+  let i = ref 0 in
+  while !i < n do
+    let d = Array.unsafe_get b.code !i in
+    st.ring.(st.insns land 31) <- st.rip;
+    st.insns <- st.insns + 1;
+    st.cycles <- st.cycles + 1;
+    exec st d;
+    if Space.generation st.space <> st.cache_gen then begin
+      check_code_gen st;
+      i := n
+    end
+    else incr i
+  done
 
 let run ?(config = default_config) ?(files = []) space ~entry ~stack_top
     ~traps ~allocator =
@@ -570,6 +676,10 @@ let run ?(config = default_config) ?(files = []) space ~entry ~stack_top
       files = file_table;
       ring = Array.make 32 (-1);
       icache = Hashtbl.create 4096;
+      bcache = Hashtbl.create 1024;
+      cache_gen = Space.generation space;
+      block_hits = 0;
+      block_misses = 0;
       trap_table = traps;
       counters = Hashtbl.create 64;
       alloc = allocator;
@@ -579,11 +689,18 @@ let run ?(config = default_config) ?(files = []) space ~entry ~stack_top
   let outcome =
     try
       while st.insns < config.fuel do
-        let d = decode_at st st.rip in
-        st.ring.(st.insns land 31) <- st.rip;
-        st.insns <- st.insns + 1;
-        st.cycles <- st.cycles + 1;
-        exec st d
+        check_code_gen st;
+        let b = block_at st st.rip in
+        if st.insns + Array.length b.code <= config.fuel then exec_block st b
+        else begin
+          (* Not enough fuel for the whole block: single-step so that fuel
+             exhaustion lands on the exact instruction count. *)
+          let d = decode_at st st.rip in
+          st.ring.(st.insns land 31) <- st.rip;
+          st.insns <- st.insns + 1;
+          st.cycles <- st.cycles + 1;
+          exec st d
+        end
       done;
       Out_of_fuel
     with
@@ -602,4 +719,7 @@ let run ?(config = default_config) ?(files = []) space ~entry ~stack_top
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.counters []);
     last_rips =
       (let n = min st.insns 32 in
-       List.init n (fun i -> st.ring.((st.insns - n + i) land 31))) }
+       List.init n (fun i -> st.ring.((st.insns - n + i) land 31)));
+    block_hits = st.block_hits;
+    block_misses = st.block_misses;
+    blocks_cached = Hashtbl.length st.bcache }

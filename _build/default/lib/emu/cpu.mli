@@ -13,7 +13,16 @@
 
     Arithmetic is performed on OCaml's 63-bit native integers; guest
     programs must keep 64-bit values below 2^62, which the synthetic
-    workload generator guarantees. 8- and 32-bit operations are exact. *)
+    workload generator guarantees. 8- and 32-bit operations are exact.
+
+    Execution is driven by a superblock cache: straight-line runs of
+    decoded instructions (ending at the first control transfer) are cached
+    by entry address and replayed as a tight array loop with one cache
+    lookup and one fuel check per block. The cache — and the legacy
+    per-instruction decode cache backing it — is invalidated whenever
+    {!E9_vm.Space.generation} advances, i.e. whenever executable memory is
+    written or remapped, so self-modifying code executes correctly
+    (DESIGN.md §7). *)
 
 type config = {
   far_jump_penalty : int;
@@ -55,6 +64,9 @@ type result = {
   last_rips : int list;
       (** the up-to-32 most recent instruction addresses, oldest first —
           fault diagnostics *)
+  block_hits : int;  (** superblock cache hits (one per block executed) *)
+  block_misses : int;  (** superblock cache misses (blocks decoded) *)
+  blocks_cached : int;  (** blocks resident when the run ended *)
 }
 
 (** The path and descriptor of the program's own binary, as seen by the
@@ -68,10 +80,11 @@ val self_exe_fd : int
     [traps] is the B0 table from the loader. The stack grows down from
     [stack_top]; the caller must have mapped it. [files] pre-opens file
     descriptors for the [mmap] syscall — the loader stub's self-open of
-    {!self_exe_path} resolves to {!self_exe_fd}. *)
+    {!self_exe_path} resolves to {!self_exe_fd}. Contents are lazy and
+    only forced when the guest actually [mmap]s the descriptor. *)
 val run :
   ?config:config ->
-  ?files:(int * bytes) list ->
+  ?files:(int * bytes Lazy.t) list ->
   E9_vm.Space.t ->
   entry:int ->
   stack_top:int ->

@@ -42,8 +42,11 @@ let run ?config ?make_allocator ?(libs = []) elf =
     | None -> Cpu.bump_allocator m.space ~heap_base
   in
   (* The binary's own image is pre-opened so an injected loader stub can
-     openat("/proc/self/exe") and mmap its trampoline pages. *)
-  let files = [ (Cpu.self_exe_fd, Elf_file.to_bytes elf) ] in
+     openat("/proc/self/exe") and mmap its trampoline pages. Serialization
+     is deferred until the guest actually opens it: Table-mode binaries
+     never do, and re-serializing a multi-MiB image per run dominated
+     Machine.run for large inputs. *)
+  let files = [ (Cpu.self_exe_fd, lazy (Elf_file.to_bytes elf)) ] in
   Cpu.run ?config ~files m.space ~entry:m.entry ~stack_top ~traps:m.traps
     ~allocator
 

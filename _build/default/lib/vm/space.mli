@@ -61,3 +61,12 @@ val write_bytes : t -> int -> bytes -> unit
     truncated at an unmapped or non-executable boundary). Raises {!Fault}
     if [addr] itself is not fetchable. *)
 val fetch_window : t -> int -> bytes
+
+(** [generation t] is the code-generation counter: it advances whenever the
+    contents or protections of executable memory may have changed — a data
+    write into an executable page, or a mapping operation ([map_bytes],
+    [map_sub], [map_zero]) that creates, replaces or re-protects an
+    executable page. Caches of decoded instructions are valid only while
+    the generation they were filled under is unchanged; on a mismatch they
+    must be flushed (see Cpu's superblock cache, DESIGN.md §7). *)
+val generation : t -> int

@@ -1,1 +1,1 @@
-test/test_bits.ml: Alcotest Array Bytes E9_bits Fun List QCheck QCheck_alcotest
+test/test_bits.ml: Alcotest Array Atomic Bytes E9_bits Fun List QCheck QCheck_alcotest

@@ -3,6 +3,7 @@
 module Buf = E9_bits.Buf
 module Iset = E9_bits.Iset
 module Rng = E9_bits.Rng
+module Pool = E9_bits.Pool
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -195,6 +196,44 @@ let prop_iset_add_remove_inverse =
       Iset.occupied s = 0)
 
 (* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "same as List.map, in input order"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map ~domains:4 (fun x -> x * x) xs)
+
+let test_pool_map_serial_fallback () =
+  let xs = List.init 10 Fun.id in
+  Alcotest.(check (list int))
+    "domains:1 degrades to List.map" (List.map succ xs)
+    (Pool.map ~domains:1 succ xs);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~domains:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map ~domains:4 succ [ 7 ])
+
+let test_pool_map_exception () =
+  Alcotest.check_raises "worker exception reaches the caller"
+    (Failure "boom") (fun () ->
+      ignore
+        (Pool.map ~domains:4
+           (fun x -> if x = 37 then failwith "boom" else x)
+           (List.init 64 Fun.id)))
+
+let test_pool_iter_runs_all () =
+  let total = Atomic.make 0 in
+  Pool.iter ~domains:4
+    (fun x -> ignore (Atomic.fetch_and_add total x))
+    (List.init 50 Fun.id);
+  Alcotest.(check int) "every element visited once" (50 * 49 / 2)
+    (Atomic.get total)
+
+let test_pool_default_domains () =
+  Alcotest.(check bool) "at least one domain" true (Pool.default_domains () >= 1)
+
+(* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -258,6 +297,16 @@ let suites =
         QCheck_alcotest.to_alcotest prop_iset_matches_model;
         QCheck_alcotest.to_alcotest prop_iset_find_free_last_valid;
         QCheck_alcotest.to_alcotest prop_iset_add_remove_inverse ] );
+    ( "bits.pool",
+      [ Alcotest.test_case "map preserves order" `Quick
+          test_pool_map_preserves_order;
+        Alcotest.test_case "serial fallback" `Quick
+          test_pool_map_serial_fallback;
+        Alcotest.test_case "exception propagation" `Quick
+          test_pool_map_exception;
+        Alcotest.test_case "iter side effects" `Quick test_pool_iter_runs_all;
+        Alcotest.test_case "default domains" `Quick test_pool_default_domains ]
+    );
     ( "bits.rng",
       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
         Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;

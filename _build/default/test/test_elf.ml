@@ -113,6 +113,47 @@ let test_loadmap_traps () =
   let decoded = Loadmap.decode_traps (Loadmap.encode_traps ts) in
   Alcotest.(check bool) "roundtrip" true (decoded = ts)
 
+let test_serialized_size () =
+  (* serialized_size must track to_bytes exactly, including after edits —
+     Rewriter relies on it for Size% without materializing the image. *)
+  let elf = mk_exec () in
+  let check_eq label =
+    Alcotest.(check int) label
+      (Bytes.length (Elf_file.to_bytes elf))
+      (Elf_file.serialized_size elf)
+  in
+  check_eq "fresh";
+  ignore
+    (Elf_file.add_section elf ~name:".e9patch.tramp" ~addr:0 ~sh_type:1
+       ~sh_flags:0 ~content:(Bytes.make 100 'x'));
+  check_eq "after add_section";
+  ignore
+    (Elf_file.add_segment elf
+       { Elf_file.ptype = Elf_file.Load;
+         prot = Elf_file.prot_rw;
+         vaddr = 0x600000;
+         offset = 0;
+         filesz = 0;
+         memsz = 33;
+         align = 4096 }
+       ~content:(Bytes.make 33 'y'));
+  check_eq "after add_segment"
+
+let test_copy_independent () =
+  let elf = mk_exec () in
+  let snapshot = Elf_file.to_bytes elf in
+  let c = Elf_file.copy elf in
+  Alcotest.(check bytes) "copy serializes identically" snapshot
+    (Elf_file.to_bytes c);
+  (* Mutate the copy every way the rewriter does; the original must not
+     move. *)
+  c.Elf_file.entry <- 0x999;
+  E9_bits.Buf.blit_in c.Elf_file.data ~pos:0 (Bytes.make 4 '\xff');
+  ignore
+    (Elf_file.add_section c ~name:".extra" ~addr:0 ~sh_type:1 ~sh_flags:0
+       ~content:(Bytes.make 8 'z'));
+  Alcotest.(check bytes) "original untouched" snapshot (Elf_file.to_bytes elf)
+
 let test_file_io () =
   let elf = mk_exec () in
   let path = Filename.temp_file "e9test" ".elf" in
@@ -136,4 +177,6 @@ let suites =
         Alcotest.test_case "rejects garbage" `Quick test_reject_garbage;
         Alcotest.test_case "loadmap mappings" `Quick test_loadmap_mappings;
         Alcotest.test_case "loadmap traps" `Quick test_loadmap_traps;
+        Alcotest.test_case "serialized_size" `Quick test_serialized_size;
+        Alcotest.test_case "copy independent" `Quick test_copy_independent;
         Alcotest.test_case "file io" `Quick test_file_io ] ) ]

@@ -92,6 +92,72 @@ let test_space_one_to_many () =
   Alcotest.(check int) "copy 1" (Char.code 's') (Space.read_u8 s 0x10000);
   Alcotest.(check int) "copy 2" (Char.code 's') (Space.read_u8 s 0x20000)
 
+let test_space_fetch_window_truncates () =
+  (* A window that runs off the end of executable memory is truncated, not
+     a fault: the decoder sees only the fetchable bytes. *)
+  let s = Space.create () in
+  Space.map_bytes s ~vaddr:0x1000 ~prot:Elf_file.prot_rx
+    (Bytes.make 4096 '\x90');
+  Space.map_zero s ~vaddr:0x2000 ~len:4096 ~prot:Elf_file.prot_rw;
+  Alcotest.(check int) "truncated at non-exec page" 8
+    (Bytes.length (Space.fetch_window s 0x1ff8));
+  Alcotest.(check int) "full window inside page" 16
+    (Bytes.length (Space.fetch_window s 0x1800));
+  (* The first byte being unfetchable is still a fault. *)
+  try
+    ignore (Space.fetch_window s 0x2000);
+    Alcotest.fail "fetch from non-exec page should fault"
+  with Space.Fault (_, _) -> ()
+
+let test_space_map_zero_newest_wins () =
+  (* Two overlapping lazy zero regions (each > 16 pages, so neither is
+     materialized eagerly): the newer mapping's protection governs the
+     overlap. *)
+  let s = Space.create () in
+  Space.map_zero s ~vaddr:0x100000 ~len:0x20000 ~prot:Elf_file.prot_r;
+  Space.map_zero s ~vaddr:0x110000 ~len:0x20000 ~prot:Elf_file.prot_rw;
+  Space.write_u8 s 0x118000 7;
+  Alcotest.(check int) "overlap is writable (newest wins)" 7
+    (Space.read_u8 s 0x118000);
+  Alcotest.(check int) "older region reads zero" 0 (Space.read_u8 s 0x108000);
+  try
+    Space.write_u8 s 0x108000 1;
+    Alcotest.fail "older read-only region accepted a write"
+  with Space.Fault (_, _) -> ()
+
+let test_space_last_page_cache_map_zero () =
+  (* A read primes the one-entry page cache; map_zero over the same page
+     must not leave the cached handle serving stale bytes. *)
+  let s = Space.create () in
+  Space.map_bytes s ~vaddr:0x3000 ~prot:Elf_file.prot_rw
+    (Bytes.of_string "abcdef");
+  Alcotest.(check int) "before" (Char.code 'c') (Space.read_u8 s 0x3002);
+  Space.map_zero s ~vaddr:0x3000 ~len:4096 ~prot:Elf_file.prot_rw;
+  Alcotest.(check int) "zeroed" 0 (Space.read_u8 s 0x3002);
+  Space.map_bytes s ~vaddr:0x3000 ~prot:Elf_file.prot_rw
+    (Bytes.of_string "XY");
+  Alcotest.(check int) "remapped" (Char.code 'Y') (Space.read_u8 s 0x3001)
+
+let test_space_shared_alias_privatizes () =
+  (* Full-page read-only mappings of the same source alias one host page;
+     remapping or zeroing one alias must not disturb the others. *)
+  let s = Space.create () in
+  let content = Bytes.make 4096 'A' in
+  Space.map_bytes s ~vaddr:0x10000 ~prot:Elf_file.prot_rx content;
+  Space.map_bytes s ~vaddr:0x20000 ~prot:Elf_file.prot_rx content;
+  Space.map_bytes s ~vaddr:0x30000 ~prot:Elf_file.prot_rx content;
+  Alcotest.(check int) "alias reads" (Char.code 'A') (Space.read_u8 s 0x20000);
+  Space.map_bytes s ~vaddr:0x20000 ~prot:Elf_file.prot_rw content;
+  Space.write_u8 s 0x20000 (Char.code 'B');
+  Alcotest.(check int) "written alias" (Char.code 'B')
+    (Space.read_u8 s 0x20000);
+  Alcotest.(check int) "sibling untouched by write" (Char.code 'A')
+    (Space.read_u8 s 0x10000);
+  Space.map_zero s ~vaddr:0x10000 ~len:4096 ~prot:Elf_file.prot_rw;
+  Alcotest.(check int) "zeroed alias" 0 (Space.read_u8 s 0x10000);
+  Alcotest.(check int) "sibling untouched by map_zero" (Char.code 'A')
+    (Space.read_u8 s 0x30000)
+
 (* ------------------------------------------------------------------ *)
 (* Basic execution                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -341,6 +407,54 @@ let test_neg_sets_flags () =
   check_exit 0 (run_elf (elf_of_asm asm))
 
 (* ------------------------------------------------------------------ *)
+(* Self-modifying code                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_self_modifying_code () =
+  (* Call f (movabs rbx, 1; ret), overwrite the immediate in place, call f
+     again: the second call must see the new immediate. This is the
+     stale-icache hazard — both the per-instruction decode cache and the
+     superblock cache hold f's old body when the store lands. *)
+  let asm = Asm.create ~base in
+  let f = Asm.fresh_label asm "f" in
+  let f_end = Asm.fresh_label asm "f_end" in
+  Asm.ins asm (Insn.Mov (Insn.Q, Insn.Reg Reg.RBX, Insn.Imm 0));
+  Asm.call asm f;
+  (* rbx = 1; save it shifted so both calls land in the exit code *)
+  Asm.ins asm (Insn.Mov (Insn.Q, Insn.Reg Reg.RCX, Insn.Reg Reg.RBX));
+  Asm.ins asm (Insn.Shift (Insn.Shl, Insn.Q, Insn.Reg Reg.RCX, 4));
+  (* Poke 11 into the low byte of the movabs immediate (last 8 bytes of
+     the 10-byte instruction ending at f_end). *)
+  Asm.lea_label asm Reg.RDI f_end;
+  Asm.ins asm (Insn.Alu (Insn.Sub, Insn.Q, Insn.Reg Reg.RDI, Insn.Imm 8));
+  Asm.ins asm
+    (Insn.Mov (Insn.B, Insn.Mem (Insn.mem ~base:Reg.RDI ()), Insn.Imm 11));
+  Asm.call asm f;
+  (* rbx = 11; combine: 1*16 + 11 = 27 *)
+  Asm.ins asm (Insn.Alu (Insn.Add, Insn.Q, Insn.Reg Reg.RBX, Insn.Reg Reg.RCX));
+  exit_rbx asm;
+  Asm.place asm f;
+  Asm.ins asm (Insn.Movabs (Reg.RBX, 1L));
+  Asm.place asm f_end;
+  Asm.ins asm Insn.Ret;
+  let code = Asm.assemble asm in
+  let elf = Elf_file.create ~etype:Elf_file.Exec ~entry:base in
+  ignore
+    (Elf_file.add_segment elf
+       { Elf_file.ptype = Elf_file.Load;
+         prot = { Elf_file.r = true; w = true; x = true };
+         vaddr = base;
+         offset = 0;
+         filesz = 0;
+         memsz = Bytes.length code;
+         align = 4096 }
+       ~content:code);
+  let r = run_elf elf in
+  check_exit 27 r;
+  Alcotest.(check bool) "cache was rebuilt after the store" true
+    (r.Cpu.block_misses >= 2)
+
+(* ------------------------------------------------------------------ *)
 (* Host calls                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -474,7 +588,15 @@ let suites =
       [ Alcotest.test_case "read/write" `Quick test_space_rw;
         Alcotest.test_case "protection" `Quick test_space_prot;
         Alcotest.test_case "overmap replaces" `Quick test_space_overmap;
-        Alcotest.test_case "one-to-many" `Quick test_space_one_to_many ] );
+        Alcotest.test_case "one-to-many" `Quick test_space_one_to_many;
+        Alcotest.test_case "fetch_window truncates" `Quick
+          test_space_fetch_window_truncates;
+        Alcotest.test_case "map_zero newest wins" `Quick
+          test_space_map_zero_newest_wins;
+        Alcotest.test_case "page cache after map_zero" `Quick
+          test_space_last_page_cache_map_zero;
+        Alcotest.test_case "shared alias privatizes" `Quick
+          test_space_shared_alias_privatizes ] );
     ( "emu.basic",
       [ Alcotest.test_case "exit code" `Quick test_exit_code;
         Alcotest.test_case "write syscall" `Quick test_write_syscall;
@@ -492,7 +614,9 @@ let suites =
         Alcotest.test_case "setcc/cmov" `Quick test_setcc_cmov;
         Alcotest.test_case "movzx/movsx" `Quick test_movzx_movsx;
         Alcotest.test_case "neg/not" `Quick test_neg_not;
-        Alcotest.test_case "neg flags" `Quick test_neg_sets_flags ] );
+        Alcotest.test_case "neg flags" `Quick test_neg_sets_flags;
+        Alcotest.test_case "self-modifying code" `Quick
+          test_self_modifying_code ] );
     ( "emu.hostcalls",
       [ Alcotest.test_case "malloc" `Quick test_malloc_hostcall;
         Alcotest.test_case "counter" `Quick test_counter_hostcall ] );

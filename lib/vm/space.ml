@@ -3,7 +3,17 @@ exception Fault of int * string
 let page_size = 4096
 let page_bits = 12
 
-type page = { bytes : Bytes.t; mutable prot : Elf_file.prot }
+type page = {
+  mutable bytes : Bytes.t;
+  mutable prot : Elf_file.prot;
+  (* A shared page is aliased at several page numbers (one-to-many
+     trampoline mappings, §4's physical page grouping). Shared records are
+     immutable: remapping or zeroing one alias replaces that page-table
+     entry with a private copy instead of mutating the shared record.
+     Sharing is only ever created for non-writable protections, so the
+     data-write path cannot reach a shared page. *)
+  mutable shared : bool;
+}
 
 type t = {
   pages : (int, page) Hashtbl.t;
@@ -14,15 +24,54 @@ type t = {
      access and instruction fetch. *)
   mutable last_pn : int;
   mutable last_page : page option;
+  (* Protection-checked one-entry handles: a page that already passed the
+     read (resp. write) permission check. The CPU's block execution loop
+     hits these instead of re-walking the page table and re-checking
+     protections on every access. Invalidated by any mapping operation. *)
+  mutable rd_pn : int;
+  mutable rd_page : page option;
+  mutable wr_pn : int;
+  mutable wr_page : page option;
+  (* Bumped whenever the contents or protections of executable memory may
+     have changed: any data write to an executable page and any mapping
+     operation that creates, replaces or re-protects an executable page.
+     Decoded-instruction caches (Cpu.icache, the superblock cache) compare
+     against this to invalidate — the contract is: a cached decode is valid
+     only while the generation is unchanged. *)
+  mutable code_gen : int;
+  (* Page-sharing table for [map_sub]: canonical page per (source buffer,
+     source offset) so mapping the same non-writable file page at many
+     virtual addresses aliases one host allocation. Keyed by source offset;
+     [share_src] identifies the buffer (physical equality) — a map from a
+     different buffer resets the table. *)
+  mutable share_src : Bytes.t;
+  share_pages : (int, page) Hashtbl.t;
 }
 
 let create () =
   { pages = Hashtbl.create 1024;
     zero_regions = [];
     last_pn = -1;
-    last_page = None }
+    last_page = None;
+    rd_pn = -1;
+    rd_page = None;
+    wr_pn = -1;
+    wr_page = None;
+    code_gen = 0;
+    share_src = Bytes.empty;
+    share_pages = Hashtbl.create 64 }
+
+let generation t = t.code_gen
 
 let fault addr msg = raise (Fault (addr, msg))
+
+let invalidate_handles t =
+  t.last_pn <- -1;
+  t.last_page <- None;
+  t.rd_pn <- -1;
+  t.rd_page <- None;
+  t.wr_pn <- -1;
+  t.wr_page <- None
 
 let materialize_zero t pn =
   (* A page is backed by a zero region when any of its bytes fall inside
@@ -32,7 +81,7 @@ let materialize_zero t pn =
     List.find_opt (fun (rlo, rhi, _) -> rlo < hi && rhi > lo) t.zero_regions
   with
   | Some (_, _, prot) ->
-      let p = { bytes = Bytes.make page_size '\000'; prot } in
+      let p = { bytes = Bytes.make page_size '\000'; prot; shared = false } in
       Hashtbl.replace t.pages pn p;
       Some p
   | None -> None
@@ -52,11 +101,24 @@ let page_of t pn =
 
 let ensure_page t pn prot =
   match page_of t pn with
-  | Some p ->
+  | Some p when not p.shared ->
+      if p.prot.Elf_file.x || prot.Elf_file.x then
+        t.code_gen <- t.code_gen + 1;
       p.prot <- prot;
       p
+  | Some p ->
+      (* Remapping over an alias: privatize this entry, leave the shared
+         record (and every other alias) untouched. *)
+      if p.prot.Elf_file.x || prot.Elf_file.x then
+        t.code_gen <- t.code_gen + 1;
+      let q = { bytes = Bytes.copy p.bytes; prot; shared = false } in
+      Hashtbl.replace t.pages pn q;
+      t.last_pn <- pn;
+      t.last_page <- Some q;
+      q
   | None ->
-      let p = { bytes = Bytes.make page_size '\000'; prot } in
+      if prot.Elf_file.x then t.code_gen <- t.code_gen + 1;
+      let p = { bytes = Bytes.make page_size '\000'; prot; shared = false } in
       Hashtbl.replace t.pages pn p;
       t.last_pn <- pn;
       t.last_page <- Some p;
@@ -65,14 +127,43 @@ let ensure_page t pn prot =
 let map_sub t ~vaddr ~prot content ~src_off ~len =
   if src_off < 0 || len < 0 || src_off + len > Bytes.length content then
     invalid_arg "Space.map_sub";
+  invalidate_handles t;
+  if t.share_src != content then begin
+    Hashtbl.reset t.share_pages;
+    t.share_src <- content
+  end;
   let pos = ref 0 in
   while !pos < len do
     let addr = vaddr + !pos in
     let pn = addr lsr page_bits in
     let off = addr land (page_size - 1) in
     let chunk = min (page_size - off) (len - !pos) in
-    let p = ensure_page t pn prot in
-    Bytes.blit content (src_off + !pos) p.bytes off chunk;
+    let src = src_off + !pos in
+    (* Full, aligned, non-writable pages alias one canonical host page per
+       source offset — the in-emulator realization of physical page
+       grouping: mapping a trampoline page at N virtual addresses costs one
+       allocation, not N. Everything else copies as before. *)
+    if off = 0 && chunk = page_size && not prot.Elf_file.w then begin
+      (match page_of t pn with
+      | Some p when p.prot.Elf_file.x -> t.code_gen <- t.code_gen + 1
+      | Some _ | None -> ());
+      if prot.Elf_file.x then t.code_gen <- t.code_gen + 1;
+      let canon =
+        match Hashtbl.find_opt t.share_pages src with
+        | Some p when p.prot = prot -> p
+        | Some _ | None ->
+            let p =
+              { bytes = Bytes.sub content src page_size; prot; shared = true }
+            in
+            Hashtbl.replace t.share_pages src p;
+            p
+      in
+      Hashtbl.replace t.pages pn canon
+    end
+    else begin
+      let p = ensure_page t pn prot in
+      Bytes.blit content src p.bytes off chunk
+    end;
     pos := !pos + chunk
   done
 
@@ -81,6 +172,8 @@ let map_bytes t ~vaddr ~prot content =
 
 let map_zero t ~vaddr ~len ~prot =
   if len > 0 then begin
+    invalidate_handles t;
+    if prot.Elf_file.x then t.code_gen <- t.code_gen + 1;
     (* Pages already materialized are zeroed eagerly (the covered part);
        untouched pages wait in [zero_regions]. *)
     let first = vaddr lsr page_bits and last = (vaddr + len - 1) lsr page_bits in
@@ -95,15 +188,24 @@ let map_zero t ~vaddr ~len ~prot =
       for pn = first to last do
         match Hashtbl.find_opt t.pages pn with
         | Some p ->
+            if p.prot.Elf_file.x then t.code_gen <- t.code_gen + 1;
+            let p =
+              if not p.shared then p
+              else begin
+                let q =
+                  { bytes = Bytes.copy p.bytes; prot; shared = false }
+                in
+                Hashtbl.replace t.pages pn q;
+                q
+              end
+            in
             p.prot <- prot;
             let lo = max vaddr (pn lsl page_bits) in
             let hi = min (vaddr + len) ((pn + 1) lsl page_bits) in
             Bytes.fill p.bytes (lo land (page_size - 1)) (hi - lo) '\000'
         | None -> ()
       done;
-      t.zero_regions <- (vaddr, vaddr + len, prot) :: t.zero_regions;
-      t.last_pn <- -1;
-      t.last_page <- None
+      t.zero_regions <- (vaddr, vaddr + len, prot) :: t.zero_regions
     end
   end
 
@@ -120,19 +222,52 @@ let get_page_for t addr ~write ~exec =
         fault addr "read from unreadable page";
       p
 
+(* Permission-checked handle lookups. A hit means the page already passed
+   the corresponding check since the last mapping operation, so the common
+   case is one compare. Writes to executable pages bump [code_gen] on every
+   store (not just the first): decoded-code caches must observe each
+   modification, including ones made after their last revalidation. *)
+let read_page t addr =
+  let pn = addr lsr page_bits in
+  if t.rd_pn = pn then
+    match t.rd_page with
+    | Some p -> p
+    | None -> fault addr "unmapped"
+  else begin
+    let p = get_page_for t addr ~write:false ~exec:false in
+    t.rd_pn <- pn;
+    t.rd_page <- Some p;
+    p
+  end
+
+let write_page t addr =
+  let pn = addr lsr page_bits in
+  let p =
+    if t.wr_pn = pn then
+      match t.wr_page with Some p -> p | None -> fault addr "unmapped"
+    else begin
+      let p = get_page_for t addr ~write:true ~exec:false in
+      t.wr_pn <- pn;
+      t.wr_page <- Some p;
+      p
+    end
+  in
+  if p.prot.Elf_file.x then t.code_gen <- t.code_gen + 1;
+  p
+
 let read_u8 t addr =
-  let p = get_page_for t addr ~write:false ~exec:false in
+  let p = read_page t addr in
   Char.code (Bytes.unsafe_get p.bytes (addr land (page_size - 1)))
 
 let write_u8 t addr v =
-  let p = get_page_for t addr ~write:true ~exec:false in
+  let p = write_page t addr in
   Bytes.unsafe_set p.bytes (addr land (page_size - 1)) (Char.chr (v land 0xff))
 
 (* Fast path: access that stays within one page. *)
 let read_multi t addr n =
   let off = addr land (page_size - 1) in
   if off + n <= page_size then begin
-    let p = get_page_for t addr ~write:false ~exec:false in
+    let p = read_page t addr in
     let v = ref 0 in
     for i = n - 1 downto 0 do
       v := (!v lsl 8) lor Char.code (Bytes.unsafe_get p.bytes (off + i))
@@ -150,7 +285,7 @@ let read_multi t addr n =
 let write_multi t addr n v =
   let off = addr land (page_size - 1) in
   if off + n <= page_size then begin
-    let p = get_page_for t addr ~write:true ~exec:false in
+    let p = write_page t addr in
     for i = 0 to n - 1 do
       Bytes.unsafe_set p.bytes (off + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xff))
     done
