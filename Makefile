@@ -1,9 +1,12 @@
-# Convenience wrappers around dune. CI runs `build`, `test`, `bench-smoke`.
+# Convenience wrappers around dune. CI runs `build`, `test`, `fuzz-smoke`,
+# `bench-smoke`.
 
 DUNE ?= dune
 SMOKE_TIMEOUT ?= 300
+FUZZ_N ?= 200
+FUZZ_SEED ?= 42
 
-.PHONY: all build test bench bench-smoke fmt clean
+.PHONY: all build test bench bench-smoke fuzz-smoke fmt clean
 
 all: build
 
@@ -22,6 +25,12 @@ bench: build
 # emulation (figure4), at --smoke sizes. Writes BENCH_throughput.json.
 bench-smoke: build
 	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke scalability figure4
+
+# Fixed-seed differential fuzz campaign: random profile × tactic configs,
+# each rewrite checked by the static verifier and the trace oracle.
+# Deterministic; seconds, not minutes — safe for CI.
+fuzz-smoke: build
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- fuzz -n $(FUZZ_N) --seed $(FUZZ_SEED)
 
 clean:
 	$(DUNE) clean

@@ -159,6 +159,13 @@ let emu_wall_us = Atomic.make 0
 let emu_block_hits = Atomic.make 0
 let emu_block_misses = Atomic.make 0
 
+(* Static-verification accounting: every measured rewrite is checked by
+   the E9_check verifier, and a single rejection fails the whole bench
+   run. The Reloc-based robustness benches deliberately produce broken
+   binaries and are exempt. *)
+let verify_checked = Atomic.make 0
+let verify_failed = Atomic.make 0
+
 let run_emu ?config ?make_allocator ?libs elf =
   let t0 = Unix.gettimeofday () in
   let r = Machine.run ?config ?make_allocator ?libs elf in
@@ -209,10 +216,23 @@ let disasm_from_of elf =
     (fun (s : Elf_file.section) -> s.Elf_file.addr)
     (Elf_file.find_section elf Codegen.chromemain_marker)
 
+let verify_rewrite name elf (r : Rewriter.result) =
+  Atomic.incr verify_checked;
+  match
+    E9_check.Static.verify ?disasm_from:(disasm_from_of elf) ~original:elf
+      r.Rewriter.output
+  with
+  | Ok _ -> ()
+  | Error e ->
+      Atomic.incr verify_failed;
+      Format.eprintf "[verify] %s rejected: %a@." name E9_check.Static.pp_error
+        e
+
 (* Rewrite with [select]/[template] and measure one Table 1 line. *)
 let measure_app ?(options = Rewriter.default_options) ?make_allocator
     ~select ~template elf (orig : Cpu.result) =
   let r = Rewriter.run ~options ?disasm_from:(disasm_from_of elf) elf ~select ~template in
+  verify_rewrite "measure_app" elf r;
   let patched = run_emu ?make_allocator r.Rewriter.output in
   expect_exit "patched" patched;
   let s = r.Rewriter.stats in
@@ -818,6 +838,7 @@ let bench_scalability () =
             ~template:(fun _ -> Trampoline.Empty)
         in
         let dt = Unix.gettimeofday () -. t0 in
+        verify_rewrite (Printf.sprintf "scalability(%d fns)" functions) elf r;
         (* End-to-end: run the patched output, which both validates the
            rewrite at this size and exercises the emulator's superblock
            cache on a large text. *)
@@ -1065,6 +1086,12 @@ let () =
               ("block_hits", Json.Int tp.Stats.block_hits);
               ("block_misses", Json.Int tp.Stats.block_misses);
               ("block_hit_rate", Json.Float (Stats.block_hit_rate tp)) ]);
+         ("verify",
+          Json.Obj
+            [ ("checked", Json.Int (Atomic.get verify_checked));
+              ("passed",
+               Json.Int
+                 (Atomic.get verify_checked - Atomic.get verify_failed)) ]);
          ("experiments",
           Json.List
             (List.map
@@ -1075,4 +1102,8 @@ let () =
   (match !json_path with
   | Some path -> Json.to_file path (rows_json ())
   | None -> ());
-  printf "@.[total bench time: %.1fs]@." wall
+  printf "@.[verify: %d/%d rewrites statically verified]@."
+    (Atomic.get verify_checked - Atomic.get verify_failed)
+    (Atomic.get verify_checked);
+  printf "@.[total bench time: %.1fs]@." wall;
+  if Atomic.get verify_failed > 0 then exit 1

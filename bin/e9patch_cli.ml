@@ -278,6 +278,93 @@ let disasm_cmd =
     Term.(const run $ input $ limit)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let original =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"ORIGINAL")
+  in
+  let rewritten =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"REWRITTEN")
+  in
+  let from =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "from" ]
+          ~doc:"Code start address the rewrite's linear sweep used (the \
+                ChromeMain workaround); must match for the byte accounting.")
+  in
+  let dynamic =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:"Also run both binaries and compare architectural traces \
+                (assumes empty trampoline templates).")
+  in
+  let run () original rewritten from dynamic =
+    let orig = Elf_file.read_file original in
+    let rewr = Elf_file.read_file rewritten in
+    (match E9_check.Static.verify ?disasm_from:from ~original:orig rewr with
+    | Ok report ->
+        printf "static: OK — %a@." E9_check.Static.pp_report report
+    | Error e ->
+        printf "static: %a@." E9_check.Static.pp_error e;
+        exit 1);
+    if dynamic then
+      match
+        E9_check.Trace.compare_runs ?disasm_from:from ~original:orig rewr
+      with
+      | Ok stats -> printf "dynamic: OK — %a@." E9_check.Trace.pp_stats stats
+      | Error msg ->
+          printf "dynamic: %s@." msg;
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Independently verify a rewritten binary against its original \
+             (byte classification, trampoline reachability, continuation \
+             addresses).")
+    Term.(const run $ setup_logs $ original $ rewritten $ from $ dynamic)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let n =
+    Arg.(
+      value & opt int 100
+      & info [ "n" ] ~doc:"Number of randomized profiles to run.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let run () n seed =
+    let progress i =
+      if i mod 10 = 0 then (
+        Printf.eprintf "\r%d/%d" i n;
+        flush stderr)
+    in
+    let s = E9_check.Fuzz.campaign ~progress ~n ~seed () in
+    Printf.eprintf "\r";
+    flush stderr;
+    printf "%a@." E9_check.Fuzz.pp_summary s;
+    match s.E9_check.Fuzz.failed with
+    | [] -> printf "fuzz: OK (seed %d)@." seed
+    | failures ->
+        List.iter
+          (fun (case, msg) -> printf "FAILED %s@.  %s@." case msg)
+          failures;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random workload profiles x tactic \
+             configs through rewrite, static verification and trace \
+             comparison.")
+    Term.(const run $ setup_logs $ n $ seed)
+
+(* ------------------------------------------------------------------ *)
 (* spec-check                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -303,7 +390,11 @@ let spec_check_cmd =
 
 let () =
   let doc = "static binary rewriting without control flow recovery" in
+  (* cmdliner reserves double-dash names for multi-char options; accept the
+     documented [fuzz --n N] spelling anyway. *)
+  let argv = Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group (Cmd.info "e9patch" ~doc)
-          [ patch_cmd; generate_cmd; run_cmd; disasm_cmd; spec_check_cmd ]))
+          [ patch_cmd; generate_cmd; run_cmd; disasm_cmd; check_cmd;
+            fuzz_cmd; spec_check_cmd ]))

@@ -1,0 +1,42 @@
+(** Differential execution oracle.
+
+    Runs the original and the rewritten binary under {!E9_emu} and compares
+    architectural traces modulo the detour instructions the rewriter
+    inserts. Three streams are compared (DESIGN.md §8):
+
+    - the retired-instruction sequence filtered to {e original instruction
+      boundaries} (patched sites retire their diversion — jump, short jump
+      or int3 — at exactly the original address, so the filtered streams
+      align one-to-one);
+    - the pre-execution register file, hashed, at every boundary retire;
+    - every data store as an [(address, size, value)] triple, except stores
+      retired by [call]-class instructions: a displaced call pushes its
+      trampoline continuation, not the original return address — the one
+      architecturally visible difference the paper's control-flow
+      transparency caveat allows.
+
+    plus the final outcome and output stream. The oracle is specified for
+    {!E9_core.Trampoline.Empty} templates: instrumentation templates
+    (Counter, LowFat) deliberately add architectural effects and would —
+    correctly — be reported as divergences. *)
+
+type stats = {
+  events : int;  (** total trace events compared (per run) *)
+  boundary_retires : int;
+  stores : int;
+  insns_original : int;  (** raw instructions executed, diagnostics only *)
+  insns_rewritten : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [compare_runs ?config ?disasm_from ~original rewritten] executes both
+    binaries and compares their traces; [Error] describes the first
+    divergence. [disasm_from] must match the value the rewriting used, so
+    boundary sets agree. *)
+val compare_runs :
+  ?config:E9_emu.Cpu.config ->
+  ?disasm_from:int ->
+  original:Elf_file.t ->
+  Elf_file.t ->
+  (stats, string) result

@@ -22,6 +22,15 @@ let emit ~vaddr ~mappings ~real_entry =
   let ins i = Asm.ins asm i in
   let loop = Asm.fresh_label asm "loop" in
   let done_ = Asm.fresh_label asm "done" in
+  (* The stub must be register-transparent: the program receives the same
+     architectural state it would have received without rewriting. Every
+     register the stub touches is saved and restored, and the final jump
+     goes through a rip-relative slot instead of a scratch register. *)
+  let clobbered =
+    [ Reg.RAX; Reg.RDI; Reg.RSI; Reg.RDX; Reg.R8; Reg.R9; Reg.R10;
+      Reg.R13; Reg.R14; Reg.R15 ]
+  in
+  List.iter (fun r -> ins (Insn.Push r)) clobbered;
   (* r13 = openat(AT_FDCWD, "/proc/self/exe", O_RDONLY) *)
   ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RAX, Insn.Imm 257));
   ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Imm (-100)));
@@ -46,11 +55,16 @@ let emit ~vaddr ~mappings ~real_entry =
   ins (Insn.Alu (Insn.Add, Insn.Q, Insn.Reg Reg.R14, Insn.Imm 32));
   Asm.jmp asm loop;
   Asm.place asm done_;
-  (* close(fd); jump to the real entry point *)
+  (* close(fd); restore registers; jump to the real entry point through
+     the 8-byte slot that immediately follows the code ([jmp [rip+0]]
+     reads its operand from the next address). *)
   ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Reg Reg.R13));
   ins (Insn.Mov (Insn.Q, Insn.Reg Reg.RAX, Insn.Imm 3));
   ins Insn.Syscall;
-  ins (Insn.Movabs (Reg.RAX, Int64.of_int real_entry));
-  ins (Insn.Jmp_ind (Insn.Reg Reg.RAX));
+  List.iter (fun r -> ins (Insn.Pop r)) (List.rev clobbered);
+  ins
+    (Insn.Jmp_ind
+       (Insn.Mem { Insn.base = None; index = None; disp = 0; rip_rel = true }));
   ignore (Buf.add_bytes header (Asm.assemble asm));
+  ignore (Buf.add_u64 header (Int64.of_int real_entry));
   { content = Buf.contents header; entry = stub_addr }

@@ -62,6 +62,11 @@ type result = {
    a single fuel check instead of one of each per instruction. *)
 type block = { entry : int; code : Decode.decoded array }
 
+type tracer = {
+  on_retire : addr:int -> insn:Insn.t -> regs:int array -> unit;
+  on_store : addr:int -> size:int -> value:int -> unit;
+}
+
 type state = {
   space : Space.t;
   regs : int array;
@@ -90,6 +95,7 @@ type state = {
   counters : (int, int) Hashtbl.t;
   alloc : allocator;
   cfg : config;
+  tracer : tracer option;
 }
 
 exception Stop of outcome
@@ -136,10 +142,17 @@ let read_mem st sz addr =
   | Insn.Q -> Space.read_u64 st.space addr
 
 let write_mem st sz addr v =
-  match sz with
+  (match sz with
   | Insn.B -> Space.write_u8 st.space addr v
   | Insn.L -> Space.write_u32 st.space addr v
-  | Insn.Q -> Space.write_u64 st.space addr v
+  | Insn.Q -> Space.write_u64 st.space addr v);
+  match st.tracer with
+  | None -> ()
+  | Some t -> (
+      match sz with
+      | Insn.B -> t.on_store ~addr ~size:1 ~value:(v land 0xff)
+      | Insn.L -> t.on_store ~addr ~size:4 ~value:(v land 0xffff_ffff)
+      | Insn.Q -> t.on_store ~addr ~size:8 ~value:v)
 
 let read_operand st sz ~next_rip = function
   | Insn.Reg r -> get_reg st sz r
@@ -236,7 +249,10 @@ let rsp = Reg.index Reg.RSP
 
 let push st v =
   st.regs.(rsp) <- st.regs.(rsp) - 8;
-  Space.write_u64 st.space st.regs.(rsp) v
+  Space.write_u64 st.space st.regs.(rsp) v;
+  match st.tracer with
+  | None -> ()
+  | Some t -> t.on_store ~addr:st.regs.(rsp) ~size:8 ~value:v
 
 let pop st =
   let v = Space.read_u64 st.space st.regs.(rsp) in
@@ -646,6 +662,9 @@ let exec_block st b =
     st.ring.(st.insns land 31) <- st.rip;
     st.insns <- st.insns + 1;
     st.cycles <- st.cycles + 1;
+    (match st.tracer with
+    | None -> ()
+    | Some t -> t.on_retire ~addr:st.rip ~insn:d.Decode.insn ~regs:st.regs);
     exec st d;
     if Space.generation st.space <> st.cache_gen then begin
       check_code_gen st;
@@ -654,8 +673,8 @@ let exec_block st b =
     else incr i
   done
 
-let run ?(config = default_config) ?(files = []) space ~entry ~stack_top
-    ~traps ~allocator =
+let run ?(config = default_config) ?(files = []) ?tracer space ~entry
+    ~stack_top ~traps ~allocator =
   let file_table = Hashtbl.create 4 in
   List.iter (fun (fd, bytes) -> Hashtbl.replace file_table fd bytes) files;
   let st =
@@ -683,7 +702,8 @@ let run ?(config = default_config) ?(files = []) space ~entry ~stack_top
       trap_table = traps;
       counters = Hashtbl.create 64;
       alloc = allocator;
-      cfg = config }
+      cfg = config;
+      tracer }
   in
   st.regs.(rsp) <- stack_top;
   let outcome =
@@ -699,6 +719,10 @@ let run ?(config = default_config) ?(files = []) space ~entry ~stack_top
           st.ring.(st.insns land 31) <- st.rip;
           st.insns <- st.insns + 1;
           st.cycles <- st.cycles + 1;
+          (match st.tracer with
+          | None -> ()
+          | Some t ->
+              t.on_retire ~addr:st.rip ~insn:d.Decode.insn ~regs:st.regs);
           exec st d
         end
       done;

@@ -69,6 +69,18 @@ type result = {
   blocks_cached : int;  (** blocks resident when the run ended *)
 }
 
+(** Architectural-event hooks for the differential oracle ({!E9_check}).
+    [on_retire] fires once per instruction, before it executes, with the
+    pre-execution register file (the array is live — copy what you keep).
+    [on_store] fires after every successful data write, including stack
+    pushes, with the value truncated to the written width. Host-call and
+    syscall side effects (allocator, output stream, [mmap]) do not raise
+    events. *)
+type tracer = {
+  on_retire : addr:int -> insn:E9_x86.Insn.t -> regs:int array -> unit;
+  on_store : addr:int -> size:int -> value:int -> unit;
+}
+
 (** The path and descriptor of the program's own binary, as seen by the
     injected loader stub. *)
 val self_exe_path : string
@@ -85,6 +97,7 @@ val self_exe_fd : int
 val run :
   ?config:config ->
   ?files:(int * bytes Lazy.t) list ->
+  ?tracer:tracer ->
   E9_vm.Space.t ->
   entry:int ->
   stack_top:int ->

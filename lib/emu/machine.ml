@@ -34,7 +34,7 @@ let boot_with ~libs elf =
 
 let boot elf = boot_with ~libs:[] elf
 
-let run ?config ?make_allocator ?(libs = []) elf =
+let run ?config ?make_allocator ?tracer ?(libs = []) elf =
   let m = boot_with ~libs elf in
   let allocator =
     match make_allocator with
@@ -47,8 +47,8 @@ let run ?config ?make_allocator ?(libs = []) elf =
      never do, and re-serializing a multi-MiB image per run dominated
      Machine.run for large inputs. *)
   let files = [ (Cpu.self_exe_fd, lazy (Elf_file.to_bytes elf)) ] in
-  Cpu.run ?config ~files m.space ~entry:m.entry ~stack_top ~traps:m.traps
-    ~allocator
+  Cpu.run ?config ~files ?tracer m.space ~entry:m.entry ~stack_top
+    ~traps:m.traps ~allocator
 
 let equivalent (a : Cpu.result) (b : Cpu.result) =
   a.Cpu.outcome = b.Cpu.outcome && String.equal a.Cpu.output b.Cpu.output

@@ -29,6 +29,7 @@ val boot_with : libs:Elf_file.t list -> Elf_file.t -> t
 val run :
   ?config:Cpu.config ->
   ?make_allocator:(E9_vm.Space.t -> Cpu.allocator) ->
+  ?tracer:Cpu.tracer ->
   ?libs:Elf_file.t list ->
   Elf_file.t ->
   Cpu.result

@@ -103,11 +103,12 @@ let test_stub_decodes_cleanly () =
        (String.length E9_emu.Cpu.self_exe_path)
     = E9_emu.Cpu.self_exe_path);
   (* Every stub instruction decodes; it contains the openat/mmap/close
-     syscalls and ends with an indirect jump. *)
+     syscalls and ends with an indirect jump through the 8-byte entry slot
+     that trails the code. *)
   let code_off = stub.Loader_stub.entry - Loader_stub.home in
   let code =
     Bytes.sub stub.Loader_stub.content code_off
-      (Bytes.length stub.Loader_stub.content - code_off)
+      (Bytes.length stub.Loader_stub.content - code_off - 8)
   in
   let insns =
     Decode.linear code ~pos:0 ~len:(Bytes.length code)
@@ -117,9 +118,21 @@ let test_stub_decodes_cleanly () =
     (List.for_all (function Insn.Unknown _ -> false | _ -> true) insns);
   check_int "three syscalls" 3
     (List.length (List.filter (fun i -> i = Insn.Syscall) insns));
-  match List.rev insns with
-  | Insn.Jmp_ind _ :: _ -> ()
-  | _ -> Alcotest.fail "stub must end with an indirect jump"
+  (* Register transparency: everything the stub writes it restores. *)
+  check_int "pushes balance pops" 0
+    (List.fold_left
+       (fun n i ->
+         match i with Insn.Push _ -> n + 1 | Insn.Pop _ -> n - 1 | _ -> n)
+       0 insns);
+  (match List.rev insns with
+  | Insn.Jmp_ind (Insn.Mem m) :: _ ->
+      check_bool "terminal jump reads the entry slot" true
+        (m.Insn.rip_rel && m.Insn.disp = 0)
+  | _ -> Alcotest.fail "stub must end with an indirect jump");
+  check_bool "entry slot holds the real entry" true
+    (Bytes.get_int64_le stub.Loader_stub.content
+       (Bytes.length stub.Loader_stub.content - 8)
+    = 0x400000L)
 
 (* ------------------------------------------------------------------ *)
 (* Tablemeta codec                                                     *)

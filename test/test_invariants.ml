@@ -12,6 +12,8 @@ module Codegen = E9_workload.Codegen
 module Machine = E9_emu.Machine
 module Cpu = E9_emu.Cpu
 
+module Static = E9_check.Static
+
 let check_bool = Alcotest.(check bool)
 
 let profile seed =
@@ -154,6 +156,45 @@ let test_trampolines_disjoint () =
       in
       go sorted
 
+(* Invariant 8: the E9_check static verifier independently accounts for
+   every changed byte. Cross-checks the hand-rolled invariants above: its
+   diff agrees with a direct byte diff, every changed byte is classified,
+   and every patched site anchors a classified diversion nearby. *)
+let test_static_verifier_cross_check () =
+  List.iter
+    (fun seed ->
+      let elf = Codegen.generate (profile seed) in
+      let _, before = text_bytes elf in
+      let r = rewrite_a1 elf in
+      let text, after = text_bytes r.Rewriter.output in
+      match Static.verify ~original:elf r.Rewriter.output with
+      | Error e ->
+          Alcotest.failf "seed %Ld: verifier rejected: %s" seed
+            (Format.asprintf "%a" Static.pp_error e)
+      | Ok report ->
+          let manual = ref 0 in
+          Bytes.iteri
+            (fun i b -> if Bytes.get after i <> b then incr manual)
+            before;
+          Alcotest.(check int) "diff agrees" !manual report.Static.changed_bytes;
+          Alcotest.(check int) "every changed byte classified" !manual
+            (List.length report.Static.classified);
+          check_bool "trampolines checked" true
+            (report.Static.trampolines_checked > 0);
+          (* Each patched site changed at least one byte within its own
+             influence radius (prefixes + jump + displacement). *)
+          List.iter
+            (fun (addr, _) ->
+              if addr >= text.Frontend.base then
+                check_bool
+                  (Printf.sprintf "site 0x%x anchors a classified byte" addr)
+                  true
+                  (List.exists
+                     (fun (a, _) -> a >= addr && a < addr + 13)
+                     report.Static.classified))
+            r.Rewriter.patched_sites)
+    [ 21L; 22L; 23L ]
+
 let suites =
   [ ( "invariants",
       [ Alcotest.test_case "changes are local" `Quick test_changes_are_local;
@@ -167,4 +208,6 @@ let suites =
           test_output_file_roundtrip;
         Alcotest.test_case "mixed templates" `Quick test_mixed_templates;
         Alcotest.test_case "mappings non-overlapping" `Quick
-          test_trampolines_disjoint ] ) ]
+          test_trampolines_disjoint;
+        Alcotest.test_case "static verifier cross-check" `Quick
+          test_static_verifier_cross_check ] ) ]

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "e9repro"
     (Test_bits.suites @ Test_x86.suites @ Test_elf.suites @ Test_emu.suites
-   @ Test_core.suites @ Test_lowfat.suites @ Test_workload.suites
-   @ Test_invariants.suites @ Test_reloc.suites @ Test_spec.suites
-   @ Test_flags.suites @ Test_asm.suites)
+   @ Test_frontend.suites @ Test_core.suites @ Test_lowfat.suites
+   @ Test_workload.suites @ Test_invariants.suites @ Test_reloc.suites
+   @ Test_spec.suites @ Test_flags.suites @ Test_asm.suites
+   @ Test_check.suites)
