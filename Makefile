@@ -1,6 +1,12 @@
 # Convenience wrappers around dune. CI runs `build`, `test`, `fuzz-smoke`,
 # `bench-smoke`.
 
+# The smoke targets tee their output into a log file; without pipefail a
+# crashed bench/fuzz run would exit with tee's (successful) status and CI
+# would go green on a failure.
+SHELL := /bin/bash
+.SHELLFLAGS := -e -o pipefail -c
+
 DUNE ?= dune
 SMOKE_TIMEOUT ?= 300
 FUZZ_N ?= 200
@@ -24,13 +30,13 @@ bench: build
 # emulator throughput path (scalability) and end-to-end patched-binary
 # emulation (figure4), at --smoke sizes. Writes BENCH_throughput.json.
 bench-smoke: build
-	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke scalability figure4
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke scalability figure4 | tee bench_output.txt
 
 # Fixed-seed differential fuzz campaign: random profile × tactic configs,
 # each rewrite checked by the static verifier and the trace oracle.
 # Deterministic; seconds, not minutes — safe for CI.
 fuzz-smoke: build
-	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- fuzz -n $(FUZZ_N) --seed $(FUZZ_SEED)
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- fuzz -n $(FUZZ_N) --seed $(FUZZ_SEED) | tee fuzz_output.txt
 
 clean:
 	$(DUNE) clean

@@ -64,74 +64,11 @@ let par_map f xs = Pool.map ~domains:(domains ()) f xs
 let cut n xs = if !smoke then List.filteri (fun i _ -> i < n) xs else xs
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON (hand-rolled: no external dependencies)                *)
+(* JSON (shared with the trace exporter: lib/obs, no external deps)    *)
 (* ------------------------------------------------------------------ *)
 
-module Json = struct
-  type t =
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let add_escaped b s =
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | c when Char.code c < 32 ->
-            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s
-
-  let rec write b = function
-    | Bool v -> Buffer.add_string b (if v then "true" else "false")
-    | Int i -> Buffer.add_string b (string_of_int i)
-    | Float f ->
-        (* NaN/inf have no JSON spelling; null keeps consumers honest. *)
-        if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
-        else Buffer.add_string b "null"
-    | Str s ->
-        Buffer.add_char b '"';
-        add_escaped b s;
-        Buffer.add_char b '"'
-    | List xs ->
-        Buffer.add_char b '[';
-        List.iteri
-          (fun i x ->
-            if i > 0 then Buffer.add_char b ',';
-            write b x)
-          xs;
-        Buffer.add_char b ']'
-    | Obj kvs ->
-        Buffer.add_char b '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char b ',';
-            Buffer.add_char b '"';
-            add_escaped b k;
-            Buffer.add_string b "\":";
-            write b v)
-          kvs;
-        Buffer.add_char b '}'
-
-  let to_string j =
-    let b = Buffer.create 1024 in
-    write b j;
-    Buffer.contents b
-
-  let to_file path j =
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        output_string oc (to_string j);
-        output_char oc '\n')
-end
+module Json = E9_obs.Json
+module Obs = E9_obs.Obs
 
 (* Per-experiment row store for --json. Rows are recorded from the serial
    print phase (never from parallel tasks), in print order. *)
@@ -158,6 +95,25 @@ let emu_insns = Atomic.make 0
 let emu_wall_us = Atomic.make 0
 let emu_block_hits = Atomic.make 0
 let emu_block_misses = Atomic.make 0
+let emu_block_invalidations = Atomic.make 0
+
+(* Rewrite-path telemetry, aggregated across domains: every measured
+   rewrite goes through [traced_run] with a per-call aggregator sink
+   (constant memory), merged into one global rollup under a lock. The
+   per-tactic histogram and phase-span totals land in
+   BENCH_throughput.json. The bechamel micro-benchmarks stay detached so
+   they keep measuring the bare (sink-less) hot path. *)
+let obs_agg = Obs.Agg.create ()
+let obs_lock = Mutex.create ()
+
+let traced_run ?options ?disasm_from ?frontend elf ~select ~template =
+  let obs = Obs.aggregator () in
+  let r =
+    Rewriter.run ?options ~obs ?disasm_from ?frontend elf ~select ~template
+  in
+  Mutex.protect obs_lock (fun () ->
+      Obs.Agg.merge_into ~dst:obs_agg (Obs.agg obs));
+  r
 
 (* Static-verification accounting: every measured rewrite is checked by
    the E9_check verifier, and a single rejection fails the whole bench
@@ -174,6 +130,8 @@ let run_emu ?config ?make_allocator ?libs elf =
   ignore (Atomic.fetch_and_add emu_wall_us dt_us);
   ignore (Atomic.fetch_and_add emu_block_hits r.Cpu.block_hits);
   ignore (Atomic.fetch_and_add emu_block_misses r.Cpu.block_misses);
+  ignore
+    (Atomic.fetch_and_add emu_block_invalidations r.Cpu.block_invalidations);
   r
 
 type app_result = {
@@ -231,7 +189,7 @@ let verify_rewrite name elf (r : Rewriter.result) =
 (* Rewrite with [select]/[template] and measure one Table 1 line. *)
 let measure_app ?(options = Rewriter.default_options) ?make_allocator
     ~select ~template elf (orig : Cpu.result) =
-  let r = Rewriter.run ~options ?disasm_from:(disasm_from_of elf) elf ~select ~template in
+  let r = traced_run ~options ?disasm_from:(disasm_from_of elf) elf ~select ~template in
   verify_rewrite "measure_app" elf r;
   let patched = run_emu ?make_allocator r.Rewriter.output in
   expect_exit "patched" patched;
@@ -336,7 +294,7 @@ let bench_compare () =
         let options = options_for row in
         let stats select =
           let r =
-            Rewriter.run ~options ?disasm_from:(disasm_from_of elf) elf ~select
+            traced_run ~options ?disasm_from:(disasm_from_of elf) elf ~select
               ~template:(fun _ -> Trampoline.Empty)
           in
           r.Rewriter.stats
@@ -504,7 +462,7 @@ let bench_grouping () =
               let size grouping =
                 let options = { (options_for row) with Rewriter.grouping } in
                 let r =
-                  Rewriter.run ~options elf ~select
+                  traced_run ~options elf ~select
                     ~template:(fun _ -> Trampoline.Empty)
                 in
                 (Rewriter.size_pct r, r.Rewriter.mappings,
@@ -548,7 +506,7 @@ let bench_grouping () =
       (fun m ->
         let options = { (options_for row) with Rewriter.granularity = m } in
         let r =
-          Rewriter.run ~options elf ~select:Frontend.select_jumps
+          traced_run ~options elf ~select:Frontend.select_jumps
             ~template:(fun _ -> Trampoline.Empty)
         in
         (m, r.Rewriter.mappings, Rewriter.size_pct r))
@@ -596,7 +554,7 @@ let bench_ablation () =
                   Rewriter.tactics = f Tactics.default_options }
               in
               let r =
-                Rewriter.run ~options elf ~select:Frontend.select_jumps
+                traced_run ~options elf ~select:Frontend.select_jumps
                   ~template:(fun _ -> Trampoline.Empty)
               in
               Stats.succ_pct r.Rewriter.stats)
@@ -641,7 +599,7 @@ let bench_pie () =
               Codegen.seed = 999L; functions = 600; iterations = 1; pie }
           in
           let r =
-            Rewriter.run (Codegen.generate prof) ~select
+            traced_run (Codegen.generate prof) ~select
               ~template:(fun _ -> Trampoline.Empty)
           in
           Stats.base_pct r.Rewriter.stats
@@ -674,7 +632,7 @@ let bench_b0 () =
   expect_exit "orig" orig;
   let time options =
     let r =
-      Rewriter.run ~options elf ~select:Frontend.select_jumps
+      traced_run ~options elf ~select:Frontend.select_jumps
         ~template:(fun _ -> Trampoline.Empty)
     in
     let p = run_emu r.Rewriter.output in
@@ -750,7 +708,7 @@ let bench_robustness () =
     (Printf.sprintf "(tables %d/%d: PIC tables invisible)"
        hz.Reloc.tables_rewritten hz.Reloc.tables_total);
   let e9 =
-    Rewriter.run elf ~select:Frontend.select_jumps
+    traced_run elf ~select:Frontend.select_jumps
       ~template:(fun _ -> Trampoline.Counter)
   in
   describe "e9patch (no CFG at all)"
@@ -834,7 +792,7 @@ let bench_scalability () =
         let text, _ = Frontend.disassemble elf in
         let t0 = Unix.gettimeofday () in
         let r =
-          Rewriter.run elf ~select:Frontend.select_jumps
+          traced_run elf ~select:Frontend.select_jumps
             ~template:(fun _ -> Trampoline.Empty)
         in
         let dt = Unix.gettimeofday () -. t0 in
@@ -895,7 +853,7 @@ let bench_calibration () =
             short_jump_bias = bias }
         in
         let r =
-          Rewriter.run (Codegen.generate prof) ~select:Frontend.select_jumps
+          traced_run (Codegen.generate prof) ~select:Frontend.select_jumps
             ~template:(fun _ -> Trampoline.Empty)
         in
         (bias, Stats.base_pct r.Rewriter.stats))
@@ -917,7 +875,7 @@ let bench_calibration () =
             small_write_bias = sw }
         in
         let r =
-          Rewriter.run (Codegen.generate prof)
+          traced_run (Codegen.generate prof)
             ~select:Frontend.select_heap_writes
             ~template:(fun _ -> Trampoline.Empty)
         in
@@ -948,6 +906,8 @@ let bench_bechamel () =
       { (Dromaeo.program (List.hd Dromaeo.suites)) with Codegen.iterations = 1 }
   in
   let rewrite ?(options = Rewriter.default_options) elf select template () =
+    (* Deliberately detached (no obs sink): bechamel measures the bare
+       hot path, which keeps the <2% sink-overhead budget honest. *)
     ignore (Rewriter.run ~options elf ~select ~template:(fun _ -> template))
   in
   let tests =
@@ -1068,9 +1028,11 @@ let () =
       emu_wall_s = float_of_int (Atomic.get emu_wall_us) /. 1e6;
       block_hits = Atomic.get emu_block_hits;
       block_misses = Atomic.get emu_block_misses;
+      block_invalidations = Atomic.get emu_block_invalidations;
       domains = domains () }
   in
   printf "@.[throughput: %a]@." Stats.pp_throughput tp;
+  printf "@.[tactics: %a]@." Obs.Agg.pp obs_agg;
   Json.to_file throughput_path
     (Json.Obj
        [ ("schema", Json.Str "e9repro-bench-throughput/1");
@@ -1085,7 +1047,10 @@ let () =
               ("insns_per_sec", Json.Float (Stats.insns_per_sec tp));
               ("block_hits", Json.Int tp.Stats.block_hits);
               ("block_misses", Json.Int tp.Stats.block_misses);
-              ("block_hit_rate", Json.Float (Stats.block_hit_rate tp)) ]);
+              ("block_hit_rate", Json.Float (Stats.block_hit_rate tp));
+              ("block_invalidations", Json.Int tp.Stats.block_invalidations) ]);
+         ("tactics", Obs.Agg.tactics_json obs_agg);
+         ("timings", Obs.Agg.spans_json obs_agg);
          ("verify",
           Json.Obj
             [ ("checked", Json.Int (Atomic.get verify_checked));

@@ -16,6 +16,7 @@ module Stats = E9_core.Stats
 module Trampoline = E9_core.Trampoline
 module Lowfat = E9_lowfat.Lowfat
 module Patchspec = E9_spec.Patchspec
+module Obs = E9_obs.Obs
 
 open Cmdliner
 
@@ -118,8 +119,17 @@ let patch_cmd =
       & opt (some file) None
       & info [ "spec-file" ] ~doc:"Read the patch spec from a file.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write structured rewrite telemetry (per-tactic attempts, \
+                phase timings, allocator gauges) to $(docv) as ndjson, one \
+                event per line.")
+  in
   let run () input output select template granularity no_grouping shared b0
-      no_t1 no_t2 no_t3 stub spec_arg spec_file =
+      no_t1 no_t2 no_t3 stub spec_arg spec_file trace =
     let elf = Elf_file.read_file input in
     let options =
       { Rewriter.tactics =
@@ -148,19 +158,31 @@ let patch_cmd =
       | None, None ->
           (select_of select, fun _ -> template_of template)
     in
-    let r = Rewriter.run ~options elf ~select ~template in
+    let obs =
+      match trace with Some _ -> Obs.ring () | None -> Obs.null
+    in
+    let r = Rewriter.run ~options ~obs elf ~select ~template in
     Elf_file.write_file r.Rewriter.output output;
     printf "%a@." Stats.pp r.Rewriter.stats;
     printf "size: %d -> %d bytes (%.1f%%); %d trampoline bytes; %d mappings@."
       r.Rewriter.input_size r.Rewriter.output_size (Rewriter.size_pct r)
       r.Rewriter.trampoline_bytes r.Rewriter.mappings;
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Obs.write_ndjson obs path;
+        (if Obs.dropped obs > 0 then
+           printf "trace: ring overflowed, %d oldest events dropped@."
+             (Obs.dropped obs));
+        printf "trace: %d events -> %s@." (List.length (Obs.events obs)) path;
+        printf "%a@." Obs.Agg.pp (Obs.agg obs));
     printf "wrote %s@." output
   in
   Cmd.v (Cmd.info "patch" ~doc:"Statically rewrite a binary (no control flow recovery).")
     Term.(
       const run $ setup_logs $ input $ output $ select $ template
       $ granularity $ no_grouping $ shared $ b0 $ no_t1 $ no_t2 $ no_t3
-      $ stub $ spec_arg $ spec_file)
+      $ stub $ spec_arg $ spec_file $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)

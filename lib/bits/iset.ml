@@ -137,4 +137,5 @@ let find_free_last t ~size ~lo ~hi =
 let iter t f = M.iter (fun lo hi -> f ~lo ~hi) t.map
 let fold t init f = M.fold (fun lo hi acc -> f acc ~lo ~hi) t.map init
 let occupied t = fold t 0 (fun acc ~lo ~hi -> acc + (hi - lo))
+let count t = M.cardinal t.map
 let intervals t = List.rev (fold t [] (fun acc ~lo ~hi -> (lo, hi) :: acc))

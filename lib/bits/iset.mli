@@ -47,5 +47,10 @@ val fold : t -> 'a -> ('a -> lo:int -> hi:int -> 'a) -> 'a
 (** [occupied t] is the total number of occupied bytes. *)
 val occupied : t -> int
 
+(** [count t] is the number of disjoint occupied intervals — a direct
+    fragmentation gauge (bytes per interval falls as fragmentation
+    rises). *)
+val count : t -> int
+
 (** [intervals t] lists the occupied intervals in increasing order. *)
 val intervals : t -> (int * int) list

@@ -72,3 +72,16 @@ let reserve t ~addr ~size = Iset.add t.occupied ~lo:addr ~hi:(addr + size)
 
 let trampoline_extents t = Iset.intervals t.trampolines
 let trampoline_bytes t = Iset.occupied t.trampolines
+
+type occupancy = {
+  occupied_intervals : int;
+  trampoline_extents : int;
+  trampoline_bytes : int;
+}
+
+let occupancy t =
+  {
+    occupied_intervals = Iset.count t.occupied;
+    trampoline_extents = Iset.count t.trampolines;
+    trampoline_bytes = Iset.occupied t.trampolines;
+  }

@@ -59,3 +59,14 @@ val trampoline_extents : t -> (int * int) list
 
 (** [trampoline_bytes t] is the total size of allocated trampolines. *)
 val trampoline_bytes : t -> int
+
+(** Point-in-time allocator gauges for the observability layer:
+    [occupied_intervals] counts disjoint occupied ranges (fragmentation),
+    [trampoline_extents] the disjoint allocated trampoline ranges. *)
+type occupancy = {
+  occupied_intervals : int;
+  trampoline_extents : int;
+  trampoline_bytes : int;
+}
+
+val occupancy : t -> occupancy

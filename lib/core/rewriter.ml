@@ -29,8 +29,8 @@ type result = {
   patched_sites : (int * Stats.tactic) list;
 }
 
-let run ?(options = default_options) ?disasm_from ?frontend input ~select
-    ~template =
+let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?disasm_from
+    ?frontend input ~select ~template =
   let input_size = Elf_file.serialized_size input in
   let output = Elf_file.copy input in
   let disassemble =
@@ -38,7 +38,9 @@ let run ?(options = default_options) ?disasm_from ?frontend input ~select
     | Some f -> f
     | None -> Frontend.disassemble ?from:disasm_from
   in
-  let text, sites_list = disassemble output in
+  let text, sites_list =
+    E9_obs.Obs.span obs "decode" (fun () -> disassemble output)
+  in
   let sites = Array.of_list sites_list in
   let layout =
     Layout.create ~reserve_below_base:options.reserve_below_base
@@ -48,8 +50,8 @@ let run ?(options = default_options) ?disasm_from ?frontend input ~select
     Buf.of_bytes (Buf.sub output.Elf_file.data ~pos:text.Frontend.offset ~len:text.Frontend.size)
   in
   let ctx =
-    Tactics.create_ctx ~text:text_buf ~text_base:text.Frontend.base ~layout
-      ~sites ~options:options.tactics
+    Tactics.create_ctx ~obs ~text:text_buf ~text_base:text.Frontend.base
+      ~layout ~sites ~options:options.tactics ()
   in
   let stats = Stats.create () in
   let patched = ref [] in
@@ -59,21 +61,34 @@ let run ?(options = default_options) ?disasm_from ?frontend input ~select
     Array.to_list sites |> List.filter select
     |> List.sort (fun (a : Frontend.site) b -> compare b.addr a.addr)
   in
-  List.iter
-    (fun site ->
-      match Tactics.patch ctx site (template site) with
-      | Some tactic ->
-          Stats.record stats tactic;
-          patched := (site.Frontend.addr, tactic) :: !patched
-      | None -> Stats.record_failure stats)
-    patch_sites;
+  E9_obs.Obs.span obs "tactic_search" (fun () ->
+      List.iter
+        (fun site ->
+          match Tactics.patch ctx site (template site) with
+          | Some tactic ->
+              Stats.record stats tactic;
+              patched := (site.Frontend.addr, tactic) :: !patched
+          | None -> Stats.record_failure stats)
+        patch_sites);
+  if E9_obs.Obs.enabled obs then begin
+    let occ = Layout.occupancy layout in
+    E9_obs.Obs.gauge obs ~name:"layout.occupied_intervals"
+      ~value:occ.Layout.occupied_intervals;
+    E9_obs.Obs.gauge obs ~name:"layout.trampoline_extents"
+      ~value:occ.Layout.trampoline_extents;
+    E9_obs.Obs.gauge obs ~name:"layout.trampoline_bytes"
+      ~value:occ.Layout.trampoline_bytes;
+    E9_obs.Obs.gauge obs ~name:"text.locked_bytes"
+      ~value:(Lock.locked_count (Tactics.locks ctx))
+  end;
   (* Blit the patched text back — strictly in place. *)
   Buf.blit_in output.Elf_file.data ~pos:text.Frontend.offset (Buf.contents text_buf);
   (* Physical page grouping over the emitted trampolines, then append. *)
   let tramps = Tactics.trampolines ctx in
   let grouped =
-    Pagegroup.group ~granularity:options.granularity ~enabled:options.grouping
-      tramps
+    E9_obs.Obs.span obs "layout" (fun () ->
+        Pagegroup.group ~granularity:options.granularity
+          ~enabled:options.grouping tramps)
   in
   if Bytes.length grouped.Pagegroup.blob > 0 then begin
     let blob_off =
@@ -121,7 +136,10 @@ let run ?(options = default_options) ?disasm_from ?frontend input ~select
       ignore
         (Elf_file.add_section output ~name:Elf_file.trap_section_name ~addr:0
            ~sh_type:1 ~sh_flags:0 ~content:(Loadmap.encode_traps traps)));
-  let output_size = Elf_file.serialized_size output in
+  let output_size =
+    E9_obs.Obs.span obs "serialize" (fun () ->
+        Elf_file.serialized_size output)
+  in
   Logs.info (fun m ->
       m "rewrote %s: %a; %d -> %d bytes; %d trampolines in %d mappings"
         (match Frontend.find_text output with

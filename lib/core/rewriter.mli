@@ -51,9 +51,13 @@ type result = {
     {!Frontend.disassemble_recursive}) — E9Patch only consumes instruction
     locations and sizes, so any frontend that reports them correctly
     works, and partial frontends yield partial instrumentation, never
-    incorrectness. *)
+    incorrectness. [obs] (default {!E9_obs.Obs.null}) receives per-tactic
+    attempt records, phase spans ([decode], [tactic_search], [layout],
+    [serialize]) and allocator occupancy gauges; with the null sink every
+    emission point is a single branch. *)
 val run :
   ?options:options ->
+  ?obs:E9_obs.Obs.t ->
   ?disasm_from:int ->
   ?frontend:(Elf_file.t -> Frontend.text * Frontend.site list) ->
   Elf_file.t ->

@@ -54,6 +54,7 @@ type throughput = {
   emu_wall_s : float;
   block_hits : int;
   block_misses : int;
+  block_invalidations : int;
   domains : int;
 }
 
@@ -68,8 +69,8 @@ let block_hit_rate t =
 let pp_throughput ppf t =
   Format.fprintf ppf
     "wall=%.2fs domains=%d emu: %d insns in %.2fs (%.2f Minsns/s), block \
-     cache %.1f%% hit (%d hits / %d misses)"
+     cache %.1f%% hit (%d hits / %d misses / %d flushes)"
     t.wall_s t.domains t.emu_insns t.emu_wall_s
     (insns_per_sec t /. 1e6)
     (100.0 *. block_hit_rate t)
-    t.block_hits t.block_misses
+    t.block_hits t.block_misses t.block_invalidations

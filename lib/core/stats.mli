@@ -44,6 +44,7 @@ type throughput = {
   emu_wall_s : float;  (** wall clock spent inside [Cpu.run] *)
   block_hits : int;  (** superblock-cache hits, all runs *)
   block_misses : int;
+  block_invalidations : int;  (** generation-mismatch cache flushes *)
   domains : int;  (** domains the bench pipeline fanned out across *)
 }
 

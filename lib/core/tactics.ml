@@ -1,5 +1,6 @@
 module Buf = E9_bits.Buf
 module Insn = E9_x86.Insn
+module Obs = E9_obs.Obs
 
 type options = {
   enable_base : bool;
@@ -38,9 +39,20 @@ type ctx = {
   mutable trampolines : (int * bytes) list;
   mutable traps : Loadmap.trap list;
   opts : options;
+  obs : Obs.t;
 }
 
-let create_ctx ~text ~text_base ~layout ~sites ~options =
+(* E9_obs sits below this library, so it carries its own copy of the
+   tactic enum; keep the two in sync here. *)
+let obs_tactic = function
+  | Stats.B0 -> Obs.B0
+  | Stats.B1 -> Obs.B1
+  | Stats.B2 -> Obs.B2
+  | Stats.T1 -> Obs.T1
+  | Stats.T2 -> Obs.T2
+  | Stats.T3 -> Obs.T3
+
+let create_ctx ?(obs = Obs.null) ~text ~text_base ~layout ~sites ~options () =
   let index_of = Hashtbl.create (Array.length sites) in
   Array.iteri (fun i (s : Frontend.site) -> Hashtbl.replace index_of s.addr i) sites;
   { text;
@@ -52,7 +64,8 @@ let create_ctx ~text ~text_base ~layout ~sites ~options =
     dead = Lock.create ~base:text_base ~len:(Buf.length text);
     trampolines = [];
     traps = [];
-    opts = options }
+    opts = options;
+    obs }
 
 let trampolines ctx = List.rev ctx.trampolines
 let trap_entries ctx = List.rev ctx.traps
@@ -103,14 +116,15 @@ let clamp_window ~jmp_end (lo, hi) =
 
 (* The pun geometry at [addr]/[len]/[pad]: checks locks and text bounds,
    reads the fixed displacement bytes, and returns the target window.
-   Returns [None] when the jump cannot be placed at all. *)
+   The [Error] carries why the jump cannot be placed at all. *)
 let pun_window ctx ~addr ~len ~pad =
   let jmp_off = addr + pad in
   let jmp_end = jmp_off + 5 in
   let free = free_bytes_of ~len ~pad in
   let mod_hi = max (addr + len) (jmp_off + 1 + free) in
-  if not (Lock.all_unlocked ctx.locks ~addr ~len:(mod_hi - addr)) then None
-  else if free < 4 && not (in_text ctx (jmp_off + 4)) then None
+  if not (Lock.all_unlocked ctx.locks ~addr ~len:(mod_hi - addr)) then
+    Error Obs.Locked
+  else if free < 4 && not (in_text ctx (jmp_off + 4)) then Error Obs.Pun_miss
   else begin
     let fixed =
       List.init (4 - free) (fun i -> byte ctx (jmp_off + 1 + free + i))
@@ -120,7 +134,7 @@ let pun_window ctx ~addr ~len ~pad =
       clamp_window ~jmp_end
         (Pun.target_window ~jmp_end ~free_bytes:free ~fixed_high)
     in
-    Some (jmp_end, free, lo, hi)
+    if lo > hi then Error Obs.Range else Ok (jmp_end, free, lo, hi)
   end
 
 (* Write the (validated, allocated) jump. Punned bytes are asserted, not
@@ -151,46 +165,61 @@ let add_trampoline ctx addr code = ctx.trampolines <- (addr, code) :: ctx.trampo
 
 (* One pun attempt at a given padding level; emits the patch trampoline. *)
 let try_pun ctx (site : Frontend.site) template ~pad =
-  if pad > max 0 (site.len - 1) then None
+  if pad > max 0 (site.len - 1) then Error Obs.Too_short
   else
     match pun_window ctx ~addr:site.addr ~len:site.len ~pad with
-    | None -> None
-    | Some (_, _, lo, hi) -> (
+    | Error _ as e -> e
+    | Ok (_, _, lo, hi) -> (
         let tsize =
           Trampoline.size template ~insn:site.insn ~insn_addr:site.addr
             ~insn_len:site.len
         in
         match Layout.alloc ctx.layout ~size:tsize ~lo ~hi with
-        | None -> None
+        | None -> Error Obs.Alloc_conflict
         | Some t ->
             write_jump ctx ~addr:site.addr ~len:site.len ~pad ~target:t;
             add_trampoline ctx t
               (Trampoline.emit template ~at:t ~insn:site.insn
                  ~insn_addr:site.addr ~insn_len:site.len);
-            Some t)
+            Ok t)
 
 (* ------------------------------------------------------------------ *)
 (* B1 / B2: direct and punned jumps                                    *)
 (* ------------------------------------------------------------------ *)
 
 let try_b1_b2 ctx (site : Frontend.site) template =
+  let tactic = if site.len >= 5 then Stats.B1 else Stats.B2 in
   match try_pun ctx site template ~pad:0 with
-  | Some t -> Some ((if site.len >= 5 then Stats.B1 else Stats.B2), t)
-  | None -> None
+  | Ok t ->
+      Obs.accept ctx.obs ~addr:site.addr ~tactic:(obs_tactic tactic)
+        ~trampoline:t ~pad:0 ~evictee_distance:0;
+      Some (tactic, t)
+  | Error reason ->
+      Obs.reject ctx.obs ~addr:site.addr ~tactic:(obs_tactic tactic) ~reason;
+      None
 
 (* ------------------------------------------------------------------ *)
 (* T1: padded jumps                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let try_t1 ctx (site : Frontend.site) template =
-  let rec go pad =
-    if pad > site.len - 1 then None
+  (* One Attempt record for the whole pad sweep: the last reject reason is
+     the one that killed the final (largest-window) padding level. *)
+  let rec go pad last =
+    if pad > site.len - 1 then Error last
     else
       match try_pun ctx site template ~pad with
-      | Some t -> Some (Stats.T1, t)
-      | None -> go (pad + 1)
+      | Ok t -> Ok (t, pad)
+      | Error reason -> go (pad + 1) reason
   in
-  go 1
+  match go 1 Obs.Too_short with
+  | Ok (t, pad) ->
+      Obs.accept ctx.obs ~addr:site.addr ~tactic:Obs.T1 ~trampoline:t ~pad
+        ~evictee_distance:0;
+      Some (Stats.T1, t)
+  | Error reason ->
+      Obs.reject ctx.obs ~addr:site.addr ~tactic:Obs.T1 ~reason;
+      None
 
 (* ------------------------------------------------------------------ *)
 (* T2: successor eviction (joint pun search)                           *)
@@ -204,17 +233,22 @@ let candidate_seq ~combos ~tries i =
 let try_t2 ctx (site : Frontend.site) template =
   let k = site.len in
   let s_addr = site.addr + k in
+  let rejected reason =
+    Obs.reject ctx.obs ~addr:site.addr ~tactic:Obs.T2 ~reason;
+    None
+  in
   match site_index ctx s_addr with
-  | None -> None
+  | None -> rejected Obs.No_successor
   | Some si ->
       let s = ctx.sites.(si) in
-      if not (displaceable s.insn) then None
-      else if not (Lock.all_unlocked ctx.locks ~addr:site.addr ~len:k) then None
+      if not (displaceable s.insn) then rejected Obs.No_successor
+      else if not (Lock.all_unlocked ctx.locks ~addr:site.addr ~len:k) then
+        rejected Obs.Locked
       else begin
         (* The successor's own (pad-0) pun geometry. *)
         match pun_window ctx ~addr:s_addr ~len:s.len ~pad:0 with
-        | None -> None
-        | Some (_, s_free, s_lo, s_hi) ->
+        | Error reason -> rejected reason
+        | Ok (_, s_free, s_lo, s_hi) ->
             let s_fixed =
               List.init (4 - s_free) (fun i -> byte ctx (s_addr + 1 + s_free + i))
             in
@@ -272,7 +306,7 @@ let try_t2 ctx (site : Frontend.site) template =
                         add_trampoline ctx t_p
                           (Trampoline.emit template ~at:t_p ~insn:site.insn
                              ~insn_addr:site.addr ~insn_len:k);
-                        result := Some (Stats.T2, t_p);
+                        result := Some (t_p, p);
                         true
                   end
                   else false
@@ -325,7 +359,14 @@ let try_t2 ctx (site : Frontend.site) template =
               end;
               incr pad
             done;
-            !result
+            (match !result with
+            | Some (t_p, p) ->
+                Obs.accept ctx.obs ~addr:site.addr ~tactic:Obs.T2
+                  ~trampoline:t_p ~pad:p ~evictee_distance:k;
+                Some (Stats.T2, t_p)
+            | None ->
+                rejected
+                  (if !budget <= 0 then Obs.Budget else Obs.Alloc_conflict))
       end
 
 (* ------------------------------------------------------------------ *)
@@ -355,8 +396,8 @@ let try_t3_squat ctx (site : Frontend.site) template tsize =
       let rec run n = if n < 4 && is_dead (!a + 1 + n) then run (n + 1) else n in
       let free = run 0 in
       match pun_window ctx ~addr:!a ~len:(1 + free) ~pad:0 with
-      | None -> ()
-      | Some (_, _, lo, hi) -> (
+      | Error _ -> ()
+      | Ok (_, _, lo, hi) -> (
           match Layout.alloc ctx.layout ~size:tsize ~lo ~hi with
           | None -> ()
           | Some t_p ->
@@ -365,22 +406,31 @@ let try_t3_squat ctx (site : Frontend.site) template tsize =
                 (Trampoline.emit template ~at:t_p ~insn:site.insn
                    ~insn_addr:site.addr ~insn_len:site.len);
               write_short_jump ctx site ~jp:!a;
-              result := Some (Stats.T3, t_p))
+              result := Some (t_p, !a))
     end;
     incr a
   done;
   !result
 
 let try_t3 ctx (site : Frontend.site) template =
-  if site.len < 2 then None (* the short jump needs two bytes (L2) *)
-  else if not (Lock.all_unlocked ctx.locks ~addr:site.addr ~len:2) then None
+  let rejected reason =
+    Obs.reject ctx.obs ~addr:site.addr ~tactic:Obs.T3 ~reason;
+    None
+  in
+  if site.len < 2 then rejected Obs.Too_short
+    (* the short jump needs two bytes (L2) *)
+  else if not (Lock.all_unlocked ctx.locks ~addr:site.addr ~len:2) then
+    rejected Obs.Locked
   else begin
     let tsize =
       Trampoline.size template ~insn:site.insn ~insn_addr:site.addr
         ~insn_len:site.len
     in
     match try_t3_squat ctx site template tsize with
-    | Some _ as r -> r
+    | Some (t_p, jp) ->
+        Obs.accept ctx.obs ~addr:site.addr ~tactic:Obs.T3 ~trampoline:t_p
+          ~pad:0 ~evictee_distance:(jp - site.addr);
+        Some (Stats.T3, t_p)
     | None ->
     let result = ref None in
     let budget = ref ctx.opts.t3_cap in
@@ -486,7 +536,7 @@ let try_t3 ctx (site : Frontend.site) template =
                             add_trampoline ctx t_v
                               (Trampoline.emit_evictee ~at:t_v ~insn:v.insn
                                  ~insn_addr:v.addr ~insn_len:v.len);
-                            result := Some (Stats.T3, t_p)
+                            result := Some (t_p, v.addr)
                           end
                     end));
                 incr i
@@ -498,7 +548,12 @@ let try_t3 ctx (site : Frontend.site) template =
       end;
       incr vi
     done;
-    !result
+    (match !result with
+    | Some (t_p, v_addr) ->
+        Obs.accept ctx.obs ~addr:site.addr ~tactic:Obs.T3 ~trampoline:t_p
+          ~pad:0 ~evictee_distance:(v_addr - site.addr);
+        Some (Stats.T3, t_p)
+    | None -> rejected (if !budget <= 0 then Obs.Budget else Obs.Range))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -506,7 +561,12 @@ let try_t3 ctx (site : Frontend.site) template =
 (* ------------------------------------------------------------------ *)
 
 let try_b0 ctx (site : Frontend.site) template =
-  if not (Lock.all_unlocked ctx.locks ~addr:site.addr ~len:1) then None
+  let rejected reason =
+    Obs.reject ctx.obs ~addr:site.addr ~tactic:Obs.B0 ~reason;
+    None
+  in
+  if not (Lock.all_unlocked ctx.locks ~addr:site.addr ~len:1) then
+    rejected Obs.Locked
   else begin
     let tsize =
       Trampoline.size template ~insn:site.insn ~insn_addr:site.addr
@@ -518,7 +578,7 @@ let try_b0 ctx (site : Frontend.site) template =
         (site.addr + 5 - 0x8000_0000, site.addr + 5 + 0x7fff_ffff)
     in
     match Layout.alloc ctx.layout ~size:tsize ~lo ~hi with
-    | None -> None
+    | None -> rejected Obs.Alloc_conflict
     | Some t ->
         set_byte ctx site.addr 0xcc;
         Lock.lock ctx.locks site.addr;
@@ -529,6 +589,8 @@ let try_b0 ctx (site : Frontend.site) template =
         add_trampoline ctx t
           (Trampoline.emit template ~at:t ~insn:site.insn ~insn_addr:site.addr
              ~insn_len:site.len);
+        Obs.accept ctx.obs ~addr:site.addr ~tactic:Obs.B0 ~trampoline:t ~pad:0
+          ~evictee_distance:0;
         Some (Stats.B0, t)
   end
 
@@ -561,4 +623,6 @@ let patch ctx site template =
       Log.info (fun m ->
           m "0x%x %s: all tactics failed" site.Frontend.addr
             (E9_x86.Insn.to_string site.Frontend.insn)));
+  Obs.site ctx.obs ~addr:site.Frontend.addr
+    ~tactic:(Option.map (fun (t, _) -> obs_tactic t) outcome);
   Option.map fst outcome

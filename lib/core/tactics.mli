@@ -35,13 +35,19 @@ type ctx
 
 (** [create_ctx ~text ~text_base ~layout ~sites ~options] — [text] is a
     mutable copy of the text section (mutated in place as patches land);
-    [sites] is the full linear disassembly in address order. *)
+    [sites] is the full linear disassembly in address order. [obs]
+    (default {!E9_obs.Obs.null}) receives one [Attempt] record per tactic
+    tried per site — accepted (with padding bytes and evictee distance)
+    or rejected with a typed reason — plus a final per-site [Site]
+    verdict. *)
 val create_ctx :
+  ?obs:E9_obs.Obs.t ->
   text:E9_bits.Buf.t ->
   text_base:int ->
   layout:Layout.t ->
   sites:Frontend.site array ->
   options:options ->
+  unit ->
   ctx
 
 (** [patch ctx site template] tries B1/B2, then (as enabled) T1, T2, T3,

@@ -202,35 +202,83 @@ let to_bytes t =
     t.segments;
   Buf.contents img
 
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
 let of_bytes bytes =
   let img = Buf.of_bytes bytes in
-  if Buf.length img < ehdr_size then failwith "Elf_file: truncated header";
-  if Buf.get_u32 img 0 <> 0x464c457f then failwith "Elf_file: bad magic";
+  let len = Buf.length img in
+  if len < ehdr_size then malformed "truncated header (%d bytes)" len;
+  if Buf.get_u32 img 0 <> 0x464c457f then malformed "bad magic";
   if Buf.get_u8 img 4 <> 2 || Buf.get_u8 img 5 <> 1 then
-    failwith "Elf_file: not little-endian ELF64";
+    malformed "not little-endian ELF64";
   let etype =
     match Buf.get_u16 img 16 with
     | 2 -> Exec
     | 3 -> Dyn
-    | n -> failwith (Printf.sprintf "Elf_file: unsupported e_type %d" n)
+    | n -> malformed "unsupported e_type %d" n
   in
   let entry = Int64.to_int (Buf.get_u64 img 24) in
   let phoff = Int64.to_int (Buf.get_u64 img 32) in
   let shoff = Int64.to_int (Buf.get_u64 img 40) in
+  let phentsize = Buf.get_u16 img 54 in
   let phnum = Buf.get_u16 img 56 in
+  let shentsize = Buf.get_u16 img 58 in
   let shnum = Buf.get_u16 img 60 in
   let shstrndx = Buf.get_u16 img 62 in
+  (* Header-table geometry must be sane before any entry is read: a zero
+     or alien entry size would misalign every subsequent field read, and a
+     table extending past EOF would turn into Invalid_argument from the
+     byte accessors instead of a typed error. *)
+  if phnum > 0 && phentsize <> phent_size then
+    malformed "zero-sized or alien phdr entries (e_phentsize=%d)" phentsize;
+  if shnum > 0 && shentsize <> shent_size then
+    malformed "zero-sized or alien shdr entries (e_shentsize=%d)" shentsize;
+  if phnum > 0 && (phoff < 0 || phoff + (phnum * phent_size) > len) then
+    malformed "truncated program headers (%d entries at 0x%x, file is %d)"
+      phnum phoff len;
+  if shnum > 0 && (shoff < 0 || shoff + (shnum * shent_size) > len) then
+    malformed "truncated section headers (%d entries at 0x%x, file is %d)"
+      shnum shoff len;
   let segments =
     List.init phnum (fun i ->
         let base = phoff + (i * phent_size) in
-        { ptype = ptype_of_code (Buf.get_u32 img base);
-          prot = prot_of_flags (Buf.get_u32 img (base + 4));
-          offset = Int64.to_int (Buf.get_u64 img (base + 8));
-          vaddr = Int64.to_int (Buf.get_u64 img (base + 16));
-          filesz = Int64.to_int (Buf.get_u64 img (base + 32));
-          memsz = Int64.to_int (Buf.get_u64 img (base + 40));
-          align = Int64.to_int (Buf.get_u64 img (base + 48)) })
+        let seg =
+          { ptype = ptype_of_code (Buf.get_u32 img base);
+            prot = prot_of_flags (Buf.get_u32 img (base + 4));
+            offset = Int64.to_int (Buf.get_u64 img (base + 8));
+            vaddr = Int64.to_int (Buf.get_u64 img (base + 16));
+            filesz = Int64.to_int (Buf.get_u64 img (base + 32));
+            memsz = Int64.to_int (Buf.get_u64 img (base + 40));
+            align = Int64.to_int (Buf.get_u64 img (base + 48)) }
+        in
+        (if seg.ptype = Load then begin
+           if seg.filesz < 0 || seg.offset < 0 || seg.offset + seg.filesz > len
+           then
+             malformed "PT_LOAD %d file range [0x%x, 0x%x) outside the image"
+               i seg.offset (seg.offset + seg.filesz);
+           if seg.memsz < seg.filesz then
+             malformed "PT_LOAD %d has memsz %d < filesz %d" i seg.memsz
+               seg.filesz
+         end);
+        seg)
   in
+  (* PT_LOAD images must not overlap in memory: the rewriter's layout
+     allocator and the loader both assume each address has one home. *)
+  (let loads =
+     List.filter (fun s -> s.ptype = Load) segments
+     |> List.sort (fun a b -> compare a.vaddr b.vaddr)
+   in
+   let rec check = function
+     | a :: (b :: _ as rest) ->
+         if a.vaddr + a.memsz > b.vaddr then
+           malformed "overlapping PT_LOAD segments at 0x%x and 0x%x" a.vaddr
+             b.vaddr;
+         check rest
+     | _ -> ()
+   in
+   check loads);
   let raw_sections =
     List.init shnum (fun i ->
         let base = shoff + (i * shent_size) in
@@ -244,14 +292,19 @@ let of_bytes bytes =
   in
   let strtab =
     match List.nth_opt raw_sections shstrndx with
-    | Some (_, s) -> Buf.sub img ~pos:s.offset ~len:s.size
+    | Some (_, s) ->
+        if s.size < 0 || s.offset < 0 || s.offset + s.size > len then
+          malformed "string table [0x%x, 0x%x) outside the image" s.offset
+            (s.offset + s.size);
+        Buf.sub img ~pos:s.offset ~len:s.size
     | None -> Bytes.empty
   in
   let name_at idx =
     if idx >= Bytes.length strtab then ""
     else
-      let stop = Bytes.index_from strtab idx '\000' in
-      Bytes.sub_string strtab idx (stop - idx)
+      match Bytes.index_from_opt strtab idx '\000' with
+      | Some stop -> Bytes.sub_string strtab idx (stop - idx)
+      | None -> malformed "unterminated section name at strtab+%d" idx
   in
   let sections =
     raw_sections

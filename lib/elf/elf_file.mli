@@ -99,8 +99,15 @@ val segment_at : t -> int -> segment option
     headers in a leading header block and never moves content. *)
 val to_bytes : t -> bytes
 
-(** [of_bytes b] parses a serialized image. Raises [Failure] on anything
-    that is not a little-endian ELF64 file. *)
+(** Raised by {!of_bytes} (and the metadata decoders in {!Tablemeta} /
+    {!Loadmap}) on structurally invalid input: truncated or zero-sized
+    header tables, overlapping PT_LOAD segments, out-of-image ranges. A
+    typed error, so callers can distinguish hostile input from parser
+    bugs ([Invalid_argument] escaping the byte accessors). *)
+exception Malformed of string
+
+(** [of_bytes b] parses a serialized image. Raises {!Malformed} on
+    anything that is not a structurally valid little-endian ELF64 file. *)
 val of_bytes : bytes -> t
 
 (** [write_file t path] / [read_file path] — file-system convenience. *)

@@ -24,7 +24,15 @@ let encode_mappings ms =
     ms;
   Buf.contents b
 
+let record_check name size bytes =
+  if Bytes.length bytes mod size <> 0 then
+    raise
+      (Elf_file.Malformed
+         (Printf.sprintf "%s: length %d is not a multiple of %d" name
+            (Bytes.length bytes) size))
+
 let decode_mappings bytes =
+  record_check "mapping table" 32 bytes;
   let b = Buf.of_bytes bytes in
   let n = Buf.length b / 32 in
   List.init n (fun i ->
@@ -44,6 +52,7 @@ let encode_traps ts =
   Buf.contents b
 
 let decode_traps bytes =
+  record_check "trap table" 16 bytes;
   let b = Buf.of_bytes bytes in
   let n = Buf.length b / 16 in
   List.init n (fun i ->

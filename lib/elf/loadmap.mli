@@ -22,6 +22,10 @@ type mapping = {
 type trap = { patch_addr : int; trampoline_addr : int }
 
 val encode_mappings : mapping list -> bytes
+
+(** Decoders raise {!Elf_file.Malformed} when the payload length is not a
+    whole number of records. *)
 val decode_mappings : bytes -> mapping list
+
 val encode_traps : trap list -> bytes
 val decode_traps : bytes -> trap list

@@ -23,9 +23,28 @@ let encode tables =
 
 let decode bytes =
   let b = Buf.of_bytes bytes in
+  if Buf.length b mod 32 <> 0 then
+    raise
+      (Elf_file.Malformed
+         (Printf.sprintf "%s: length %d is not a multiple of 32" section_name
+            (Buf.length b)));
   let n = Buf.length b / 32 in
   List.init n (fun i ->
       let at k = Int64.to_int (Buf.get_u64 b ((i * 32) + k)) in
-      { addr = at 0;
-        kind = (if at 8 = 0 then Abs64 else Off32 (at 16));
-        entries = at 24 })
+      let kind =
+        match at 8 with
+        | 0 -> Abs64
+        | 1 -> Off32 (at 16)
+        | k ->
+            raise
+              (Elf_file.Malformed
+                 (Printf.sprintf "%s: record %d has bad kind tag %d"
+                    section_name i k))
+      in
+      let entries = at 24 in
+      if entries < 0 then
+        raise
+          (Elf_file.Malformed
+             (Printf.sprintf "%s: record %d has negative entry count"
+                section_name i));
+      { addr = at 0; kind; entries })

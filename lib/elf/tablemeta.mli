@@ -22,4 +22,8 @@ type table = {
 
 val section_name : string
 val encode : table list -> bytes
+
+(** [decode b] parses the section payload. Raises {!Elf_file.Malformed}
+    on a length that is not a whole number of records, an unknown kind
+    tag, or a negative entry count. *)
 val decode : bytes -> table list

@@ -53,6 +53,7 @@ type result = {
   last_rips : int list;  (** most recent instruction addresses, oldest first *)
   block_hits : int;
   block_misses : int;
+  block_invalidations : int;
   blocks_cached : int;
 }
 
@@ -91,6 +92,7 @@ type state = {
   mutable cache_gen : int;
   mutable block_hits : int;
   mutable block_misses : int;
+  mutable block_invalidations : int;
   trap_table : (int, int) Hashtbl.t;
   counters : (int, int) Hashtbl.t;
   alloc : allocator;
@@ -584,7 +586,8 @@ let check_code_gen st =
   if g <> st.cache_gen then begin
     Hashtbl.reset st.icache;
     Hashtbl.reset st.bcache;
-    st.cache_gen <- g
+    st.cache_gen <- g;
+    st.block_invalidations <- st.block_invalidations + 1
   end
 
 let decode_at st addr =
@@ -699,6 +702,7 @@ let run ?(config = default_config) ?(files = []) ?tracer space ~entry
       cache_gen = Space.generation space;
       block_hits = 0;
       block_misses = 0;
+      block_invalidations = 0;
       trap_table = traps;
       counters = Hashtbl.create 64;
       alloc = allocator;
@@ -746,4 +750,5 @@ let run ?(config = default_config) ?(files = []) ?tracer space ~entry
        List.init n (fun i -> st.ring.((st.insns - n + i) land 31)));
     block_hits = st.block_hits;
     block_misses = st.block_misses;
+    block_invalidations = st.block_invalidations;
     blocks_cached = Hashtbl.length st.bcache }

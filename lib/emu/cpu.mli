@@ -66,6 +66,9 @@ type result = {
           fault diagnostics *)
   block_hits : int;  (** superblock cache hits (one per block executed) *)
   block_misses : int;  (** superblock cache misses (blocks decoded) *)
+  block_invalidations : int;
+      (** generation-mismatch flushes of both decoded-code caches (SMC or
+          executable remapping) *)
   blocks_cached : int;  (** blocks resident when the run ended *)
 }
 

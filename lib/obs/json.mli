@@ -1,0 +1,30 @@
+(** Minimal JSON: a value type, a deterministic printer and a strict
+    parser. Hand-rolled so neither the bench harness nor the trace
+    exporter pulls in an external dependency.
+
+    The printer is the one the bench pipeline has always used for
+    [BENCH_throughput.json]: floats as [%.6g], non-finite floats as
+    [null], control characters escaped as [\uXXXX]. The parser accepts
+    exactly the values the printer emits (plus standard JSON whitespace),
+    which is what the ndjson schema validator needs for round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** [to_file path j] writes [j] followed by a newline. *)
+val to_file : string -> t -> unit
+
+(** [of_string s] parses one JSON value; trailing non-whitespace is an
+    error. Numbers without [.], [e] or [E] parse as [Int]. *)
+val of_string : string -> (t, string) result
+
+(** [member key j] is the value bound to [key] when [j] is an object. *)
+val member : string -> t -> t option

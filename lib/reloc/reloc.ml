@@ -5,6 +5,10 @@ module Encode = E9_x86.Encode
 
 type cfg_mode = Ground_truth | Heuristic | Heuristic_prob of float * int64
 
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
 type result = {
   output : Elf_file.t;
   instrumented : int;
@@ -123,9 +127,7 @@ let run ?(cfg = Ground_truth) elf ~select =
   let map_addr old =
     match Hashtbl.find_opt map old with
     | Some a -> a
-    | None ->
-        failwith
-          (Printf.sprintf "Reloc: branch target 0x%x is not an instruction" old)
+    | None -> error "branch target 0x%x is not an instruction" old
   in
   (* Pass 2: emit the relocated text. *)
   let code = Buf.create text.Frontend.size in
@@ -156,8 +158,7 @@ let run ?(cfg = Ground_truth) elf ~select =
             (match s.Frontend.insn with
             | Insn.Jmp_ind _ -> Insn.Jmp_ind op
             | _ -> Insn.Call_ind op)
-      | Insn.Unknown b ->
-          failwith (Printf.sprintf "Reloc: cannot relocate byte 0x%02x" b)
+      | Insn.Unknown b -> error "cannot relocate byte 0x%02x" b
       | insn -> emit insn);
       (* Length stability check: pass 1's placement must hold. *)
       let expect = Hashtbl.find map s.Frontend.addr + (if select s then 2 else 0) in
@@ -169,14 +170,27 @@ let run ?(cfg = Ground_truth) elf ~select =
   List.iter
     (fun (t : Tablemeta.table) ->
       let seg =
-        List.find
-          (fun (s : Elf_file.segment) ->
-            s.Elf_file.ptype = Elf_file.Load
-            && t.Tablemeta.addr >= s.Elf_file.vaddr
-            && t.Tablemeta.addr < s.Elf_file.vaddr + s.Elf_file.filesz)
-          output.Elf_file.segments
+        match
+          List.find_opt
+            (fun (s : Elf_file.segment) ->
+              s.Elf_file.ptype = Elf_file.Load
+              && t.Tablemeta.addr >= s.Elf_file.vaddr
+              && t.Tablemeta.addr < s.Elf_file.vaddr + s.Elf_file.filesz)
+            output.Elf_file.segments
+        with
+        | Some seg -> seg
+        | None -> error "table at 0x%x is not in any loaded segment" t.Tablemeta.addr
       in
       let file_off = seg.Elf_file.offset + t.Tablemeta.addr - seg.Elf_file.vaddr in
+      let entry_size =
+        match t.Tablemeta.kind with Tablemeta.Abs64 -> 8 | Tablemeta.Off32 _ -> 4
+      in
+      if
+        t.Tablemeta.addr + (entry_size * t.Tablemeta.entries)
+        > seg.Elf_file.vaddr + seg.Elf_file.filesz
+      then
+        error "table at 0x%x (%d entries) extends past its segment"
+          t.Tablemeta.addr t.Tablemeta.entries;
       incr tables_rewritten;
       for i = 0 to t.Tablemeta.entries - 1 do
         match t.Tablemeta.kind with

@@ -27,6 +27,14 @@ type cfg_mode =
           the given probability (seeded) — models an analysis that is
           "p·100% accurate" per indirect jump *)
 
+(** Raised when relocation is impossible: a branch target that is not a
+    known instruction, an undecodable byte, or a claimed jump table that
+    lies outside every loaded segment. A typed error so callers (the
+    robustness bench, the fuzz harness) can distinguish "this binary
+    defeats the relocating baseline" — an expected, reportable outcome —
+    from harness bugs. *)
+exception Error of string
+
 type result = {
   output : Elf_file.t;
   instrumented : int;  (** sites given inline instrumentation *)

@@ -186,6 +186,39 @@ let prop_iset_find_free_last_valid =
           start >= lo && start <= hi
           && Iset.is_free s ~lo:start ~hi:(start + size))
 
+(* Property: an arbitrary interleaving of add and remove leaves the set
+   agreeing with a naive boolean-array model on every point query, on
+   total occupancy, and on the interval count (the fragmentation gauge
+   the obs layer reports). *)
+let prop_iset_op_sequence_model =
+  QCheck.Test.make ~name:"Iset add/remove/mem agree with naive model"
+    ~count:400
+    QCheck.(small_list (triple bool (int_bound 250) (int_range 1 20)))
+    (fun ops ->
+      let s = Iset.create () in
+      let model = Array.make 300 false in
+      List.iter
+        (fun (is_add, lo, len) ->
+          (* QCheck's int_range shrinker can escape its bounds; clamp. *)
+          let len = max 1 (min len 20) in
+          let hi = lo + len in
+          if is_add then Iset.add s ~lo ~hi else Iset.remove s ~lo ~hi;
+          Array.fill model lo len is_add)
+        ops;
+      let mem_agrees = ref true in
+      for i = 0 to 299 do
+        if Iset.mem s i <> model.(i) then mem_agrees := false
+      done;
+      let occupied = ref 0 and runs = ref 0 in
+      Array.iteri
+        (fun i v ->
+          if v then begin
+            incr occupied;
+            if i = 0 || not model.(i - 1) then incr runs
+          end)
+        model;
+      !mem_agrees && Iset.occupied s = !occupied && Iset.count s = !runs)
+
 let prop_iset_add_remove_inverse =
   QCheck.Test.make ~name:"Iset.remove undoes add" ~count:300
     QCheck.(small_list (pair (int_bound 1000) (int_range 1 20)))
@@ -269,6 +302,21 @@ let test_rng_split_independent () =
   let a = Rng.split r and b = Rng.split r in
   check_bool "split streams differ" true (Rng.next a <> Rng.next b)
 
+let test_rng_deterministic_across_domains () =
+  (* The parallel bench pipeline seeds one Rng per work item; a stream
+     must not depend on which domain runs it. *)
+  let stream () =
+    let r = Rng.create 99L in
+    List.init 64 (fun _ -> Rng.next r)
+  in
+  let here = stream () in
+  let there =
+    Array.init 4 (fun _ -> Domain.spawn stream) |> Array.map Domain.join
+  in
+  Array.iter
+    (fun l -> Alcotest.(check (list int64)) "same stream in every domain" here l)
+    there
+
 let test_rng_shuffle_permutation () =
   let r = Rng.create 9L in
   let arr = Array.init 50 Fun.id in
@@ -296,6 +344,7 @@ let suites =
         Alcotest.test_case "copy independent" `Quick test_iset_copy_independent;
         QCheck_alcotest.to_alcotest prop_iset_matches_model;
         QCheck_alcotest.to_alcotest prop_iset_find_free_last_valid;
+        QCheck_alcotest.to_alcotest prop_iset_op_sequence_model;
         QCheck_alcotest.to_alcotest prop_iset_add_remove_inverse ] );
     ( "bits.pool",
       [ Alcotest.test_case "map preserves order" `Quick
@@ -313,4 +362,6 @@ let suites =
         Alcotest.test_case "range bounds" `Quick test_rng_range_bounds;
         Alcotest.test_case "weighted" `Quick test_rng_weighted;
         Alcotest.test_case "split" `Quick test_rng_split_independent;
+        Alcotest.test_case "deterministic across domains" `Quick
+          test_rng_deterministic_across_domains;
         Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation ] ) ]

@@ -92,8 +92,98 @@ let test_bss_memsz () =
   Alcotest.(check int) "memsz preserved" 8192 seg.Elf_file.memsz
 
 let test_reject_garbage () =
-  Alcotest.check_raises "bad magic" (Failure "Elf_file: bad magic") (fun () ->
+  Alcotest.check_raises "bad magic" (Elf_file.Malformed "bad magic") (fun () ->
       ignore (Elf_file.of_bytes (Bytes.make 100 'A')))
+
+(* ------------------------------------------------------------------ *)
+(* Malformed inputs: every structural defect must surface as a typed
+   [Elf_file.Malformed], never as an [Invalid_argument]/[Not_found]
+   escaping the byte accessors — the fuzz harness and CLI rely on
+   catching exactly that exception.                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A valid image to corrupt. Fixed ELF64 header offsets: e_phoff=32,
+   e_shoff=40, e_phentsize=54, e_phnum=56, e_shentsize=58; phdr 0 starts
+   at 64 with p_filesz at +32 and p_memsz at +40. *)
+let corrupted f =
+  let b = Elf_file.to_bytes (mk_exec ()) in
+  f b;
+  b
+
+let expect_malformed label bytes =
+  match Elf_file.of_bytes bytes with
+  | _ -> Alcotest.failf "%s: malformed image was accepted" label
+  | exception Elf_file.Malformed _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Malformed, got %s" label
+        (Printexc.to_string e)
+
+let test_malformed_truncated_header () =
+  expect_malformed "10-byte file" (Bytes.make 10 '\x7f')
+
+let test_malformed_zero_phentsize () =
+  expect_malformed "e_phentsize=0"
+    (corrupted (fun b -> Bytes.set_uint16_le b 54 0))
+
+let test_malformed_alien_shentsize () =
+  expect_malformed "e_shentsize=12"
+    (corrupted (fun b -> Bytes.set_uint16_le b 58 12))
+
+let test_malformed_truncated_phdrs () =
+  expect_malformed "e_phoff past EOF"
+    (corrupted (fun b -> Bytes.set_int64_le b 32 (Int64.of_int (Bytes.length b))))
+
+let test_malformed_truncated_shdrs () =
+  expect_malformed "e_shoff near EOF"
+    (corrupted (fun b ->
+         Bytes.set_int64_le b 40 (Int64.of_int (Bytes.length b - 1))))
+
+let test_malformed_load_outside_image () =
+  expect_malformed "p_filesz past EOF"
+    (corrupted (fun b -> Bytes.set_int64_le b (64 + 32) 0x7fff_ffffL))
+
+let test_malformed_memsz_lt_filesz () =
+  expect_malformed "p_memsz < p_filesz"
+    (corrupted (fun b -> Bytes.set_int64_le b (64 + 40) 0L))
+
+let test_malformed_overlapping_loads () =
+  (* add_segment does not validate; the reader must. *)
+  let elf = mk_exec () in
+  ignore
+    (Elf_file.add_segment elf
+       { Elf_file.ptype = Elf_file.Load;
+         prot = Elf_file.prot_rw;
+         vaddr = 0x400001;
+         offset = 0;
+         filesz = 0;
+         memsz = 64;
+         align = 4096 }
+       ~content:(Bytes.make 64 'o'));
+  expect_malformed "overlapping PT_LOAD" (Elf_file.to_bytes elf)
+
+let expect_malformed_fn label f =
+  match f () with
+  | _ -> Alcotest.failf "%s: malformed payload was accepted" label
+  | exception Elf_file.Malformed _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Malformed, got %s" label
+        (Printexc.to_string e)
+
+let test_malformed_tablemeta () =
+  expect_malformed_fn "ragged length" (fun () ->
+      Tablemeta.decode (Bytes.make 31 '\000'));
+  let bad_kind = Bytes.make 32 '\000' in
+  Bytes.set_uint8 bad_kind 8 7;
+  expect_malformed_fn "bad kind tag" (fun () -> Tablemeta.decode bad_kind);
+  let neg_entries = Bytes.make 32 '\000' in
+  Bytes.set_int64_le neg_entries 24 (-1L);
+  expect_malformed_fn "negative entries" (fun () -> Tablemeta.decode neg_entries)
+
+let test_malformed_loadmap () =
+  expect_malformed_fn "ragged mapping table" (fun () ->
+      Loadmap.decode_mappings (Bytes.make 33 '\000'));
+  expect_malformed_fn "ragged trap table" (fun () ->
+      Loadmap.decode_traps (Bytes.make 15 '\000'))
 
 let test_loadmap_mappings () =
   let ms =
@@ -179,4 +269,23 @@ let suites =
         Alcotest.test_case "loadmap traps" `Quick test_loadmap_traps;
         Alcotest.test_case "serialized_size" `Quick test_serialized_size;
         Alcotest.test_case "copy independent" `Quick test_copy_independent;
-        Alcotest.test_case "file io" `Quick test_file_io ] ) ]
+        Alcotest.test_case "file io" `Quick test_file_io ] );
+    ( "elf.malformed",
+      [ Alcotest.test_case "truncated header" `Quick
+          test_malformed_truncated_header;
+        Alcotest.test_case "zero-sized phdr entries" `Quick
+          test_malformed_zero_phentsize;
+        Alcotest.test_case "alien shdr entries" `Quick
+          test_malformed_alien_shentsize;
+        Alcotest.test_case "truncated program headers" `Quick
+          test_malformed_truncated_phdrs;
+        Alcotest.test_case "truncated section headers" `Quick
+          test_malformed_truncated_shdrs;
+        Alcotest.test_case "PT_LOAD outside image" `Quick
+          test_malformed_load_outside_image;
+        Alcotest.test_case "memsz < filesz" `Quick test_malformed_memsz_lt_filesz;
+        Alcotest.test_case "overlapping PT_LOAD" `Quick
+          test_malformed_overlapping_loads;
+        Alcotest.test_case "tablemeta defects" `Quick test_malformed_tablemeta;
+        Alcotest.test_case "loadmap ragged records" `Quick
+          test_malformed_loadmap ] ) ]

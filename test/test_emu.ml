@@ -452,7 +452,9 @@ let test_self_modifying_code () =
   let r = run_elf elf in
   check_exit 27 r;
   Alcotest.(check bool) "cache was rebuilt after the store" true
-    (r.Cpu.block_misses >= 2)
+    (r.Cpu.block_misses >= 2);
+  Alcotest.(check bool) "the store was counted as a flush" true
+    (r.Cpu.block_invalidations >= 1)
 
 (* ------------------------------------------------------------------ *)
 (* Host calls                                                          *)

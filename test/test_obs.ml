@@ -1,0 +1,265 @@
+(* Tests for the E9_obs telemetry layer: sink semantics, the ndjson
+   schema, and the golden property that a trace of a real rewrite is
+   internally consistent and agrees with the rewriter's own Stats. *)
+
+module Obs = E9_obs.Obs
+module Json = E9_obs.Json
+module Codegen = E9_workload.Codegen
+module Rewriter = E9_core.Rewriter
+module Trampoline = E9_core.Trampoline
+module Stats = E9_core.Stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_null_sink () =
+  let obs = Obs.null in
+  check_bool "detached" false (Obs.enabled obs);
+  Obs.accept obs ~addr:0x400000 ~tactic:Obs.B1 ~trampoline:0x700000 ~pad:0
+    ~evictee_distance:0;
+  Obs.gauge obs ~name:"x" ~value:1;
+  check_int "no events" 0 (List.length (Obs.events obs));
+  check_int "empty agg" 0 (Obs.agg obs).Obs.Agg.sites;
+  (* span must still run the thunk and pass its value through *)
+  check_int "span transparent" 41 (Obs.span obs "t" (fun () -> 41))
+
+let test_ring_overflow () =
+  let obs = Obs.ring ~capacity:4 () in
+  check_bool "attached" true (Obs.enabled obs);
+  for i = 0 to 9 do
+    Obs.counter obs ~name:"c" ~value:i
+  done;
+  check_int "dropped oldest" 6 (Obs.dropped obs);
+  let values =
+    List.map
+      (function Obs.Counter { value; _ } -> value | _ -> -1)
+      (Obs.events obs)
+  in
+  Alcotest.(check (list int)) "keeps newest, oldest first" [ 6; 7; 8; 9 ] values
+
+let test_aggregator_sink () =
+  let obs = Obs.aggregator () in
+  Obs.accept obs ~addr:1 ~tactic:Obs.T1 ~trampoline:2 ~pad:3 ~evictee_distance:0;
+  Obs.reject obs ~addr:4 ~tactic:Obs.T2 ~reason:Obs.No_successor;
+  Obs.site obs ~addr:1 ~tactic:(Some Obs.T1);
+  Obs.site obs ~addr:4 ~tactic:None;
+  Obs.counter obs ~name:"k" ~value:2;
+  Obs.counter obs ~name:"k" ~value:3;
+  Obs.gauge obs ~name:"g" ~value:7;
+  Obs.gauge obs ~name:"g" ~value:8;
+  let a = Obs.agg obs in
+  check_int "accepted t1" 1 a.Obs.Agg.accepted.(3);
+  check_int "rejected no_successor" 1 a.Obs.Agg.rejected.(5);
+  check_int "sites" 2 a.Obs.Agg.sites;
+  check_int "patched" 1 a.Obs.Agg.sites_patched;
+  check_int "failed" 1 a.Obs.Agg.sites_failed;
+  check_int "pad bytes" 3 a.Obs.Agg.pad_bytes;
+  check_int "counters sum" 5 (Hashtbl.find a.Obs.Agg.counters "k");
+  check_int "gauges keep last" 8 (Hashtbl.find a.Obs.Agg.gauges "g");
+  check_int "ring view empty" 0 (List.length (Obs.events obs))
+
+let test_agg_merge () =
+  let a = Obs.Agg.create () and b = Obs.Agg.create () in
+  Obs.Agg.add_event a (Obs.Site { addr = 1; tactic = Some Obs.B1 });
+  Obs.Agg.add_event a (Obs.Span { name = "s"; dur_s = 1.0 });
+  Obs.Agg.add_event b (Obs.Site { addr = 2; tactic = None });
+  Obs.Agg.add_event b (Obs.Span { name = "s"; dur_s = 0.5 });
+  Obs.Agg.merge_into ~dst:a b;
+  check_int "sites" 2 a.Obs.Agg.sites;
+  check_int "failed" 1 a.Obs.Agg.sites_failed;
+  let calls, total = Hashtbl.find a.Obs.Agg.spans "s" in
+  check_int "span calls" 2 calls;
+  check_bool "span total" true (abs_float (total -. 1.5) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* ndjson schema                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural equality, with a float tolerance on span durations (the
+   printer emits %.6g). *)
+let event_approx_eq a b =
+  match (a, b) with
+  | Obs.Span { name = n1; dur_s = d1 }, Obs.Span { name = n2; dur_s = d2 } ->
+      n1 = n2 && abs_float (d1 -. d2) <= 1e-6 *. (1.0 +. abs_float d1)
+  | _ -> a = b
+
+let sample_events =
+  [ Obs.Attempt
+      { addr = 0x400123;
+        tactic = Obs.T2;
+        outcome =
+          Obs.Accepted { trampoline = 0x70_0040; pad = 2; evictee_distance = 5 } };
+    Obs.Attempt
+      { addr = 0x400200;
+        tactic = Obs.B2;
+        outcome = Obs.Rejected Obs.Pun_miss };
+    Obs.Site { addr = 0x400123; tactic = Some Obs.T2 };
+    Obs.Site { addr = 0x400300; tactic = None };
+    Obs.Span { name = "decode"; dur_s = 0.25 };
+    Obs.Gauge { name = "layout.occupied_intervals"; value = 17 };
+    Obs.Counter { name = "emu.block_hits"; value = 12345 } ]
+
+let test_json_line_roundtrip () =
+  List.iter
+    (fun e ->
+      let line = Json.to_string (Obs.event_to_json e) in
+      match Json.of_string line with
+      | Error m -> Alcotest.failf "reparse failed on %s: %s" line m
+      | Ok j -> (
+          match Obs.event_of_json j with
+          | Error m -> Alcotest.failf "schema rejected %s: %s" line m
+          | Ok e' ->
+              check_bool (Printf.sprintf "roundtrip %s" line) true
+                (event_approx_eq e e')))
+    sample_events
+
+let test_validate_rejects_bad_lines () =
+  let expect_err label s =
+    match Obs.validate_ndjson s with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error _ -> ()
+  in
+  expect_err "not json" "{nope";
+  expect_err "not an object" "42\n";
+  expect_err "unknown kind" {|{"ev":"bogus"}|};
+  expect_err "missing field" {|{"ev":"gauge","name":"x"}|};
+  expect_err "unknown tactic" {|{"ev":"site","addr":1,"tactic":"T9"}|};
+  expect_err "unknown reason"
+    {|{"ev":"attempt","addr":1,"tactic":"B1","outcome":"rejected","reason":"gremlins"}|};
+  expect_err "bad value type" {|{"ev":"counter","name":"x","value":"many"}|}
+
+(* ------------------------------------------------------------------ *)
+(* Golden trace of a real rewrite                                      *)
+(* ------------------------------------------------------------------ *)
+
+let profile seed =
+  { Codegen.default_profile with Codegen.seed; functions = 40; iterations = 60 }
+
+let traced_rewrite obs =
+  let elf = Codegen.generate (profile 21L) in
+  Rewriter.run ~obs elf ~select:Frontend.select_jumps
+    ~template:(fun _ -> Trampoline.Counter)
+
+let test_trace_golden () =
+  let obs = Obs.ring () in
+  let r = traced_rewrite obs in
+  check_int "nothing dropped" 0 (Obs.dropped obs);
+  let ndjson = Obs.to_ndjson obs in
+  (* Every line passes the schema validator and reconstructs the event
+     stream. *)
+  let evs =
+    match Obs.validate_ndjson ndjson with
+    | Ok evs -> evs
+    | Error m -> Alcotest.failf "trace failed validation: %s" m
+  in
+  check_int "every event survived the round trip"
+    (List.length (Obs.events obs))
+    (List.length evs);
+  List.iter2
+    (fun a b -> check_bool "line-level roundtrip" true (event_approx_eq a b))
+    (Obs.events obs) evs;
+  (* The trace must agree with the rewriter's own accounting. *)
+  let a = Obs.Agg.of_events evs in
+  let s = r.Rewriter.stats in
+  check_int "sites = Stats.total" (Stats.total s) a.Obs.Agg.sites;
+  check_int "patched = Stats.succeeded" (Stats.succeeded s)
+    a.Obs.Agg.sites_patched;
+  check_int "failed" s.Stats.failed a.Obs.Agg.sites_failed;
+  check_int "b0" s.Stats.b0 a.Obs.Agg.accepted.(0);
+  check_int "b1" s.Stats.b1 a.Obs.Agg.accepted.(1);
+  check_int "b2" s.Stats.b2 a.Obs.Agg.accepted.(2);
+  check_int "t1" s.Stats.t1 a.Obs.Agg.accepted.(3);
+  check_int "t2" s.Stats.t2 a.Obs.Agg.accepted.(4);
+  check_int "t3" s.Stats.t3 a.Obs.Agg.accepted.(5);
+  check_int "per-tactic counts sum to sites patched" a.Obs.Agg.sites_patched
+    (Array.fold_left ( + ) 0 a.Obs.Agg.accepted);
+  check_bool "rewrite actually patched something" true (a.Obs.Agg.sites_patched > 0);
+  (* Phase spans: one of each, non-negative. *)
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt a.Obs.Agg.spans name with
+      | None -> Alcotest.failf "missing span %S" name
+      | Some (calls, total) ->
+          check_int (name ^ " calls") 1 calls;
+          check_bool (name ^ " non-negative") true (total >= 0.0))
+    [ "decode"; "tactic_search"; "layout"; "serialize" ];
+  (* Allocator gauges land in the trace. *)
+  List.iter
+    (fun name ->
+      check_bool (Printf.sprintf "gauge %S present" name) true
+        (Hashtbl.mem a.Obs.Agg.gauges name))
+    [ "layout.occupied_intervals"; "layout.trampoline_extents";
+      "layout.trampoline_bytes"; "text.locked_bytes" ];
+  (* When CI points E9_TRACE_DIR at an artifact directory, persist the
+     validated trace there. *)
+  match Sys.getenv_opt "E9_TRACE_DIR" with
+  | Some dir when dir <> "" && Sys.file_exists dir && Sys.is_directory dir ->
+      Obs.write_ndjson obs (Filename.concat dir "trace.ndjson")
+  | _ -> ()
+
+let test_aggregator_matches_ring () =
+  (* The streaming aggregator must compute exactly the rollup a ring's
+     buffered events reduce to (modulo span wall-clock noise). *)
+  let ring = Obs.ring () and stream = Obs.aggregator () in
+  ignore (traced_rewrite ring);
+  ignore (traced_rewrite stream);
+  let a = Obs.agg ring and b = Obs.agg stream in
+  Alcotest.(check (array int)) "accepted" a.Obs.Agg.accepted b.Obs.Agg.accepted;
+  Alcotest.(check (array int)) "rejected" a.Obs.Agg.rejected b.Obs.Agg.rejected;
+  check_int "sites" a.Obs.Agg.sites b.Obs.Agg.sites;
+  check_int "pad bytes" a.Obs.Agg.pad_bytes b.Obs.Agg.pad_bytes;
+  let names tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare in
+  Alcotest.(check (list string)) "same spans" (names a.Obs.Agg.spans)
+    (names b.Obs.Agg.spans);
+  Alcotest.(check (list string)) "same gauges" (names a.Obs.Agg.gauges)
+    (names b.Obs.Agg.gauges)
+
+let test_detached_rewrite_unchanged () =
+  (* A rewrite with the null sink must produce the same binary and stats
+     as a traced one: observation must not perturb the subject. *)
+  let ring = Obs.ring () in
+  let traced = traced_rewrite ring in
+  let plain = traced_rewrite Obs.null in
+  check_bool "same output image" true
+    (Elf_file.to_bytes traced.Rewriter.output
+    = Elf_file.to_bytes plain.Rewriter.output);
+  check_bool "same stats" true (traced.Rewriter.stats = plain.Rewriter.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Json parser corners                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_parser_corners () =
+  let ok s = Result.is_ok (Json.of_string s) in
+  check_bool "nested" true (ok {|{"a":[1,2,{"b":null}],"c":-3.5e2}|});
+  check_bool "escapes" true (ok {|{"s":"a\"b\\c\ndA"}|});
+  check_bool "trailing garbage" false (ok {|{"a":1} extra|});
+  check_bool "unterminated" false (ok {|{"a":|});
+  check_bool "lone minus" false (ok "-");
+  match Json.of_string {|{"x":7}|} with
+  | Ok j -> check_bool "member" true (Json.member "x" j = Some (Json.Int 7))
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let suites =
+  [ ( "obs",
+      [ Alcotest.test_case "null sink is free and transparent" `Quick
+          test_null_sink;
+        Alcotest.test_case "ring drops oldest on overflow" `Quick
+          test_ring_overflow;
+        Alcotest.test_case "aggregator folds events" `Quick test_aggregator_sink;
+        Alcotest.test_case "aggregate merge" `Quick test_agg_merge;
+        Alcotest.test_case "ndjson line roundtrip" `Quick
+          test_json_line_roundtrip;
+        Alcotest.test_case "validator rejects bad lines" `Quick
+          test_validate_rejects_bad_lines;
+        Alcotest.test_case "golden trace of a rewrite" `Quick test_trace_golden;
+        Alcotest.test_case "aggregator matches ring rollup" `Quick
+          test_aggregator_matches_ring;
+        Alcotest.test_case "tracing does not perturb the rewrite" `Quick
+          test_detached_rewrite_unchanged;
+        Alcotest.test_case "json parser corners" `Quick
+          test_json_parser_corners ] ) ]

@@ -101,6 +101,58 @@ let test_old_text_trapped_and_entry_moved () =
     (Buf.get_u8 out.Elf_file.data
        (text.Frontend.offset + elf.Elf_file.entry - text.Frontend.base))
 
+(* ------------------------------------------------------------------ *)
+(* Typed failure paths: a binary the relocator cannot handle must raise
+   [Reloc.Error], never a bare [Failure]/[Not_found].                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled executable: [code] in one rx segment, plus an optional
+   ground-truth table record. *)
+let mk_raw ?table code =
+  let elf = Elf_file.create ~etype:Elf_file.Exec ~entry:0x400000 in
+  ignore
+    (Elf_file.add_segment elf
+       { Elf_file.ptype = Elf_file.Load;
+         prot = Elf_file.prot_rx;
+         vaddr = 0x400000;
+         offset = 0;
+         filesz = 0;
+         memsz = String.length code;
+         align = 4096 }
+       ~content:(Bytes.of_string code));
+  Option.iter
+    (fun t ->
+      ignore
+        (Elf_file.add_section elf ~name:Tablemeta.section_name ~addr:0
+           ~sh_type:1 ~sh_flags:0 ~content:(Tablemeta.encode [ t ])))
+    table;
+  elf
+
+let expect_reloc_error label elf =
+  match Reloc.run elf ~select:(fun _ -> false) with
+  | _ -> Alcotest.failf "%s: expected Reloc.Error" label
+  | exception Reloc.Error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Reloc.Error, got %s" label
+        (Printexc.to_string e)
+
+let test_error_unknown_byte () =
+  (* 0x06 is not an x86-64 instruction; linear disassembly yields an
+     opaque byte the relocator cannot move. *)
+  Alcotest.check_raises "undecodable byte"
+    (Reloc.Error "cannot relocate byte 0x06") (fun () ->
+      ignore (mk_raw "\x06\xc3" |> Reloc.run ~select:(fun _ -> false)))
+
+let test_error_table_outside_segments () =
+  expect_reloc_error "table in no PT_LOAD"
+    (mk_raw "\x90\xc3"
+       ~table:{ Tablemeta.addr = 0x10; kind = Tablemeta.Abs64; entries = 1 })
+
+let test_error_table_past_segment_end () =
+  expect_reloc_error "table overruns its segment"
+    (mk_raw "\x90\xc3"
+       ~table:{ Tablemeta.addr = 0x400000; kind = Tablemeta.Abs64; entries = 10000 })
+
 let test_uninstrumented_relocation () =
   (* Pure relocation (no instrumentation) is also behaviour-preserving. *)
   let elf = Codegen.generate (profile 15L) in
@@ -122,5 +174,10 @@ let suites =
         Alcotest.test_case "probability extremes" `Quick test_prob_mode_extremes;
         Alcotest.test_case "old text trapped, entry moved" `Quick
           test_old_text_trapped_and_entry_moved;
-        Alcotest.test_case "pure relocation" `Quick test_uninstrumented_relocation
-      ] ) ]
+        Alcotest.test_case "pure relocation" `Quick test_uninstrumented_relocation;
+        Alcotest.test_case "typed error: unknown byte" `Quick
+          test_error_unknown_byte;
+        Alcotest.test_case "typed error: table outside segments" `Quick
+          test_error_table_outside_segments;
+        Alcotest.test_case "typed error: table overruns segment" `Quick
+          test_error_table_past_segment_end ] ) ]
