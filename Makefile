@@ -12,6 +12,13 @@ SMOKE_TIMEOUT ?= 300
 FUZZ_N ?= 200
 FUZZ_SEED ?= 42
 
+# Rewriter domain count for the smoke targets. Empty means the binary's
+# own default (serial, or the E9_JOBS environment variable). The outputs
+# are jobs-invariant by construction, so CI runs the same targets under
+# BENCH_JOBS=1 and BENCH_JOBS=4 and expects identical results.
+BENCH_JOBS ?=
+BENCH_JOBS_FLAG = $(if $(BENCH_JOBS),--jobs $(BENCH_JOBS))
+
 .PHONY: all build test bench bench-smoke fuzz-smoke fmt clean
 
 all: build
@@ -27,10 +34,11 @@ bench: build
 	$(DUNE) exec bench/main.exe
 
 # Reduced bench under a hard timeout: the experiments that exercise the
-# emulator throughput path (scalability) and end-to-end patched-binary
-# emulation (figure4), at --smoke sizes. Writes BENCH_throughput.json.
+# emulator throughput path (scalability), end-to-end patched-binary
+# emulation (figure4), and the sharded-rewriter jobs-invariance sweep
+# (parallel), at --smoke sizes. Writes BENCH_throughput.json.
 bench-smoke: build
-	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke scalability figure4 | tee bench_output.txt
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke $(BENCH_JOBS_FLAG) scalability figure4 parallel | tee bench_output.txt
 
 # Fixed-seed differential fuzz campaign: random profile × tactic configs,
 # each rewrite checked by the static verifier and the trace oracle.

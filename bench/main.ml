@@ -9,6 +9,7 @@
    Flags (EXPERIMENTS.md "Reproducing"):
      --serial       run every task on one domain (the speedup baseline)
      --domains N    fan tasks across exactly N domains
+     --jobs N       domains per rewrite (intra-binary sharding; default 1)
      --smoke        reduced sizes/trial counts, for CI timeouts
      --json PATH    dump every experiment's rows as JSON to PATH
 
@@ -50,6 +51,7 @@ let heading title =
 let serial = ref false
 let smoke = ref false
 let domains_opt : int option ref = ref None
+let jobs_opt : int option ref = ref None
 let json_path : string option ref = ref None
 
 let domains () =
@@ -109,7 +111,8 @@ let obs_lock = Mutex.create ()
 let traced_run ?options ?disasm_from ?frontend elf ~select ~template =
   let obs = Obs.aggregator () in
   let r =
-    Rewriter.run ?options ~obs ?disasm_from ?frontend elf ~select ~template
+    Rewriter.run ?options ~obs ?jobs:!jobs_opt ?disasm_from ?frontend elf
+      ~select ~template
   in
   Mutex.protect obs_lock (fun () ->
       Obs.Agg.merge_into ~dst:obs_agg (Obs.agg obs));
@@ -838,6 +841,147 @@ let bench_scalability () =
     measured
 
 (* ------------------------------------------------------------------ *)
+(* Domain-parallel rewriting: jobs-invariance + intra-binary scaling   *)
+(* ------------------------------------------------------------------ *)
+
+(* Captured for the [parallel] object in BENCH_throughput.json. *)
+let parallel_json : Json.t option ref = ref None
+
+let bench_parallel () =
+  heading
+    "Domain-parallel rewriting: jobs-invariance and intra-binary scaling";
+  (* Part 1: across the whole Table 1 corpus, jobs=4 must produce the
+     same bytes as jobs=1 and pass the independent verifier. A small
+     shard span forces real sharding even on the scaled-down suite
+     binaries (their text would otherwise fit one 64 KiB shard). *)
+  let shard_span = 4096 in
+  printf "corpus determinism (shard_span=%d): jobs=4 vs jobs=1@." shard_span;
+  let checked =
+    par_map
+      (fun (row : Suite.row) ->
+        let elf = Codegen.generate row.Suite.profile in
+        let options = { (options_for row) with Rewriter.shard_span } in
+        let rewrite jobs =
+          Rewriter.run ~options ~jobs ?disasm_from:(disasm_from_of elf) elf
+            ~select:Frontend.select_jumps
+            ~template:(fun _ -> Trampoline.Empty)
+        in
+        let r1 = rewrite 1 in
+        let r4 = rewrite 4 in
+        verify_rewrite (row.Suite.profile.Codegen.name ^ "(jobs=4)") elf r4;
+        let identical =
+          Bytes.equal
+            (Elf_file.to_bytes r1.Rewriter.output)
+            (Elf_file.to_bytes r4.Rewriter.output)
+        in
+        (row.Suite.profile.Codegen.name, r4.Rewriter.shards, identical))
+      (cut 4 Suite.rows)
+  in
+  let corpus_rows =
+    List.map
+      (fun (name, shards, identical) ->
+        record_row "parallel"
+          [ ("binary", Json.Str name);
+            ("shards", Json.Int shards);
+            ("identical", Json.Bool identical) ];
+        printf "  %-12s %4d shards  %s@." name shards
+          (if identical then "identical" else "DIFFERS");
+        if not identical then
+          failwith (name ^ ": jobs=4 output differs from jobs=1");
+        Json.Obj
+          [ ("binary", Json.Str name);
+            ("shards", Json.Int shards);
+            ("identical", Json.Bool identical) ])
+      checked
+  in
+  (* Part 2: one large binary, default 64 KiB shards, jobs ∈ {1,2,4}.
+     The quantity under test is the tactic_search span — decode and
+     serialization scale separately — but end-to-end wall time is
+     recorded too. Runs are sequential (never fanned with par_map) so
+     each sweep point has the machine to itself. *)
+  let functions = if !smoke then 1000 else 4000 in
+  let prof =
+    { Codegen.default_profile with
+      Codegen.seed = 64L; functions; iterations = 1 }
+  in
+  let elf = Codegen.generate prof in
+  let text, _ = Frontend.disassemble elf in
+  let measure ?options jobs =
+    let obs = Obs.aggregator () in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Rewriter.run ?options ~obs ~jobs elf ~select:Frontend.select_jumps
+        ~template:(fun _ -> Trampoline.Empty)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let search =
+      match Hashtbl.find_opt (Obs.agg obs).Obs.Agg.spans "tactic_search" with
+      | Some (_, s) -> s
+      | None -> 0.0
+    in
+    (r, wall, search)
+  in
+  (* The un-sharded serial algorithm (one shard spans the whole text) is
+     the overhead baseline: sharded jobs=1 minus this is the cost of
+     arena striping and the fixup pass. *)
+  let _, _, serial_search =
+    measure
+      ~options:
+        { Rewriter.default_options with Rewriter.shard_span = text.Frontend.size }
+      1
+  in
+  let r1, wall1, search1 = measure 1 in
+  let reference = Elf_file.to_bytes r1.Rewriter.output in
+  let cores = Domain.recommended_domain_count () in
+  printf "@.intra-binary scaling (%d KB text, %d shards, %d cores):@."
+    (text.Frontend.size / 1024) r1.Rewriter.shards cores;
+  printf "  serial (1 shard) search: %.3fs@." serial_search;
+  printf "  %5s %12s %12s %9s@." "jobs" "search s" "total s" "speedup";
+  let sweep =
+    List.map
+      (fun jobs ->
+        let r, wall, search =
+          if jobs = 1 then (r1, wall1, search1) else measure jobs
+        in
+        if not (Bytes.equal (Elf_file.to_bytes r.Rewriter.output) reference)
+        then failwith (Printf.sprintf "jobs=%d differs on the sweep binary" jobs);
+        let speedup = if search > 0.0 then search1 /. search else 0.0 in
+        record_row "parallel-sweep"
+          [ ("jobs", Json.Int jobs);
+            ("search_s", Json.Float search);
+            ("wall_s", Json.Float wall);
+            ("search_speedup", Json.Float speedup) ];
+        printf "  %5d %12.3f %12.3f %8.2fx@." jobs search wall speedup;
+        (jobs, wall, search, speedup))
+      [ 1; 2; 4 ]
+  in
+  let speedup_at_4 =
+    List.fold_left
+      (fun acc (jobs, _, _, s) -> if jobs = 4 then s else acc)
+      0.0 sweep
+  in
+  parallel_json :=
+    Some
+      (Json.Obj
+         [ ("shard_span", Json.Int shard_span);
+           ("corpus", Json.List corpus_rows);
+           ("cores", Json.Int cores);
+           ("sweep_text_kb", Json.Int (text.Frontend.size / 1024));
+           ("sweep_shards", Json.Int r1.Rewriter.shards);
+           ("serial_search_s", Json.Float serial_search);
+           ("sweep",
+            Json.List
+              (List.map
+                 (fun (jobs, wall, search, speedup) ->
+                   Json.Obj
+                     [ ("jobs", Json.Int jobs);
+                       ("search_s", Json.Float search);
+                       ("wall_s", Json.Float wall);
+                       ("search_speedup", Json.Float speedup) ])
+                 sweep));
+           ("search_speedup_at_4", Json.Float speedup_at_4) ])
+
+(* ------------------------------------------------------------------ *)
 (* Calibration curves (documents how suite parameters were derived)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -910,8 +1054,25 @@ let bench_bechamel () =
        hot path, which keeps the <2% sink-overhead budget honest. *)
     ignore (Rewriter.run ~options elf ~select ~template:(fun _ -> template))
   in
+  (* The allocator's joint-pun query shape: a strided search over a
+     fragmented interval set. ~2000 blockers with gaps one byte too small
+     force the scan to walk the whole window carrying the blocker from
+     the previous probe (the two-lookups-per-probe regression this
+     guards). *)
+  let strided_set =
+    let s = E9_bits.Iset.create () in
+    for i = 0 to 1999 do
+      E9_bits.Iset.add s ~lo:(0x10000 + (i * 48)) ~hi:(0x10000 + (i * 48) + 33)
+    done;
+    s
+  in
   let tests =
-    [ Test.make ~name:"table1-A1-rewrite"
+    [ Test.make ~name:"iset-find-free-strided"
+        (Staged.stage (fun () ->
+             ignore
+               (E9_bits.Iset.find_free_strided strided_set ~size:16 ~lo:0x10000
+                  ~hi:0x40000 ~stride:64)));
+      Test.make ~name:"table1-A1-rewrite"
         (Staged.stage (rewrite elf Frontend.select_jumps Trampoline.Empty));
       Test.make ~name:"table1-A2-rewrite"
         (Staged.stage
@@ -960,12 +1121,13 @@ let all =
     ("pie", bench_pie);
     ("b0", bench_b0);
     ("scalability", bench_scalability);
+    ("parallel", bench_parallel);
     ("calibration", bench_calibration);
     ("bechamel", bench_bechamel) ]
 
 let usage () =
-  printf "usage: main.exe [--serial] [--domains N] [--smoke] [--json PATH] \
-          [experiment ...]@.";
+  printf "usage: main.exe [--serial] [--domains N] [--jobs N] [--smoke] \
+          [--json PATH] [experiment ...]@.";
   printf "experiments: %s@." (String.concat " " (List.map fst all));
   exit 1
 
@@ -988,6 +1150,14 @@ let rec parse_args = function
           parse_args rest
       | Some _ | None ->
           printf "--domains expects a positive integer, got %s@." n;
+          usage ())
+  | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+          jobs_opt := Some j;
+          parse_args rest
+      | Some _ | None ->
+          printf "--jobs expects a positive integer, got %s@." n;
           usage ())
   | flag :: _ when String.length flag > 2 && String.sub flag 0 2 = "--" ->
       printf "unknown flag %s@." flag;
@@ -1049,8 +1219,14 @@ let () =
               ("block_misses", Json.Int tp.Stats.block_misses);
               ("block_hit_rate", Json.Float (Stats.block_hit_rate tp));
               ("block_invalidations", Json.Int tp.Stats.block_invalidations) ]);
+         ("jobs",
+          Json.Int (match !jobs_opt with Some j -> j | None -> 1));
          ("tactics", Obs.Agg.tactics_json obs_agg);
          ("timings", Obs.Agg.spans_json obs_agg);
+         ("parallel",
+          (match !parallel_json with
+          | Some j -> j
+          | None -> Json.Obj []));
          ("verify",
           Json.Obj
             [ ("checked", Json.Int (Atomic.get verify_checked));

@@ -128,8 +128,17 @@ let patch_cmd =
                 phase timings, allocator gauges) to $(docv) as ndjson, one \
                 event per line.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains for the parallel tactic search and chunked decode \
+                (default: \\$E9_JOBS, else 1). Output bytes are identical \
+                for every $(docv).")
+  in
   let run () input output select template granularity no_grouping shared b0
-      no_t1 no_t2 no_t3 stub spec_arg spec_file trace =
+      no_t1 no_t2 no_t3 stub spec_arg spec_file trace jobs =
     let elf = Elf_file.read_file input in
     let options =
       { Rewriter.tactics =
@@ -141,7 +150,8 @@ let patch_cmd =
         granularity;
         grouping = not no_grouping;
         reserve_below_base = shared;
-        loader = (if stub then Rewriter.Stub else Rewriter.Table) }
+        loader = (if stub then Rewriter.Stub else Rewriter.Table);
+        shard_span = Rewriter.default_options.Rewriter.shard_span }
     in
     let select, template =
       match (spec_arg, spec_file) with
@@ -161,7 +171,7 @@ let patch_cmd =
     let obs =
       match trace with Some _ -> Obs.ring () | None -> Obs.null
     in
-    let r = Rewriter.run ~options ~obs elf ~select ~template in
+    let r = Rewriter.run ~options ~obs ?jobs elf ~select ~template in
     Elf_file.write_file r.Rewriter.output output;
     printf "%a@." Stats.pp r.Rewriter.stats;
     printf "size: %d -> %d bytes (%.1f%%); %d trampoline bytes; %d mappings@."
@@ -182,7 +192,7 @@ let patch_cmd =
     Term.(
       const run $ setup_logs $ input $ output $ select $ template
       $ granularity $ no_grouping $ shared $ b0 $ no_t1 $ no_t2 $ no_t3
-      $ stub $ spec_arg $ spec_file $ trace)
+      $ stub $ spec_arg $ spec_file $ trace $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)

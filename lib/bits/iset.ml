@@ -93,24 +93,30 @@ let find_free_strided t ~size ~lo ~hi ~stride =
       let d = x - lo in
       lo + ((d + stride - 1) / stride * stride)
     in
+    (* Walk candidates and occupied intervals in lockstep. [next] caches
+       the lowest interval whose end exceeds the previous candidate, so
+       each advancement costs one successor lookup instead of a [floor]
+       plus a [find_first_opt] per probe. A candidate [s] is blocked iff
+       the lowest interval with [h > s] starts below [s + size]. *)
     let result = ref None in
-    let rec try_from s =
+    let rec try_from s next =
       if s > hi then ()
       else
-        (* The interval straddling or following [s] that blocks it. *)
-        let blocker =
-          match floor t (s + size - 1) with
-          | Some (l, h) when h > s -> Some (l, h)
-          | _ -> (
-              match M.find_first_opt (fun k -> k >= s) t.map with
-              | Some (l, h) when l < s + size -> Some (l, h)
-              | _ -> None)
-        in
-        match blocker with
-        | None -> result := Some s
-        | Some (_, h) -> try_from (round_up (max h (s + 1)))
+        match next with
+        | Some (l, h) when h <= s ->
+            (* The cache fell behind [s]; advance it one interval. *)
+            try_from s (M.find_first_opt (fun k -> k > l) t.map)
+        | Some (l, h) when l < s + size ->
+            try_from (round_up (max h (s + 1))) (Some (l, h))
+        | Some _ | None -> result := Some s
     in
-    try_from (round_up lo);
+    let s0 = round_up lo in
+    let first =
+      match floor t s0 with
+      | Some (l, h) when h > s0 -> Some (l, h)
+      | _ -> M.find_first_opt (fun k -> k >= s0) t.map
+    in
+    try_from s0 first;
     !result
   end
 

@@ -34,7 +34,10 @@ val find_free_last : t -> size:int -> lo:int -> hi:int -> int option
 
 (** [find_free_strided t ~size ~lo ~hi ~stride] is the lowest start [s]
     with [lo <= s <= hi], [s ≡ lo (mod stride)] and [s, s+size) free.
-    With [stride = 1] this is {!find_free}. Requires [stride >= 1]. *)
+    With [stride = 1] this is {!find_free}. Requires [stride >= 1].
+    The scan carries the blocking interval forward between probes, so a
+    window crossed by [k] occupied intervals costs [k] map lookups
+    however many stride positions it contains. *)
 val find_free_strided :
   t -> size:int -> lo:int -> hi:int -> stride:int -> int option
 

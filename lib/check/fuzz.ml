@@ -88,7 +88,9 @@ let gen_case =
    up as Out_of_fuel on one side only, i.e. as a divergence. *)
 let fuzz_config = { Cpu.default_config with Cpu.fuel = 50_000_000 }
 
-let run_case case =
+(* Generate the case's binary and selector — shared by the differential
+   round trip below and the jobs-determinism property. *)
+let prepare case =
   let elf = Codegen.generate case.profile in
   let disasm_from =
     if case.profile.Codegen.data_in_text_kb > 0 then
@@ -101,6 +103,23 @@ let run_case case =
     if case.select_writes then Frontend.select_heap_writes
     else Frontend.select_jumps
   in
+  (elf, disasm_from, select)
+
+let rewrite ?jobs ?shard_span case =
+  let elf, disasm_from, select = prepare case in
+  let options =
+    match shard_span with
+    | None -> case.options
+    | Some shard_span -> { case.options with Rewriter.shard_span }
+  in
+  let r =
+    Rewriter.run ~options ?jobs ?disasm_from elf ~select
+      ~template:(fun _ -> Trampoline.Empty)
+  in
+  (elf, disasm_from, r)
+
+let run_case case =
+  let elf, disasm_from, select = prepare case in
   let r =
     Rewriter.run ~options:case.options ?disasm_from elf ~select
       ~template:(fun _ -> Trampoline.Empty)
@@ -180,3 +199,32 @@ let property ?(count = 50) ?(name = "rewrite is byte-accounted and trace-equival
       match run_case case with
       | Ok _ -> true
       | Error msg -> QCheck2.Test.fail_reportf "%s" msg)
+
+let jobs_property ?(count = 25) ?(jobs = [ 2; 4; 7 ]) ?(shard_span = 2048)
+    ?(name = "rewrite output is identical for every domain count") () =
+  QCheck2.Test.make ~count ~name ~print:case_to_string gen_case (fun case ->
+      let elf, disasm_from, r1 = rewrite ~jobs:1 ~shard_span case in
+      (* The small span forces multiple shards even on fuzz-sized
+         binaries, so jobs=1 exercises the sharded algorithm too; check
+         it against the independent verifier, not just against itself. *)
+      (match Static.verify ?disasm_from ~original:elf r1.Rewriter.output with
+      | Ok _ -> ()
+      | Error e ->
+          QCheck2.Test.fail_reportf "sharded rewrite (%d shards): %a"
+            r1.Rewriter.shards Static.pp_error e);
+      let reference = Elf_file.to_bytes r1.Rewriter.output in
+      List.for_all
+        (fun n ->
+          let _, _, rn = rewrite ~jobs:n ~shard_span case in
+          if not (Bytes.equal (Elf_file.to_bytes rn.Rewriter.output) reference)
+          then
+            QCheck2.Test.fail_reportf
+              "jobs=%d output bytes differ from jobs=1 (%d shards)" n
+              rn.Rewriter.shards
+          else if rn.Rewriter.stats <> r1.Rewriter.stats then
+            QCheck2.Test.fail_reportf "jobs=%d stats differ from jobs=1" n
+          else if rn.Rewriter.patched_sites <> r1.Rewriter.patched_sites then
+            QCheck2.Test.fail_reportf
+              "jobs=%d patched sites differ from jobs=1" n
+          else true)
+        jobs)

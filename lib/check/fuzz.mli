@@ -27,6 +27,16 @@ val gen_case : case QCheck2.Gen.t
     round trip. *)
 val run_case : case -> (Static.report * Trace.stats, string) result
 
+(** [rewrite ?jobs ?shard_span case] is the generate → rewrite half alone,
+    returning the input binary, the disassembly start it used, and the
+    full rewrite result — the hook for determinism and scaling tests that
+    need to compare outputs across [jobs] values or shard spans. *)
+val rewrite :
+  ?jobs:int ->
+  ?shard_span:int ->
+  case ->
+  Elf_file.t * int option * E9_core.Rewriter.result
+
 (** Aggregate numbers from a campaign, for reporting. *)
 type summary = {
   cases : int;
@@ -48,3 +58,16 @@ val campaign : ?progress:(int -> unit) -> n:int -> seed:int -> unit -> summary
 
 (** The QCheck property (shrinking enabled), for the test suite. *)
 val property : ?count:int -> ?name:string -> unit -> QCheck2.Test.t
+
+(** Jobs-determinism property: rewriting with every domain count in
+    [jobs] (default [2; 4; 7]) produces output bytes, stats and
+    patched-site lists identical to [jobs = 1], under a [shard_span]
+    (default 2048) small enough to force multiple shards on fuzz-sized
+    binaries; the sharded output must also pass {!Static.verify}. *)
+val jobs_property :
+  ?count:int ->
+  ?jobs:int list ->
+  ?shard_span:int ->
+  ?name:string ->
+  unit ->
+  QCheck2.Test.t

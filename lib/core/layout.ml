@@ -1,8 +1,48 @@
 module Iset = E9_bits.Iset
 
+(* Shard arenas (DESIGN.md §10): when the rewriter splits the text into
+   independently patched shards, each shard's arena may only place
+   trampolines inside the 64 KiB address stripes it owns, so concurrent
+   searches can never hand two shards overlapping extents — without any
+   locking and without materializing the foreign stripes as occupied
+   intervals. Ownership rotates pseudorandomly per row of [count]
+   consecutive stripes: every row contains each owner exactly once (so the
+   next owned stripe is always < 2·count stripes away), while the rotation
+   decorrelates ownership from the power-of-two strides of joint-pun
+   probes (a plain [index mod count] would starve shards whenever
+   [stride / stripe_size] shares a factor with [count]). *)
+type stripe = { index : int; count : int }
+
+(* One page per stripe: any pun window of a page or more (two or fewer
+   fixed displacement bytes) contains stripes of every owner, so the
+   narrow-window tactics keep working inside shard arenas instead of
+   escalating; and a stripe never splits a loader page between shards. *)
+let stripe_bits = 12
+let stripe_size = 1 lsl stripe_bits
+
+let row_mix r =
+  (* Knuth-style multiplicative mix; the constant fits in 62-bit ints. *)
+  ((r * 0x2545F4914F6CDD1D) land max_int) lsr 20
+
+let stripe_owner ~count i =
+  if count <= 1 then 0 else ((i + row_mix (i / count)) mod count + count) mod count
+
+(* Next-fit cursors: one remembered resume point per window-span class
+   (log2 of [hi - lo]). Windows of similar span are issued by the same
+   tactic shapes and drift slowly under S1, so resuming the first-fit scan
+   where the last same-class allocation ended skips the packed prefix that
+   produced the alloc_conflict rescans. Falling back to a full scan on a
+   cursor miss preserves first-fit's success set exactly — the cursor only
+   relocates placements, never turns a success into a failure. *)
+let cursor_classes = 64
+
 type t = {
   occupied : Iset.t;
   trampolines : Iset.t;  (* subset of [occupied]: what we allocated *)
+  stripe : stripe option;
+  cursors : int array;
+  mutable cursor_hits : int;
+  mutable cursor_misses : int;
 }
 
 (* Keep clear of the emulator's fixed homes so patched binaries cannot
@@ -39,22 +79,133 @@ let create ?(reserve_below_base = false) ?(block_size = 4096) (elf : Elf_file.t)
             ~hi:(ceil_b (s.vaddr + s.memsz))
       | Note | Other _ -> ())
     elf.segments;
-  { occupied; trampolines = Iset.create () }
+  { occupied;
+    trampolines = Iset.create ();
+    stripe = None;
+    cursors = Array.make cursor_classes min_int;
+    cursor_hits = 0;
+    cursor_misses = 0 }
+
+let shard t ~index ~count =
+  if index < 0 || index >= count then invalid_arg "Layout.shard";
+  { occupied = Iset.copy t.occupied;
+    trampolines = Iset.create ();
+    stripe = (if count <= 1 then None else Some { index; count });
+    cursors = Array.make cursor_classes min_int;
+    cursor_hits = 0;
+    cursor_misses = 0 }
+
+let absorb ~dst src =
+  Iset.iter src.trampolines (fun ~lo ~hi ->
+      Iset.add dst.occupied ~lo ~hi;
+      Iset.add dst.trampolines ~lo ~hi);
+  dst.cursor_hits <- dst.cursor_hits + src.cursor_hits;
+  dst.cursor_misses <- dst.cursor_misses + src.cursor_misses
+
+let cursor_hits t = t.cursor_hits
+let cursor_misses t = t.cursor_misses
+
+(* ------------------------------------------------------------------ *)
+(* Stripe-constrained searches                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Start address of the lowest owned stripe after stripe [i]; the
+   per-row rotation guarantees one within 2·count stripes. *)
+let next_own_stripe st i =
+  let j = ref (i + 1) in
+  while stripe_owner ~count:st.count !j <> st.index do incr j done;
+  !j lsl stripe_bits
+
+let range_owned st ~addr ~size =
+  let last = (addr + size - 1) asr stripe_bits in
+  let rec go i =
+    i > last || (stripe_owner ~count:st.count i = st.index && go (i + 1))
+  in
+  go (addr asr stripe_bits)
+
+(* Repeat [find ~lo] until it yields a start whose whole extent lies in
+   owned stripes. [find ~lo] must return the lowest admissible start
+   >= lo, so jumping [lo] to the next owned stripe start skips foreign
+   and exhausted stripes wholesale. [lo] is advanced to an owned stripe
+   {e before} each interval search: a window that contains no owned
+   stripe at all — the common case for narrow pun windows under many
+   shards — costs only the arithmetic, never a map lookup. *)
+let find_owned st ~size ~hi find ~lo =
+  if size > stripe_size then None
+  else begin
+    let rec go lo =
+      let lo =
+        if stripe_owner ~count:st.count (lo asr stripe_bits) = st.index then lo
+        else next_own_stripe st (lo asr stripe_bits)
+      in
+      if lo > hi then None
+      else
+        match find ~lo with
+        | None -> None
+        | Some a ->
+            if range_owned st ~addr:a ~size then Some a
+            else go (next_own_stripe st (a asr stripe_bits))
+    in
+    go lo
+  end
+
+let find_free t ~size ~lo ~hi =
+  match t.stripe with
+  | None -> Iset.find_free t.occupied ~size ~lo ~hi
+  | Some st ->
+      find_owned st ~size ~hi
+        (fun ~lo -> Iset.find_free t.occupied ~size ~lo ~hi)
+        ~lo
+
+let span_class ~lo ~hi =
+  let rec go n c =
+    if n <= 1 || c >= cursor_classes - 1 then c else go (n lsr 1) (c + 1)
+  in
+  go (max (hi - lo) 1) 0
 
 let alloc t ~size ~lo ~hi =
-  match Iset.find_free t.occupied ~size ~lo ~hi with
+  let c = span_class ~lo ~hi in
+  let hint = t.cursors.(c) in
+  let found =
+    if hint > lo && hint <= hi then
+      match find_free t ~size ~lo:hint ~hi with
+      | Some _ as r ->
+          t.cursor_hits <- t.cursor_hits + 1;
+          r
+      | None ->
+          t.cursor_misses <- t.cursor_misses + 1;
+          find_free t ~size ~lo ~hi
+    else find_free t ~size ~lo ~hi
+  in
+  match found with
   | Some addr ->
       Iset.add t.occupied ~lo:addr ~hi:(addr + size);
       Iset.add t.trampolines ~lo:addr ~hi:(addr + size);
+      t.cursors.(c) <- addr + size;
       Some addr
   | None -> None
 
-let is_free t ~addr ~size = Iset.is_free t.occupied ~lo:addr ~hi:(addr + size)
+let is_free t ~addr ~size =
+  Iset.is_free t.occupied ~lo:addr ~hi:(addr + size)
+  && match t.stripe with None -> true | Some st -> range_owned st ~addr ~size
 
-let probe t ~size ~lo ~hi = Iset.find_free t.occupied ~size ~lo ~hi
+let probe t ~size ~lo ~hi = find_free t ~size ~lo ~hi
 
 let probe_strided t ~size ~lo ~hi ~stride =
-  Iset.find_free_strided t.occupied ~size ~lo ~hi ~stride
+  match t.stripe with
+  | None -> Iset.find_free_strided t.occupied ~size ~lo ~hi ~stride
+  | Some st ->
+      (* Keep candidates ≡ the caller's [lo] (mod stride) while restarting
+         the scan at owned-stripe starts. *)
+      let base = lo in
+      let find ~lo =
+        let lo =
+          if lo <= base then base
+          else base + ((lo - base + stride - 1) / stride * stride)
+        in
+        Iset.find_free_strided t.occupied ~size ~lo ~hi ~stride
+      in
+      find_owned st ~size ~hi find ~lo
 
 let release t ~addr ~size =
   Iset.remove t.occupied ~lo:addr ~hi:(addr + size);

@@ -21,13 +21,42 @@ type t
     with original content. Pass the page-grouping granularity in bytes. *)
 val create : ?reserve_below_base:bool -> ?block_size:int -> Elf_file.t -> t
 
+(** [shard t ~index ~count] is a private arena for one shard of a
+    domain-parallel rewrite (DESIGN.md §10): it snapshots [t]'s occupancy
+    (O(1) — the interval map is persistent) and constrains every
+    subsequent search to the 64 KiB address stripes owned by [index].
+    Stripe ownership partitions the address space deterministically across
+    [count] arenas, so concurrent shards can never allocate overlapping
+    extents; with [count = 1] no constraint applies. [t] is not
+    mutated. *)
+val shard : t -> index:int -> count:int -> t
+
+(** [absorb ~dst src] merges the trampoline extents allocated in the
+    shard arena [src] into [dst]'s occupancy and trampoline sets, and
+    accumulates its cursor counters. Extents are disjoint by stripe
+    ownership, so absorbing shards in any fixed order yields the same
+    [dst]. *)
+val absorb : dst:t -> t -> unit
+
+(** Next-fit cursor telemetry: allocations that resumed from the
+    remembered per-window-class scan position ([cursor_hits]) vs. ones
+    where the resumed scan failed and a full first-fit rescan ran
+    ([cursor_misses]). *)
+val cursor_hits : t -> int
+
+val cursor_misses : t -> int
+
 (** [alloc t ~size ~lo ~hi] reserves [size] bytes whose start lies in
     [lo, hi] (inclusive), preferring the lowest address; returns the start,
-    or [None] if the window has no free gap. *)
+    or [None] if the window has no free gap. A per-window-class next-fit
+    cursor resumes the scan where the previous same-class allocation
+    ended, falling back to a full first-fit scan on a miss — so the set of
+    windows that allocate successfully is exactly first-fit's. *)
 val alloc : t -> size:int -> lo:int -> hi:int -> int option
 
 (** [is_free t ~addr ~size] — true when [addr, addr+size) is entirely
-    unoccupied (used by joint-pun candidate probing; does not reserve). *)
+    unoccupied (used by joint-pun candidate probing; does not reserve).
+    In a shard arena the range must also lie in owned stripes. *)
 val is_free : t -> addr:int -> size:int -> bool
 
 (** [probe t ~size ~lo ~hi] is like {!alloc} but reserves nothing — used to

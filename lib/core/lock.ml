@@ -23,3 +23,8 @@ let all_unlocked t ~addr ~len =
   go addr
 
 let locked_count t = t.count
+
+let merge_into ~dst src =
+  for i = 0 to Bytes.length src.flags - 1 do
+    if Bytes.unsafe_get src.flags i <> '\000' then lock dst (src.base + i)
+  done

@@ -27,3 +27,9 @@ val all_unlocked : t -> addr:int -> len:int -> bool
 
 (** [locked_count t] — number of locked bytes (for statistics). *)
 val locked_count : t -> int
+
+(** [merge_into ~dst src] locks in [dst] every byte locked in [src]
+    (ranges need not coincide; [src] bytes outside [dst]'s range are
+    dropped, matching {!lock}). Used to rebuild the whole-text lock state
+    from per-shard locks before the boundary fixup pass. *)
+val merge_into : dst:t -> t -> unit

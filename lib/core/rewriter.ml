@@ -8,6 +8,7 @@ type options = {
   grouping : bool;
   reserve_below_base : bool;
   loader : loader_mode;
+  shard_span : int;
 }
 
 let default_options =
@@ -15,7 +16,8 @@ let default_options =
     granularity = 1;
     grouping = true;
     reserve_below_base = false;
-    loader = Table }
+    loader = Table;
+    shard_span = 1 lsl 16 }
 
 type result = {
   output : Elf_file.t;
@@ -27,21 +29,32 @@ type result = {
   physical_blocks : int;
   mappings : int;
   patched_sites : (int * Stats.tactic) list;
+  shards : int;
 }
 
-let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?disasm_from
-    ?frontend input ~select ~template =
+let default_jobs () =
+  match Sys.getenv_opt "E9_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
+  | None -> 1
+
+let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
+    ?disasm_from ?frontend input ~select ~template =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let input_size = Elf_file.serialized_size input in
   let output = Elf_file.copy input in
   let disassemble =
     match frontend with
     | Some f -> f
-    | None -> Frontend.disassemble ?from:disasm_from
+    | None -> fun elf -> Frontend.disassemble ?from:disasm_from ~jobs elf
   in
   let text, sites_list =
     E9_obs.Obs.span obs "decode" (fun () -> disassemble output)
   in
   let sites = Array.of_list sites_list in
+  let base = text.Frontend.base in
   let layout =
     Layout.create ~reserve_below_base:options.reserve_below_base
       ~block_size:(options.granularity * 4096) output
@@ -49,27 +62,152 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?disasm_from
   let text_buf =
     Buf.of_bytes (Buf.sub output.Elf_file.data ~pos:text.Frontend.offset ~len:text.Frontend.size)
   in
-  let ctx =
-    Tactics.create_ctx ~obs ~text:text_buf ~text_base:text.Frontend.base
-      ~layout ~sites ~options:options.tactics ()
-  in
   let stats = Stats.create () in
   let patched = ref [] in
   (* Strategy S1: patch from highest to lowest address so that puns only
      ever depend on bytes that are already final. *)
-  let patch_sites =
+  let selected =
     Array.to_list sites |> List.filter select
     |> List.sort (fun (a : Frontend.site) b -> compare b.addr a.addr)
   in
-  E9_obs.Obs.span obs "tactic_search" (fun () ->
+  (* Shard geometry is a function of the text alone — never of [jobs] —
+     so the rewritten bytes are identical for every domain count: [jobs]
+     only decides how many domains execute the fixed shard tasks. A
+     single shard degenerates to the plain serial rewrite. *)
+  let span = max options.shard_span (4 * Tactics.max_reach) in
+  let nshards = max 1 ((text.Frontend.size + span - 1) / span) in
+  let tramps, traps, locked_bytes =
+    if nshards <= 1 then begin
+      let ctx =
+        Tactics.create_ctx ~obs ~text:text_buf ~text_base:base ~layout ~sites
+          ~options:options.tactics ()
+      in
+      E9_obs.Obs.span obs "tactic_search" (fun () ->
+          List.iter
+            (fun site ->
+              match Tactics.patch ctx site (template site) with
+              | Some tactic ->
+                  Stats.record stats tactic;
+                  patched := (site.Frontend.addr, tactic) :: !patched
+              | None -> Stats.record_failure stats)
+            selected);
+      ( Tactics.trampolines ctx,
+        Tactics.trap_entries ctx,
+        Lock.locked_count (Tactics.locks ctx) )
+    end
+    else begin
+      (* Domain-parallel rewrite (DESIGN.md §10). Shards are [span]-byte
+         text regions with [span >= 4 * Tactics.max_reach]; a site whose
+         tactic reach cannot cross its shard's top edge is {e interior}
+         and may be patched concurrently: every byte, lock and dead mark
+         it can touch lies inside its own shard, and its trampoline comes
+         from a stripe-partitioned private arena, so shards never race.
+         Sites within [max_reach] of the edge are deferred to a serial
+         fixup pass over the merged state. *)
+      let shard_lo k = base + (k * span) in
+      let shard_top k =
+        if k = nshards - 1 then base + text.Frontend.size
+        else base + ((k + 1) * span)
+      in
+      let shard_of addr = min (nshards - 1) ((addr - base) / span) in
+      (* Every decoded site, split per shard: tactics walk successor and
+         victim instructions, which for interior sites stay in-shard. *)
+      let buckets = Array.make nshards [] in
+      Array.iter
+        (fun (s : Frontend.site) ->
+          let k = shard_of s.addr in
+          buckets.(k) <- s :: buckets.(k))
+        sites;
+      let shard_sites =
+        Array.map (fun l -> Array.of_list (List.rev l)) buckets
+      in
+      let interior = Array.make nshards [] in
+      let boundary = ref [] in
       List.iter
-        (fun site ->
-          match Tactics.patch ctx site (template site) with
-          | Some tactic ->
-              Stats.record stats tactic;
-              patched := (site.Frontend.addr, tactic) :: !patched
-          | None -> Stats.record_failure stats)
-        patch_sites);
+        (fun (s : Frontend.site) ->
+          let k = shard_of s.addr in
+          if k = nshards - 1 || s.addr + Tactics.max_reach <= shard_top k then
+            interior.(k) <- s :: interior.(k)
+          else boundary := s :: !boundary)
+        (List.rev selected);
+      (* [interior.(k)] and [boundary] are in descending address order. *)
+      E9_obs.Obs.span obs "tactic_search" (fun () ->
+          let shard_results =
+            E9_bits.Pool.map ~domains:jobs
+              (fun k ->
+                let lo = shard_lo k and top = shard_top k in
+                let arena = Layout.shard layout ~index:k ~count:nshards in
+                let locks = Lock.create ~base:lo ~len:(top - lo) in
+                let dead = Lock.create ~base:lo ~len:(top - lo) in
+                let sobs = E9_obs.Obs.fork obs in
+                let ctx =
+                  Tactics.create_ctx ~obs:sobs ~locks ~dead ~text:text_buf
+                    ~text_base:base ~layout:arena ~sites:shard_sites.(k)
+                    ~options:options.tactics ()
+                in
+                let sstats = Stats.create () in
+                let spatched = ref [] in
+                List.iter
+                  (fun site ->
+                    match Tactics.patch ctx site (template site) with
+                    | Some tactic ->
+                        Stats.record sstats tactic;
+                        spatched := (site.Frontend.addr, tactic) :: !spatched
+                    | None -> Stats.record_failure sstats)
+                  interior.(k);
+                ( arena,
+                  locks,
+                  dead,
+                  sobs,
+                  sstats,
+                  !spatched,
+                  Tactics.trampolines ctx,
+                  Tactics.trap_entries ctx ))
+              (List.init nshards (fun i -> nshards - 1 - i))
+          in
+          (* Canonical merge, shards high-to-low (the fixed task order —
+             Pool.map returns results in input order whatever the
+             completion order, so the merge is identical for every
+             [jobs]). *)
+          let locks_all = Lock.create ~base ~len:text.Frontend.size in
+          let dead_all = Lock.create ~base ~len:text.Frontend.size in
+          List.iter
+            (fun (arena, locks, dead, sobs, sstats, spatched, _, _) ->
+              Layout.absorb ~dst:layout arena;
+              Lock.merge_into ~dst:locks_all locks;
+              Lock.merge_into ~dst:dead_all dead;
+              E9_obs.Obs.merge_into ~dst:obs sobs;
+              Stats.merge_into ~dst:stats sstats;
+              patched := List.rev_append spatched !patched)
+            shard_results;
+          (* Serial fixup over the merged state: boundary sites see every
+             shard's locks, dead bytes and occupancy, and allocate from
+             the unconstrained merged layout — exactly the serial
+             algorithm, restricted to the deferred sites. *)
+          let fixup_ctx =
+            Tactics.create_ctx ~obs ~locks:locks_all ~dead:dead_all
+              ~text:text_buf ~text_base:base ~layout ~sites
+              ~options:options.tactics ()
+          in
+          List.iter
+            (fun site ->
+              match Tactics.patch fixup_ctx site (template site) with
+              | Some tactic ->
+                  Stats.record stats tactic;
+                  patched := (site.Frontend.addr, tactic) :: !patched
+              | None -> Stats.record_failure stats)
+            !boundary;
+          let shard_tramps =
+            List.concat_map (fun (_, _, _, _, _, _, tr, _) -> tr) shard_results
+          in
+          let shard_traps =
+            List.concat_map (fun (_, _, _, _, _, _, _, tp) -> tp) shard_results
+          in
+          ( shard_tramps @ Tactics.trampolines fixup_ctx,
+            shard_traps @ Tactics.trap_entries fixup_ctx,
+            Lock.locked_count locks_all ))
+    end
+  in
   if E9_obs.Obs.enabled obs then begin
     let occ = Layout.occupancy layout in
     E9_obs.Obs.gauge obs ~name:"layout.occupied_intervals"
@@ -78,13 +216,18 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?disasm_from
       ~value:occ.Layout.trampoline_extents;
     E9_obs.Obs.gauge obs ~name:"layout.trampoline_bytes"
       ~value:occ.Layout.trampoline_bytes;
-    E9_obs.Obs.gauge obs ~name:"text.locked_bytes"
-      ~value:(Lock.locked_count (Tactics.locks ctx))
+    E9_obs.Obs.gauge obs ~name:"text.locked_bytes" ~value:locked_bytes;
+    E9_obs.Obs.gauge obs ~name:"rewrite.shards" ~value:nshards;
+    (* Next-fit allocator cursor effectiveness; shard-arena counters were
+       folded into [layout] by [Layout.absorb]. *)
+    E9_obs.Obs.counter obs ~name:"layout.cursor_hits"
+      ~value:(Layout.cursor_hits layout);
+    E9_obs.Obs.counter obs ~name:"layout.cursor_misses"
+      ~value:(Layout.cursor_misses layout)
   end;
   (* Blit the patched text back — strictly in place. *)
   Buf.blit_in output.Elf_file.data ~pos:text.Frontend.offset (Buf.contents text_buf);
   (* Physical page grouping over the emitted trampolines, then append. *)
-  let tramps = Tactics.trampolines ctx in
   let grouped =
     E9_obs.Obs.span obs "layout" (fun () ->
         Pagegroup.group ~granularity:options.granularity
@@ -130,7 +273,7 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?disasm_from
              ~content:stub.Loader_stub.content);
         output.Elf_file.entry <- stub.Loader_stub.entry
   end;
-  (match Tactics.trap_entries ctx with
+  (match traps with
   | [] -> ()
   | traps ->
       ignore
@@ -157,7 +300,8 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?disasm_from
     virtual_blocks = grouped.Pagegroup.virtual_blocks;
     physical_blocks = grouped.Pagegroup.physical_blocks;
     mappings = List.length grouped.Pagegroup.mappings;
-    patched_sites = List.rev !patched }
+    patched_sites = List.sort (fun (a, _) (b, _) -> compare b a) !patched;
+    shards = nshards }
 
 let size_pct r =
   if r.input_size = 0 then 0.0

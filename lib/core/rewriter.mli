@@ -26,6 +26,11 @@ type options = {
       (** shared-object mode: the dynamic linker owns the space below the
           load base (paper §5.1) *)
   loader : loader_mode;
+  shard_span : int;
+      (** text bytes per parallel shard (default 64 KiB; clamped to at
+          least [4 * Tactics.max_reach]). Shard geometry depends only on
+          the text size and this span — never on the domain count — so
+          the rewritten bytes are identical for every [jobs] value. *)
 }
 
 val default_options : options
@@ -39,7 +44,9 @@ type result = {
   virtual_blocks : int;
   physical_blocks : int;
   mappings : int;  (** loader mmap calls in the output binary *)
-  patched_sites : (int * Stats.tactic) list;  (** per-site outcome *)
+  patched_sites : (int * Stats.tactic) list;
+      (** per-site outcome, in descending address order *)
+  shards : int;  (** parallel shards the text was split into *)
 }
 
 (** [run ?options ?disasm_from elf ~select ~template] rewrites [elf]. The
@@ -54,10 +61,22 @@ type result = {
     incorrectness. [obs] (default {!E9_obs.Obs.null}) receives per-tactic
     attempt records, phase spans ([decode], [tactic_search], [layout],
     [serialize]) and allocator occupancy gauges; with the null sink every
-    emission point is a single branch. *)
+    emission point is a single branch.
+
+    [jobs] sets the domain count for the parallel tactic search and the
+    chunked decode (default: the [E9_JOBS] environment variable, else 1).
+    The text is sharded into [options.shard_span]-byte regions; each
+    domain runs the full S1 search over interior sites of its shards
+    against a stripe-partitioned private arena, and sites within
+    {!Tactics.max_reach} of a shard's top edge are patched in a serial
+    fixup pass over the merged state. Shard geometry never depends on
+    [jobs], and per-shard results merge in fixed shard order, so output
+    bytes, stats and patched-site lists are identical for every [jobs]
+    value. *)
 val run :
   ?options:options ->
   ?obs:E9_obs.Obs.t ->
+  ?jobs:int ->
   ?disasm_from:int ->
   ?frontend:(Elf_file.t -> Frontend.text * Frontend.site list) ->
   Elf_file.t ->

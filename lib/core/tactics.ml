@@ -52,7 +52,20 @@ let obs_tactic = function
   | Stats.T2 -> Obs.T2
   | Stats.T3 -> Obs.T3
 
-let create_ctx ?(obs = Obs.null) ~text ~text_base ~layout ~sites ~options () =
+(* Upper bound on how far past a patch site any tactic reads or writes
+   text bytes, locks, or dead marks. The worst case is T3: a victim may
+   start up to [2 + 127] bytes forward (the short jump's positive reach),
+   the punned J_patch may start at the victim's last byte ([+14] for a
+   15-byte victim), and the pun reads four displacement bytes past its
+   opcode ([+5]) — 148 bytes. Everything else (B1/B2/T1 puns, T2's
+   successor, dead-byte squats) stays well inside that. Rounded up for
+   slack; the domain-parallel rewriter relies on this bound to prove
+   shard independence (DESIGN.md §10). No tactic ever touches anything
+   before its site's first byte. *)
+let max_reach = 160
+
+let create_ctx ?(obs = Obs.null) ?locks ?dead ~text ~text_base ~layout ~sites
+    ~options () =
   let index_of = Hashtbl.create (Array.length sites) in
   Array.iteri (fun i (s : Frontend.site) -> Hashtbl.replace index_of s.addr i) sites;
   { text;
@@ -60,8 +73,14 @@ let create_ctx ?(obs = Obs.null) ~text ~text_base ~layout ~sites ~options () =
     layout;
     sites;
     index_of;
-    locks = Lock.create ~base:text_base ~len:(Buf.length text);
-    dead = Lock.create ~base:text_base ~len:(Buf.length text);
+    locks =
+      (match locks with
+      | Some l -> l
+      | None -> Lock.create ~base:text_base ~len:(Buf.length text));
+    dead =
+      (match dead with
+      | Some d -> d
+      | None -> Lock.create ~base:text_base ~len:(Buf.length text));
     trampolines = [];
     traps = [];
     opts = options;

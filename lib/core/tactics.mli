@@ -33,15 +33,28 @@ val default_options : options
 (** The rewriting context shared by all tactics over one binary. *)
 type ctx
 
+(** Upper bound, in bytes, on how far beyond a patch site's first byte
+    any tactic can read or write text bytes, locks, or dead marks (the
+    T3 victim walk dominates; see the implementation for the accounting).
+    Tactics never touch anything before the site. The domain-parallel
+    rewriter uses this to prove that sites more than [max_reach] bytes
+    below a shard boundary cannot interact with the next shard. *)
+val max_reach : int
+
 (** [create_ctx ~text ~text_base ~layout ~sites ~options] — [text] is a
     mutable copy of the text section (mutated in place as patches land);
     [sites] is the full linear disassembly in address order. [obs]
     (default {!E9_obs.Obs.null}) receives one [Attempt] record per tactic
     tried per site — accepted (with padding bytes and evictee distance)
     or rejected with a typed reason — plus a final per-site [Site]
-    verdict. *)
+    verdict. [locks] / [dead] substitute externally managed lock state
+    (defaults cover the whole text): shard contexts pass locks scoped to
+    their own byte range, and the boundary-fixup context passes the lock
+    state merged from all shards. *)
 val create_ctx :
   ?obs:E9_obs.Obs.t ->
+  ?locks:Lock.t ->
+  ?dead:Lock.t ->
   text:E9_bits.Buf.t ->
   text_base:int ->
   layout:Layout.t ->

@@ -15,7 +15,62 @@ let find_text (elf : Elf_file.t) =
       |> Option.map (fun (s : Elf_file.segment) ->
              { base = s.vaddr; offset = s.offset; size = s.filesz })
 
-let disassemble ?from elf =
+(* Chunked parallel linear sweep. Chunk boundaries are fixed (independent
+   of the worker count): each chunk is decoded linearly from its own
+   start, overrunning its end by at most one instruction; the serial
+   stitch below reconciles the overruns. Decoding is a pure function of
+   [(bytes, position)], so whenever the stitch reaches a position a chunk
+   also decoded from, the remainders coincide — the result is exactly the
+   single serial sweep, for every [jobs] value. *)
+let default_chunk = 1 lsl 16
+
+let linear_chunked ~jobs ~chunk bytes ~pos ~len =
+  let hi = pos + len in
+  let n = (len + chunk - 1) / chunk in
+  let bounds =
+    List.init n (fun i -> (pos + (i * chunk), min hi (pos + ((i + 1) * chunk))))
+  in
+  let decoded =
+    E9_bits.Pool.map ~domains:jobs
+      (fun (clo, chi) ->
+        let rec go p acc =
+          if p >= chi then (List.rev acc, p)
+          else
+            let d = Decode.decode bytes p in
+            go (p + d.Decode.len) ((p, d) :: acc)
+        in
+        go clo [])
+      bounds
+  in
+  (* Stitch: walk the chunks carrying the serial stream position [p].
+     Entering a chunk at its start adopts its decode wholesale; entering
+     mid-chunk (the previous chunk overran) re-decodes one instruction at
+     a time until [p] lands on a position the chunk decoded, then adopts
+     the rest. [acc] holds emitted (position, decoded) pairs in reverse. *)
+  let rec walk p chunks acc =
+    match chunks with
+    | [] -> List.rev acc
+    | ((clo, chi), (sites, cend)) :: rest ->
+        if p >= chi then walk p rest acc
+        else if p = clo then walk cend rest (List.rev_append sites acc)
+        else begin
+          let rec sync p sites acc =
+            match sites with
+            | (off, _) :: tail when off < p -> sync p tail acc
+            | (off, _) :: _ when off = p -> (cend, List.rev_append sites acc)
+            | _ ->
+                if p >= chi then (p, acc)
+                else
+                  let d = Decode.decode bytes p in
+                  sync (p + d.Decode.len) sites ((p, d) :: acc)
+          in
+          let p, acc = sync p sites acc in
+          walk p rest acc
+        end
+  in
+  walk pos (List.combine bounds decoded) []
+
+let disassemble ?from ?(jobs = 1) ?(chunk = default_chunk) elf =
   match find_text elf with
   | None -> failwith "Frontend: no text section or executable segment"
   | Some text ->
@@ -31,12 +86,16 @@ let disassemble ?from elf =
             else addr - text.base
       in
       let bytes = Buf.sub elf.Elf_file.data ~pos:text.offset ~len:text.size in
+      let len = text.size - start in
+      let decoded =
+        if jobs <= 1 || len <= chunk then Decode.linear bytes ~pos:start ~len
+        else linear_chunked ~jobs ~chunk bytes ~pos:start ~len
+      in
       let sites =
-        Decode.linear bytes ~pos:start ~len:(text.size - start)
-        |> List.map (fun (off, d) ->
-               { addr = text.base + off;
-                 len = d.Decode.len;
-                 insn = d.Decode.insn })
+        List.map
+          (fun (off, d) ->
+            { addr = text.base + off; len = d.Decode.len; insn = d.Decode.insn })
+          decoded
       in
       (text, sites)
 

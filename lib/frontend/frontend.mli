@@ -24,12 +24,18 @@ type text = {
     present, otherwise the first executable [PT_LOAD] segment. *)
 val find_text : Elf_file.t -> text option
 
-(** [disassemble ?from elf] linearly disassembles the text, returning
-    every instruction in address order. [from] starts the sweep at a known
-    code address — the paper's §6.2 workaround for binaries (Chrome) whose
-    text section mixes data and code: bytes before [from] are not
-    disassembled and therefore never patched. *)
-val disassemble : ?from:int -> Elf_file.t -> text * site list
+(** [disassemble ?from ?jobs ?chunk elf] linearly disassembles the text,
+    returning every instruction in address order. [from] starts the sweep
+    at a known code address — the paper's §6.2 workaround for binaries
+    (Chrome) whose text section mixes data and code: bytes before [from]
+    are not disassembled and therefore never patched. With [jobs > 1] the
+    sweep is chunked across domains ([chunk] bytes per chunk, default
+    64 KiB) and re-synchronized serially at chunk seams: chunk boundaries
+    are fixed and decoding is a pure function of the byte position, so
+    the result is identical to the serial sweep for every [jobs]
+    value. *)
+val disassemble :
+  ?from:int -> ?jobs:int -> ?chunk:int -> Elf_file.t -> text * site list
 
 (** Patch-location selectors for the paper's two applications. *)
 

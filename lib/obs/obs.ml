@@ -219,6 +219,15 @@ let ring ?(capacity = 1 lsl 20) () =
 let aggregator () = Aggregate (Agg.create ())
 let enabled = function Null -> false | Ring _ | Aggregate _ -> true
 
+(* A fresh sink of the same kind, for one domain of a parallel phase.
+   Each child is emitted to by exactly one domain and folded back with
+   [merge_into] after the join, so no sink is ever shared across
+   domains. *)
+let fork = function
+  | Null -> Null
+  | Ring r -> ring ~capacity:(Array.length r.buf) ()
+  | Aggregate _ -> Aggregate (Agg.create ())
+
 let emit t e =
   match t with
   | Null -> ()
@@ -240,6 +249,14 @@ let agg = function
   | Null -> Agg.create ()
   | Aggregate a -> a
   | Ring _ as t -> Agg.of_events (events t)
+
+let merge_into ~dst src =
+  match (dst, src) with
+  | Null, _ | _, Null -> ()
+  | Aggregate d, Aggregate s -> Agg.merge_into ~dst:d s
+  | _, (Ring _ as s) -> List.iter (emit dst) (events s)
+  | Ring _, Aggregate _ ->
+      invalid_arg "Obs.merge_into: cannot replay an aggregate into a ring"
 
 let accept t ~addr ~tactic ~trampoline ~pad ~evictee_distance =
   match t with

@@ -69,6 +69,20 @@ val aggregator : unit -> t
 val enabled : t -> bool
 val emit : t -> event -> unit
 
+(** [fork t] is a fresh detached sink of [t]'s kind ({!null} stays
+    {!null}), for one domain of a parallel phase: each domain emits into
+    its own fork and the parent folds them back with {!merge_into} after
+    the join, in a canonical order, so no sink is ever shared across
+    domains and the merged stream is identical for every domain count. *)
+val fork : t -> t
+
+(** [merge_into ~dst src] folds a forked sink back into its parent:
+    ring events are re-emitted into [dst] in order, aggregates are added
+    with {!Agg.merge_into}; {!null} on either side is a no-op. Replaying
+    an aggregate into a ring is impossible and raises
+    [Invalid_argument]. *)
+val merge_into : dst:t -> t -> unit
+
 (** [events t] — ring contents, oldest first ([[]] for other sinks). *)
 val events : t -> event list
 

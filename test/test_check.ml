@@ -160,6 +160,7 @@ let test_file_roundtrip_verifies () =
 (* ------------------------------------------------------------------ *)
 
 let prop_fuzz = Fuzz.property ~count:25 ()
+let prop_jobs = Fuzz.jobs_property ~count:15 ~jobs:[ 2; 4; 7 ] ~shard_span:2048 ()
 
 let suites =
   [ ( "check",
@@ -170,4 +171,5 @@ let suites =
           test_stray_byte_rejected;
         Alcotest.test_case "file round trip verifies" `Quick
           test_file_roundtrip_verifies;
-        QCheck_alcotest.to_alcotest prop_fuzz ] ) ]
+        QCheck_alcotest.to_alcotest prop_fuzz;
+        QCheck_alcotest.to_alcotest prop_jobs ] ) ]

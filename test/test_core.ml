@@ -217,6 +217,73 @@ let test_layout_block_rounding () =
   check_bool "inside rounded block" true
     (Layout.probe layout ~size:16 ~lo:0x402000 ~hi:0x43ffff = None)
 
+(* Shard arenas partition the address space into ownership stripes:
+   allocations from different shards of the same parent can never
+   overlap, whatever windows they use, and absorbing the arenas back
+   recovers every extent in the parent. *)
+let test_layout_shard_disjoint_and_absorb () =
+  let parent = Layout.create (mini_elf ()) in
+  let count = 3 in
+  let arenas = List.init count (fun index -> Layout.shard parent ~index ~count) in
+  let allocs =
+    List.concat_map
+      (fun arena ->
+        List.init 40 (fun _ ->
+            match Layout.alloc arena ~size:48 ~lo:0x500000 ~hi:0xfff_ffff with
+            | Some a -> (a, 48)
+            | None -> Alcotest.fail "shard arena allocation failed"))
+      arenas
+  in
+  ignore
+    (List.fold_left
+       (fun prev_end (a, size) ->
+         check_bool "extents pairwise disjoint" true (a >= prev_end);
+         a + size)
+       min_int
+       (List.sort compare allocs));
+  List.iter (fun arena -> Layout.absorb ~dst:parent arena) arenas;
+  check_int "all trampoline bytes absorbed" (count * 40 * 48)
+    (Layout.trampoline_bytes parent);
+  List.iter
+    (fun (a, size) ->
+      check_bool "absorbed extent occupied in parent" false
+        (Layout.is_free parent ~addr:a ~size))
+    allocs
+
+let test_layout_shard_invalid_index () =
+  let parent = Layout.create (mini_elf ()) in
+  check_bool "bad index raises" true
+    (try
+       ignore (Layout.shard parent ~index:3 ~count:3);
+       false
+     with Invalid_argument _ -> true)
+
+(* The next-fit cursor must only move placements, never change whether a
+   window allocates: a window first-fit can satisfy still succeeds, and an
+   exhausted window still fails. Repeated same-class allocations should
+   mostly resume from the cursor rather than rescanning. *)
+let test_layout_next_fit_cursor () =
+  let layout = Layout.create (mini_elf ()) in
+  for _ = 1 to 50 do
+    match Layout.alloc layout ~size:64 ~lo:0x500000 ~hi:0x5fffff with
+    | Some _ -> ()
+    | None -> Alcotest.fail "allocation failed"
+  done;
+  check_bool "cursor mostly hits" true (Layout.cursor_hits layout >= 40);
+  (* Make the cursor stale: fill the window from the cursor up, then free
+     a gap below it. The resumed scan fails (a recorded miss) and the
+     fallback first-fit rescan must still find the low gap. *)
+  let misses0 = Layout.cursor_misses layout in
+  (match Layout.alloc layout ~size:64 ~lo:0x700000 ~hi:0x700fff with
+  | Some a -> check_int "first in fresh window" 0x700000 a
+  | None -> Alcotest.fail "window alloc failed");
+  Layout.reserve layout ~addr:0x700040 ~size:0xfc0;
+  Layout.release layout ~addr:0x700000 ~size:64;
+  (match Layout.alloc layout ~size:64 ~lo:0x700000 ~hi:0x700fff with
+  | Some a -> check_int "fallback rescan finds the freed gap" 0x700000 a
+  | None -> Alcotest.fail "fallback rescan failed");
+  check_bool "miss recorded" true (Layout.cursor_misses layout > misses0)
+
 (* ------------------------------------------------------------------ *)
 (* Page grouping                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -706,7 +773,12 @@ let suites =
         Alcotest.test_case "alloc_at/release" `Quick
           test_layout_alloc_at_and_release;
         Alcotest.test_case "strided probe" `Quick test_layout_strided_probe;
-        Alcotest.test_case "block rounding" `Quick test_layout_block_rounding ]
+        Alcotest.test_case "block rounding" `Quick test_layout_block_rounding;
+        Alcotest.test_case "shard arenas disjoint + absorb" `Quick
+          test_layout_shard_disjoint_and_absorb;
+        Alcotest.test_case "shard invalid index" `Quick
+          test_layout_shard_invalid_index;
+        Alcotest.test_case "next-fit cursor" `Quick test_layout_next_fit_cursor ]
     );
     ( "core.pagegroup",
       [ Alcotest.test_case "merges disjoint pages (Fig 3)" `Quick

@@ -98,6 +98,29 @@ let test_disassemble_from_outside () =
       ignore
         (Frontend.disassemble ~from:(text.Frontend.base - 1) elf))
 
+(* The chunked parallel sweep must reproduce the serial sweep exactly:
+   chunk boundaries rarely coincide with instruction boundaries, so this
+   exercises the seam re-synchronization. A tiny [chunk] forces many
+   seams even on a small binary; [jobs] values beyond the chunk count and
+   a [?from] restriction must not change anything either. *)
+let test_disassemble_chunked_identical () =
+  let elf = elf () in
+  let _, serial = Frontend.disassemble elf in
+  List.iter
+    (fun (jobs, chunk) ->
+      let _, chunked = Frontend.disassemble ~jobs ~chunk elf in
+      check_bool
+        (Printf.sprintf "jobs=%d chunk=%d matches serial" jobs chunk)
+        true
+        (chunked = serial))
+    [ (2, 64); (3, 64); (3, 127); (7, 33); (16, 4096) ];
+  let from_site = List.nth serial 7 in
+  let _, suffix = Frontend.disassemble ~from:from_site.Frontend.addr elf in
+  let _, suffix_chunked =
+    Frontend.disassemble ~from:from_site.Frontend.addr ~jobs:3 ~chunk:61 elf
+  in
+  check_bool "?from + chunked matches serial" true (suffix_chunked = suffix)
+
 let test_disassemble_empty_text () =
   let elf = elf () in
   let empty =
@@ -156,6 +179,8 @@ let suites =
           test_disassemble_from;
         Alcotest.test_case "?from outside text rejected" `Quick
           test_disassemble_from_outside;
+        Alcotest.test_case "chunked sweep identical" `Quick
+          test_disassemble_chunked_identical;
         Alcotest.test_case "empty text" `Quick test_disassemble_empty_text;
         Alcotest.test_case "select_jumps" `Quick test_select_jumps;
         Alcotest.test_case "select_heap_writes" `Quick test_select_heap_writes
