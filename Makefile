@@ -11,6 +11,8 @@ DUNE ?= dune
 SMOKE_TIMEOUT ?= 300
 FUZZ_N ?= 200
 FUZZ_SEED ?= 42
+FAULT_N ?= 500
+FAULT_SEED ?= 42
 
 # Rewriter domain count for the smoke targets. Empty means the binary's
 # own default (serial, or the E9_JOBS environment variable). The outputs
@@ -19,7 +21,7 @@ FUZZ_SEED ?= 42
 BENCH_JOBS ?=
 BENCH_JOBS_FLAG = $(if $(BENCH_JOBS),--jobs $(BENCH_JOBS))
 
-.PHONY: all build test bench bench-smoke fuzz-smoke fmt clean
+.PHONY: all build test bench bench-smoke fuzz-smoke fault-smoke fmt clean
 
 all: build
 
@@ -45,6 +47,14 @@ bench-smoke: build
 # Deterministic; seconds, not minutes — safe for CI.
 fuzz-smoke: build
 	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- fuzz -n $(FUZZ_N) --seed $(FUZZ_SEED) | tee fuzz_output.txt
+
+# Fixed-seed fault-injection campaign (DESIGN.md §11): random rewrite
+# cases × random fault schedules; every injected fault must degrade to a
+# verified output, be accounted per-site, or raise a typed error with no
+# partial file — byte-identically across domain counts. CI runs this
+# under E9_JOBS=1 and E9_JOBS=4.
+fault-smoke: build
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- fault -n $(FAULT_N) --seed $(FAULT_SEED) | tee fault_output.txt
 
 clean:
 	$(DUNE) clean

@@ -4,7 +4,7 @@
      dune exec bench/main.exe              -- everything
      dune exec bench/main.exe -- table1    -- one experiment
      ... robustness | figure4 | figure5 | grouping | ablation | pie | b0
-     ... scalability | calibration | bechamel
+     ... scalability | parallel | faults | calibration | bechamel
 
    Flags (EXPERIMENTS.md "Reproducing"):
      --serial       run every task on one domain (the speedup baseline)
@@ -982,6 +982,41 @@ let bench_parallel () =
            ("search_speedup_at_4", Json.Float speedup_at_4) ])
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection campaign (DESIGN.md §11)                            *)
+(* ------------------------------------------------------------------ *)
+
+module Inject = E9_check.Inject
+
+(* Captured for the [faults] object in BENCH_throughput.json. *)
+let faults_json : Json.t option ref = ref None
+
+let bench_faults () =
+  heading "Fault injection: hardening contract under random fault schedules";
+  (* Each case runs a jobs-1 leg, jobs-2/4 invariance legs, a
+     total-allocator-exhaustion B0 leg and write/trace containment legs;
+     any uncaught exception, verifier reject or half-written file is a
+     contract violation. The campaign is deterministic in (n, seed). *)
+  let n = if !smoke then 60 else 250 in
+  let seed = 42 in
+  let s = Inject.campaign ~n ~seed () in
+  printf "  %a@." Inject.pp_summary s;
+  List.iter
+    (fun (case, msg) -> printf "  VIOLATION %s@.    %s@." case msg)
+    s.Inject.failures;
+  record_row "faults"
+    [ ("cases", Json.Int s.Inject.cases);
+      ("seed", Json.Int seed);
+      ("full", Json.Int s.Inject.full);
+      ("degraded", Json.Int s.Inject.degraded);
+      ("typed", Json.Int s.Inject.typed);
+      ("skipped", Json.Int s.Inject.skipped);
+      ("b0_sites", Json.Int s.Inject.b0_sites);
+      ("violations", Json.Int (List.length s.Inject.failures)) ];
+  faults_json := Some (Inject.summary_json s);
+  if s.Inject.failures <> [] then
+    failwith "fault campaign found contract violations"
+
+(* ------------------------------------------------------------------ *)
 (* Calibration curves (documents how suite parameters were derived)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1122,6 +1157,7 @@ let all =
     ("b0", bench_b0);
     ("scalability", bench_scalability);
     ("parallel", bench_parallel);
+    ("faults", bench_faults);
     ("calibration", bench_calibration);
     ("bechamel", bench_bechamel) ]
 
@@ -1225,6 +1261,10 @@ let () =
          ("timings", Obs.Agg.spans_json obs_agg);
          ("parallel",
           (match !parallel_json with
+          | Some j -> j
+          | None -> Json.Obj []));
+         ("faults",
+          (match !faults_json with
           | Some j -> j
           | None -> Json.Obj []));
          ("verify",

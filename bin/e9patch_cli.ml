@@ -17,10 +17,30 @@ module Trampoline = E9_core.Trampoline
 module Lowfat = E9_lowfat.Lowfat
 module Patchspec = E9_spec.Patchspec
 module Obs = E9_obs.Obs
+module Fault = E9_fault.Fault
 
 open Cmdliner
 
 let printf = Format.printf
+
+(* Typed failures become one-line diagnostics, not backtraces.  Every
+   subcommand body runs under this wrapper. *)
+let or_die f =
+  try f () with
+  | Frontend.Error m
+  | Rewriter.Error m
+  | Lowfat.Error m
+  | Codegen.Error m
+  | Elf_file.Io_error m
+  | Failure m ->
+      Printf.eprintf "e9patch: %s\n" m;
+      exit 1
+  | Elf_file.Malformed m ->
+      Printf.eprintf "e9patch: malformed ELF: %s\n" m;
+      exit 1
+  | Fault.Parse_error m ->
+      Printf.eprintf "e9patch: bad --inject spec: %s\n" m;
+      exit 1
 
 (* Shared -v / -vv verbosity flag wiring Logs. *)
 let setup_logs =
@@ -137,8 +157,25 @@ let patch_cmd =
                 (default: \\$E9_JOBS, else 1). Output bytes are identical \
                 for every $(docv).")
   in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:"Deterministic fault injection (testing): comma-separated \
+                rules $(b,site@N) (fire on the Nth occurrence, 0-based), \
+                $(b,site@N+) (from the Nth on) or $(b,site%N) (every Nth); \
+                sites: alloc, b0alloc, decode, shard, trace, write. E.g. \
+                'alloc\\@3,write\\@0'.")
+  in
   let run () input output select template granularity no_grouping shared b0
-      no_t1 no_t2 no_t3 stub spec_arg spec_file trace jobs =
+      no_t1 no_t2 no_t3 stub spec_arg spec_file trace jobs inject =
+   or_die @@ fun () ->
+    let fault =
+      match inject with
+      | None -> Fault.none
+      | Some spec -> Fault.create (Fault.parse spec)
+    in
     let elf = Elf_file.read_file input in
     let options =
       { Rewriter.tactics =
@@ -171,28 +208,51 @@ let patch_cmd =
     let obs =
       match trace with Some _ -> Obs.ring () | None -> Obs.null
     in
-    let r = Rewriter.run ~options ~obs ?jobs elf ~select ~template in
-    Elf_file.write_file r.Rewriter.output output;
+    let r = Rewriter.run ~options ~obs ~fault ?jobs elf ~select ~template in
+    Elf_file.write_file
+      ~fault:(fun () -> Fault.fires fault Fault.Write)
+      r.Rewriter.output output;
     printf "%a@." Stats.pp r.Rewriter.stats;
     printf "size: %d -> %d bytes (%.1f%%); %d trampoline bytes; %d mappings@."
       r.Rewriter.input_size r.Rewriter.output_size (Rewriter.size_pct r)
       r.Rewriter.trampoline_bytes r.Rewriter.mappings;
     (match trace with
     | None -> ()
-    | Some path ->
-        Obs.write_ndjson obs path;
-        (if Obs.dropped obs > 0 then
-           printf "trace: ring overflowed, %d oldest events dropped@."
-             (Obs.dropped obs));
-        printf "trace: %d events -> %s@." (List.length (Obs.events obs)) path;
-        printf "%a@." Obs.Agg.pp (Obs.agg obs));
+    | Some path -> (
+        match
+          Obs.write_ndjson
+            ~fault:(fun () -> Fault.fires fault Fault.Trace)
+            obs path
+        with
+        | () ->
+            (if Obs.dropped obs > 0 then
+               printf "trace: ring overflowed, %d oldest events dropped@."
+                 (Obs.dropped obs));
+            printf "trace: %d events -> %s@."
+              (List.length (Obs.events obs))
+              path;
+            printf "%a@." Obs.Agg.pp (Obs.agg obs)
+        | exception Obs.Sink_error m ->
+            (* A lost trace must not fail the patch: the rewritten
+               binary is already written and verified. *)
+            printf "trace: %s (patched binary is intact)@." m));
+    (if inject <> None then
+       let total = Fault.fired_total fault in
+       if total = 0 then printf "inject: no rule fired@."
+       else
+         Array.iter
+           (fun s ->
+             let n = Fault.fired fault s in
+             if n > 0 then
+               printf "inject: %s fired %d time(s)@." (Fault.site_name s) n)
+           Fault.sites);
     printf "wrote %s@." output
   in
   Cmd.v (Cmd.info "patch" ~doc:"Statically rewrite a binary (no control flow recovery).")
     Term.(
       const run $ setup_logs $ input $ output $ select $ template
       $ granularity $ no_grouping $ shared $ b0 $ no_t1 $ no_t2 $ no_t3
-      $ stub $ spec_arg $ spec_file $ trace $ jobs)
+      $ stub $ spec_arg $ spec_file $ trace $ jobs $ inject)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -218,6 +278,7 @@ let generate_cmd =
           ~doc:"Use a Table 1 suite profile (e.g. perlbench, chrome, libc.so).")
   in
   let run output seed functions iterations pie bench =
+   or_die @@ fun () ->
     let profile =
       match bench with
       | Some name -> (
@@ -254,6 +315,7 @@ let run_cmd =
     Arg.(value & flag & info [ "counters" ] ~doc:"Dump instrumentation counters.")
   in
   let run input lowfat fuel counters =
+   or_die @@ fun () ->
     let elf = Elf_file.read_file input in
     let config = { Cpu.default_config with Cpu.fuel } in
     let make_allocator =
@@ -294,6 +356,7 @@ let disasm_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
   let limit = Arg.(value & opt int 64 & info [ "limit" ] ~doc:"Max instructions.") in
   let run input limit =
+   or_die @@ fun () ->
     let elf = Elf_file.read_file input in
     let _, sites = Frontend.disassemble elf in
     List.iteri
@@ -336,6 +399,7 @@ let check_cmd =
                 (assumes empty trampoline templates).")
   in
   let run () original rewritten from dynamic =
+   or_die @@ fun () ->
     let orig = Elf_file.read_file original in
     let rewr = Elf_file.read_file rewritten in
     (match E9_check.Static.verify ?disasm_from:from ~original:orig rewr with
@@ -372,6 +436,7 @@ let fuzz_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.") in
   let run () n seed =
+   or_die @@ fun () ->
     let progress i =
       if i mod 10 = 0 then (
         Printf.eprintf "\r%d/%d" i n;
@@ -394,6 +459,44 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random workload profiles x tactic \
              configs through rewrite, static verification and trace \
              comparison.")
+    Term.(const run $ setup_logs $ n $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* fault                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fault_cmd =
+  let n =
+    Arg.(
+      value & opt int 100
+      & info [ "n" ] ~doc:"Number of randomized fault cases to run.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let run () n seed =
+   or_die @@ fun () ->
+    let progress i =
+      if i mod 10 = 0 then (
+        Printf.eprintf "\r%d/%d" i n;
+        flush stderr)
+    in
+    let s = E9_check.Inject.campaign ~progress ~n ~seed () in
+    Printf.eprintf "\r";
+    flush stderr;
+    printf "%a@." E9_check.Inject.pp_summary s;
+    match s.E9_check.Inject.failures with
+    | [] -> printf "fault: OK (seed %d)@." seed
+    | failures ->
+        List.iter
+          (fun (case, msg) -> printf "FAILED %s@.  %s@." case msg)
+          failures;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Fault-injection campaign: random rewrite cases x random fault \
+             schedules; every injected fault must degrade to a verified \
+             output, be accounted per-site, or raise a typed error with no \
+             partial file, byte-identically across domain counts.")
     Term.(const run $ setup_logs $ n $ seed)
 
 (* ------------------------------------------------------------------ *)
@@ -429,4 +532,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group (Cmd.info "e9patch" ~doc)
           [ patch_cmd; generate_cmd; run_cmd; disasm_cmd; check_cmd;
-            fuzz_cmd; spec_check_cmd ]))
+            fuzz_cmd; fault_cmd; spec_check_cmd ]))

@@ -14,7 +14,7 @@ let default_domains () =
       | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
-let map ?domains f xs =
+let map ?domains ?(spawn_failure = fun _ -> false) f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let d =
@@ -37,7 +37,22 @@ let map ?domains f xs =
       in
       go ()
     in
-    let helpers = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    (* Helper-domain loss containment: when the runtime cannot spawn a
+       helper (resource exhaustion, or an injected failure via
+       [spawn_failure]), degrade to fewer workers instead of propagating
+       mid-spawn — which would leave earlier helpers unjoined. The shared
+       cursor guarantees the surviving workers (at minimum the calling
+       domain itself) still drain every task, so no task is dropped and
+       no join deadlocks. *)
+    let helpers =
+      List.init (d - 1) Fun.id
+      |> List.filter_map (fun i ->
+             if spawn_failure i then None
+             else
+               match Domain.spawn worker with
+               | dom -> Some dom
+               | exception _ -> None)
+    in
     worker ();
     List.iter Domain.join helpers;
     (* The exception at the lowest input index wins — the one a serial

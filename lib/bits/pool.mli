@@ -17,8 +17,17 @@ val default_domains : unit -> int
 (** [map ?domains f xs] is [List.map f xs], computed by up to [domains]
     domains (never more than [List.length xs]; with 1 domain it runs
     serially in the calling domain). If tasks raise, the exception at the
-    lowest input index is re-raised with its backtrace. *)
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+    lowest input index is re-raised with its backtrace.
+
+    A helper domain that cannot be spawned — the runtime refusing
+    ([Domain.spawn] raising), or [spawn_failure i] returning [true] for
+    helper [i] (fault injection) — only shrinks the worker pool: the
+    shared work cursor means the remaining workers, at minimum the
+    calling domain, still run every task, so results are complete and
+    identical either way. *)
+val map :
+  ?domains:int -> ?spawn_failure:(int -> bool) -> ('a -> 'b) -> 'a list ->
+  'b list
 
 (** [iter ?domains f xs] runs [f] over [xs] in parallel for its effects
     (each task's effects must stay within the task). *)

@@ -137,6 +137,7 @@ let run_case case =
 type summary = {
   cases : int;
   failed : (string * string) list;
+  skipped : int;
   changed_bytes : int;
   diversions : int;
   short_jumps : int;
@@ -148,13 +149,13 @@ type summary = {
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "%d cases, %d failed; %d changed bytes, %d diversions, %d short jumps, \
-     %d traps, %d trampolines verified; %d boundary retires, %d stores \
-     compared"
+    "%d cases, %d failed, %d skipped; %d changed bytes, %d diversions, \
+     %d short jumps, %d traps, %d trampolines verified; %d boundary \
+     retires, %d stores compared"
     s.cases
     (List.length s.failed)
-    s.changed_bytes s.diversions s.short_jumps s.traps s.trampolines
-    s.boundary_retires s.stores
+    s.skipped s.changed_bytes s.diversions s.short_jumps s.traps
+    s.trampolines s.boundary_retires s.stores
 
 let campaign ?(progress = fun _ -> ()) ~n ~seed () =
   let rand = Random.State.make [| seed |] in
@@ -162,6 +163,7 @@ let campaign ?(progress = fun _ -> ()) ~n ~seed () =
     ref
       { cases = 0;
         failed = [];
+        skipped = 0;
         changed_bytes = 0;
         diversions = 0;
         short_jumps = 0;
@@ -173,6 +175,10 @@ let campaign ?(progress = fun _ -> ()) ~n ~seed () =
   for i = 1 to n do
     let case = QCheck2.Gen.generate1 ~rand gen_case in
     (match run_case case with
+    | exception Codegen.Error _ ->
+        (* An ungeneratable profile is the workload's failure, not the
+           rewriter's: skip-and-report instead of aborting the campaign. *)
+        s := { !s with cases = !s.cases + 1; skipped = !s.skipped + 1 }
     | Ok (r, t) ->
         s :=
           { !s with

@@ -23,6 +23,14 @@ type case = {
 val case_to_string : case -> string
 val gen_case : case QCheck2.Gen.t
 
+(** [prepare case] generates the case's binary, disassembly start and
+    site selector — the common front half of {!run_case} and
+    {!rewrite}, exposed for harnesses (e.g. {!Inject}) that drive the
+    rewrite themselves. Raises {!E9_workload.Codegen.Error} when the
+    profile cannot be generated. *)
+val prepare :
+  case -> Elf_file.t * int option * (Frontend.site -> bool)
+
 (** [run_case case] is one generate → rewrite → verify → differential-run
     round trip. *)
 val run_case : case -> (Static.report * Trace.stats, string) result
@@ -41,6 +49,9 @@ val rewrite :
 type summary = {
   cases : int;
   failed : (string * string) list;  (** printed case, failure message *)
+  skipped : int;
+      (** cases whose profile could not even be generated
+          ({!E9_workload.Codegen.Error}) — reported, not failed *)
   changed_bytes : int;
   diversions : int;
   short_jumps : int;

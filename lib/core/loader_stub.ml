@@ -6,6 +6,14 @@ module Asm = E9_x86.Asm
 type t = { content : bytes; entry : int }
 
 let home = 0x7000_0000_0000
+
+(* Generous upper bound on the loader segment (path + mapping table +
+   stub code): even pathological rewrites emit far fewer than half a
+   million mappings. The rewriter pre-reserves [home, home + home_span)
+   in the trampoline layout so no trampoline can ever be placed where
+   the stub will later land. *)
+let home_span = 1 lsl 24
+
 let map_private_fixed = 0x12 (* MAP_PRIVATE lor MAP_FIXED *)
 
 let emit ~vaddr ~mappings ~real_entry =

@@ -27,6 +27,11 @@ type t = {
     trampoline window. *)
 val home : int
 
+(** Upper bound on the loader segment's size. The rewriter reserves
+    [home, home + home_span) in the trampoline layout before any tactic
+    runs, so the stub's landing zone is provably trampoline-free. *)
+val home_span : int
+
 (** [emit ~vaddr ~mappings ~real_entry] lays out the loader segment for
     loading at [vaddr]. [mappings]' file offsets must already be absolute
     within the output file. *)

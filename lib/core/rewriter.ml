@@ -1,6 +1,11 @@
 module Buf = E9_bits.Buf
+module Fault = E9_fault.Fault
 
 type loader_mode = Table | Stub
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
 type options = {
   tactics : Tactics.options;
@@ -40,15 +45,29 @@ let default_jobs () =
       | Some _ | None -> 1)
   | None -> 1
 
-let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
-    ?disasm_from ?frontend input ~select ~template =
+let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
+    ?(fault = Fault.none) ?jobs ?disasm_from ?frontend input ~select
+    ~template =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let input_size = Elf_file.serialized_size input in
   let output = Elf_file.copy input in
+  (* Stub-mode pre-flight (satellite of DESIGN.md §11): the collision
+     between the loader's home and an existing segment must be detected
+     before a single byte is patched, so a refused input yields a typed
+     error and an untouched output — never a half-rewritten binary. *)
+  if options.loader = Stub then begin
+    match Elf_file.segment_at output Loader_stub.home with
+    | Some (s : Elf_file.segment) ->
+        error
+          "Rewriter: loader home 0x%x collides with a segment at 0x%x \
+           (+0x%x)"
+          Loader_stub.home s.Elf_file.vaddr s.Elf_file.memsz
+    | None -> ()
+  end;
   let disassemble =
     match frontend with
     | Some f -> f
-    | None -> fun elf -> Frontend.disassemble ?from:disasm_from ~jobs elf
+    | None -> fun elf -> Frontend.disassemble ?from:disasm_from ~jobs ~fault elf
   in
   let text, sites_list =
     E9_obs.Obs.span obs "decode" (fun () -> disassemble output)
@@ -59,6 +78,11 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
     Layout.create ~reserve_below_base:options.reserve_below_base
       ~block_size:(options.granularity * 4096) output
   in
+  (* Keep the loader stub's landing zone trampoline-free: segments exist
+     in the layout's occupancy from birth, but the stub segment is only
+     appended after all tactics ran. *)
+  if options.loader = Stub then
+    Layout.reserve layout ~addr:Loader_stub.home ~size:Loader_stub.home_span;
   let text_buf =
     Buf.of_bytes (Buf.sub output.Elf_file.data ~pos:text.Frontend.offset ~len:text.Frontend.size)
   in
@@ -79,8 +103,8 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
   let tramps, traps, locked_bytes =
     if nshards <= 1 then begin
       let ctx =
-        Tactics.create_ctx ~obs ~text:text_buf ~text_base:base ~layout ~sites
-          ~options:options.tactics ()
+        Tactics.create_ctx ~obs ~fault ~text:text_buf ~text_base:base ~layout
+          ~sites ~options:options.tactics ()
       in
       E9_obs.Obs.span obs "tactic_search" (fun () ->
           List.iter
@@ -133,37 +157,52 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
       (* [interior.(k)] and [boundary] are in descending address order. *)
       E9_obs.Obs.span obs "tactic_search" (fun () ->
           let shard_results =
-            E9_bits.Pool.map ~domains:jobs
-              (fun k ->
-                let lo = shard_lo k and top = shard_top k in
-                let arena = Layout.shard layout ~index:k ~count:nshards in
-                let locks = Lock.create ~base:lo ~len:(top - lo) in
-                let dead = Lock.create ~base:lo ~len:(top - lo) in
-                let sobs = E9_obs.Obs.fork obs in
-                let ctx =
-                  Tactics.create_ctx ~obs:sobs ~locks ~dead ~text:text_buf
-                    ~text_base:base ~layout:arena ~sites:shard_sites.(k)
-                    ~options:options.tactics ()
-                in
-                let sstats = Stats.create () in
-                let spatched = ref [] in
-                List.iter
-                  (fun site ->
-                    match Tactics.patch ctx site (template site) with
-                    | Some tactic ->
-                        Stats.record sstats tactic;
-                        spatched := (site.Frontend.addr, tactic) :: !spatched
-                    | None -> Stats.record_failure sstats)
-                  interior.(k);
-                ( arena,
-                  locks,
-                  dead,
-                  sobs,
-                  sstats,
-                  !spatched,
-                  Tactics.trampolines ctx,
-                  Tactics.trap_entries ctx ))
-              (List.init nshards (fun i -> nshards - 1 - i))
+            try
+              E9_bits.Pool.map ~domains:jobs
+                (fun k ->
+                  (* Forked fault record per shard: occurrence counting is
+                     then a function of the shard's own query sequence,
+                     never of domain interleaving, preserving output
+                     identity across jobs values (DESIGN.md §10). An
+                     indexed [Shard] rule simulates a domain dying
+                     mid-map; Pool contains it per-slot and this layer
+                     types it. *)
+                  let sfault = Fault.fork fault in
+                  if Fault.fires_at sfault Fault.Shard ~key:k then
+                    raise
+                      (Fault.Injected
+                         (Printf.sprintf "shard %d raised mid-Pool.map" k));
+                  let lo = shard_lo k and top = shard_top k in
+                  let arena = Layout.shard layout ~index:k ~count:nshards in
+                  let locks = Lock.create ~base:lo ~len:(top - lo) in
+                  let dead = Lock.create ~base:lo ~len:(top - lo) in
+                  let sobs = E9_obs.Obs.fork obs in
+                  let ctx =
+                    Tactics.create_ctx ~obs:sobs ~fault:sfault ~locks ~dead
+                      ~text:text_buf ~text_base:base ~layout:arena
+                      ~sites:shard_sites.(k) ~options:options.tactics ()
+                  in
+                  let sstats = Stats.create () in
+                  let spatched = ref [] in
+                  List.iter
+                    (fun site ->
+                      match Tactics.patch ctx site (template site) with
+                      | Some tactic ->
+                          Stats.record sstats tactic;
+                          spatched := (site.Frontend.addr, tactic) :: !spatched
+                      | None -> Stats.record_failure sstats)
+                    interior.(k);
+                  ( arena,
+                    locks,
+                    dead,
+                    sobs,
+                    sfault,
+                    sstats,
+                    !spatched,
+                    Tactics.trampolines ctx,
+                    Tactics.trap_entries ctx ))
+                (List.init nshards (fun i -> nshards - 1 - i))
+            with Fault.Injected m -> error "injected fault: %s" m
           in
           (* Canonical merge, shards high-to-low (the fixed task order —
              Pool.map returns results in input order whatever the
@@ -172,11 +211,12 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
           let locks_all = Lock.create ~base ~len:text.Frontend.size in
           let dead_all = Lock.create ~base ~len:text.Frontend.size in
           List.iter
-            (fun (arena, locks, dead, sobs, sstats, spatched, _, _) ->
+            (fun (arena, locks, dead, sobs, sfault, sstats, spatched, _, _) ->
               Layout.absorb ~dst:layout arena;
               Lock.merge_into ~dst:locks_all locks;
               Lock.merge_into ~dst:dead_all dead;
               E9_obs.Obs.merge_into ~dst:obs sobs;
+              Fault.merge_into ~dst:fault sfault;
               Stats.merge_into ~dst:stats sstats;
               patched := List.rev_append spatched !patched)
             shard_results;
@@ -185,7 +225,7 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
              the unconstrained merged layout — exactly the serial
              algorithm, restricted to the deferred sites. *)
           let fixup_ctx =
-            Tactics.create_ctx ~obs ~locks:locks_all ~dead:dead_all
+            Tactics.create_ctx ~obs ~fault ~locks:locks_all ~dead:dead_all
               ~text:text_buf ~text_base:base ~layout ~sites
               ~options:options.tactics ()
           in
@@ -198,10 +238,14 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
               | None -> Stats.record_failure stats)
             !boundary;
           let shard_tramps =
-            List.concat_map (fun (_, _, _, _, _, _, tr, _) -> tr) shard_results
+            List.concat_map
+              (fun (_, _, _, _, _, _, _, tr, _) -> tr)
+              shard_results
           in
           let shard_traps =
-            List.concat_map (fun (_, _, _, _, _, _, _, tp) -> tp) shard_results
+            List.concat_map
+              (fun (_, _, _, _, _, _, _, _, tp) -> tp)
+              shard_results
           in
           ( shard_tramps @ Tactics.trampolines fixup_ctx,
             shard_traps @ Tactics.trap_entries fixup_ctx,
@@ -223,7 +267,13 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
     E9_obs.Obs.counter obs ~name:"layout.cursor_hits"
       ~value:(Layout.cursor_hits layout);
     E9_obs.Obs.counter obs ~name:"layout.cursor_misses"
-      ~value:(Layout.cursor_misses layout)
+      ~value:(Layout.cursor_misses layout);
+    Array.iter
+      (fun s ->
+        let n = Fault.fired fault s in
+        if n > 0 then
+          E9_obs.Obs.fault obs ~site:(Fault.site_name s) ~fires:n)
+      Fault.sites
   end;
   (* Blit the patched text back — strictly in place. *)
   Buf.blit_in output.Elf_file.data ~pos:text.Frontend.offset (Buf.contents text_buf);
@@ -258,8 +308,14 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null) ?jobs
           Loader_stub.emit ~vaddr:Loader_stub.home ~mappings
             ~real_entry:output.Elf_file.entry
         in
+        (* Defensive re-check: the pre-flight above already refused
+           colliding inputs before any mutation; a hit here would mean
+           the rewrite itself grew a segment into the loader home. *)
         (match Elf_file.segment_at output Loader_stub.home with
-        | Some _ -> failwith "Rewriter: loader home collides with a segment"
+        | Some _ ->
+            error "Rewriter: loader home 0x%x collides with a segment \
+                   created during rewriting"
+              Loader_stub.home
         | None -> ());
         ignore
           (Elf_file.add_segment output

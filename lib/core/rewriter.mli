@@ -18,6 +18,12 @@
     per-run stub execution overhead distorting short benchmark runs. *)
 type loader_mode = Table | Stub
 
+(** The rewrite was refused or aborted with the input intact: a stub-mode
+    loader-home collision detected before mutation, or an injected shard
+    fault. Callers see either a complete, verified rewrite or this —
+    never a half-patched binary (DESIGN.md §11, outcome (c)). *)
+exception Error of string
+
 type options = {
   tactics : Tactics.options;
   granularity : int;  (** page-grouping block size in pages (paper's M) *)
@@ -63,6 +69,14 @@ type result = {
     [serialize]) and allocator occupancy gauges; with the null sink every
     emission point is a single branch.
 
+    [fault] (default {!E9_fault.Fault.none}) threads the deterministic
+    fault-injection capability through the pipeline: [Decode] rules
+    truncate the disassembly (partial instrumentation), [Alloc] /
+    [B0_alloc] rules starve the tactics (degradation to B0 or per-site
+    failure), [Shard] rules abort a shard task (typed {!Error}). Under
+    domain parallelism the record is forked per shard and merged back in
+    canonical order, so injected faults preserve jobs-invariance.
+
     [jobs] sets the domain count for the parallel tactic search and the
     chunked decode (default: the [E9_JOBS] environment variable, else 1).
     The text is sharded into [options.shard_span]-byte regions; each
@@ -76,6 +90,7 @@ type result = {
 val run :
   ?options:options ->
   ?obs:E9_obs.Obs.t ->
+  ?fault:E9_fault.Fault.t ->
   ?jobs:int ->
   ?disasm_from:int ->
   ?frontend:(Elf_file.t -> Frontend.text * Frontend.site list) ->

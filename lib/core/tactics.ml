@@ -1,6 +1,7 @@
 module Buf = E9_bits.Buf
 module Insn = E9_x86.Insn
 module Obs = E9_obs.Obs
+module Fault = E9_fault.Fault
 
 type options = {
   enable_base : bool;
@@ -40,6 +41,11 @@ type ctx = {
   mutable traps : Loadmap.trap list;
   opts : options;
   obs : Obs.t;
+  fault : Fault.t;
+  (* Set when an injected refusal contributed to the current tactic's
+     failure, so the Obs reject reason reads [Injected] rather than a
+     spurious [Alloc_conflict]; consumed (and cleared) at reject time. *)
+  mutable injected : bool;
 }
 
 (* E9_obs sits below this library, so it carries its own copy of the
@@ -64,8 +70,8 @@ let obs_tactic = function
    before its site's first byte. *)
 let max_reach = 160
 
-let create_ctx ?(obs = Obs.null) ?locks ?dead ~text ~text_base ~layout ~sites
-    ~options () =
+let create_ctx ?(obs = Obs.null) ?(fault = Fault.none) ?locks ?dead ~text
+    ~text_base ~layout ~sites ~options () =
   let index_of = Hashtbl.create (Array.length sites) in
   Array.iteri (fun i (s : Frontend.site) -> Hashtbl.replace index_of s.addr i) sites;
   { text;
@@ -84,11 +90,50 @@ let create_ctx ?(obs = Obs.null) ?locks ?dead ~text ~text_base ~layout ~sites
     trampolines = [];
     traps = [];
     opts = options;
-    obs }
+    obs;
+    fault;
+    injected = false }
 
 let trampolines ctx = List.rev ctx.trampolines
 let trap_entries ctx = List.rev ctx.traps
 let locks ctx = ctx.locks
+
+(* ------------------------------------------------------------------ *)
+(* Fault-guarded allocator queries                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every jump-tactic Layout query funnels through these, so an [Alloc]
+   rule can deterministically refuse "the Nth allocation" whatever
+   tactic issues it. B0's own allocation is deliberately NOT guarded by
+   the [Alloc] site (it has its own [B0_alloc] site in [try_b0]): the
+   paper's always-succeeds fallback must keep succeeding when the jump
+   tactics are starved, or injected exhaustion could never be degraded
+   to a verified rewrite. [Layout.release] is never guarded — refusing
+   to give memory back models no real failure and would corrupt the
+   arena's books. *)
+
+let inj ctx = ctx.injected <- true
+
+let take_injected ctx =
+  let v = ctx.injected in
+  ctx.injected <- false;
+  v
+
+let alloc_g ctx ~size ~lo ~hi =
+  if Fault.fires ctx.fault Fault.Alloc then begin inj ctx; None end
+  else Layout.alloc ctx.layout ~size ~lo ~hi
+
+let probe_g ctx ~size ~lo ~hi =
+  if Fault.fires ctx.fault Fault.Alloc then begin inj ctx; None end
+  else Layout.probe ctx.layout ~size ~lo ~hi
+
+let probe_strided_g ctx ~size ~lo ~hi ~stride =
+  if Fault.fires ctx.fault Fault.Alloc then begin inj ctx; None end
+  else Layout.probe_strided ctx.layout ~size ~lo ~hi ~stride
+
+let alloc_at_g ctx ~addr ~size =
+  if Fault.fires ctx.fault Fault.Alloc then begin inj ctx; false end
+  else Layout.alloc_at ctx.layout ~addr ~size
 
 (* ------------------------------------------------------------------ *)
 (* Text access                                                         *)
@@ -193,8 +238,9 @@ let try_pun ctx (site : Frontend.site) template ~pad =
           Trampoline.size template ~insn:site.insn ~insn_addr:site.addr
             ~insn_len:site.len
         in
-        match Layout.alloc ctx.layout ~size:tsize ~lo ~hi with
-        | None -> Error Obs.Alloc_conflict
+        match alloc_g ctx ~size:tsize ~lo ~hi with
+        | None ->
+            Error (if take_injected ctx then Obs.Injected else Obs.Alloc_conflict)
         | Some t ->
             write_jump ctx ~addr:site.addr ~len:site.len ~pad ~target:t;
             add_trampoline ctx t
@@ -307,8 +353,8 @@ let try_t2 ctx (site : Frontend.site) template =
                       (Pun.target_window ~jmp_end:p_jmp_end ~free_bytes:p_free
                          ~fixed_high:p_fixed_high)
                   in
-                  if Layout.alloc_at ctx.layout ~addr:t_s ~size:ev_size then begin
-                    match Layout.alloc ctx.layout ~size:tsize ~lo:p_lo ~hi:p_hi with
+                  if alloc_at_g ctx ~addr:t_s ~size:ev_size then begin
+                    match alloc_g ctx ~size:tsize ~lo:p_lo ~hi:p_hi with
                     | None ->
                         Layout.release ctx.layout ~addr:t_s ~size:ev_size;
                         false
@@ -335,7 +381,7 @@ let try_t2 ctx (site : Frontend.site) template =
                      evictee home, then "reapply B2/T1" with whatever bytes
                      resulted. No joint optimization. *)
                   budget := !budget - 1;
-                  match Layout.probe ctx.layout ~size:ev_size ~lo:s_lo ~hi:s_hi with
+                  match probe_g ctx ~size:ev_size ~lo:s_lo ~hi:s_hi with
                   | None -> ()
                   | Some t_s -> ignore (commit_with t_s)
                 end
@@ -362,12 +408,12 @@ let try_t2 ctx (site : Frontend.site) template =
                         (Pun.target_window ~jmp_end:p_jmp_end
                            ~free_bytes:p_free ~fixed_high:p_fixed_high)
                     in
-                    (match Layout.probe ctx.layout ~size:tsize ~lo:p_lo ~hi:p_hi with
+                    (match probe_g ctx ~size:tsize ~lo:p_lo ~hi:p_hi with
                     | None -> ()
                     | Some _ -> (
                         let stride = 1 lsl (8 * n_pin) in
                         match
-                          Layout.probe_strided ctx.layout ~size:ev_size
+                          probe_strided_g ctx ~size:ev_size
                             ~lo:(s_lo + v) ~hi:s_hi ~stride
                         with
                         | None -> ()
@@ -385,7 +431,9 @@ let try_t2 ctx (site : Frontend.site) template =
                 Some (Stats.T2, t_p)
             | None ->
                 rejected
-                  (if !budget <= 0 then Obs.Budget else Obs.Alloc_conflict))
+                  (if !budget <= 0 then Obs.Budget
+                   else if take_injected ctx then Obs.Injected
+                   else Obs.Alloc_conflict))
       end
 
 (* ------------------------------------------------------------------ *)
@@ -417,7 +465,7 @@ let try_t3_squat ctx (site : Frontend.site) template tsize =
       match pun_window ctx ~addr:!a ~len:(1 + free) ~pad:0 with
       | Error _ -> ()
       | Ok (_, _, lo, hi) -> (
-          match Layout.alloc ctx.layout ~size:tsize ~lo ~hi with
+          match alloc_g ctx ~size:tsize ~lo ~hi with
           | None -> ()
           | Some t_p ->
               write_jump ctx ~addr:!a ~len:(1 + free) ~pad:0 ~target:t_p;
@@ -513,7 +561,7 @@ let try_t3 ctx (site : Frontend.site) template =
                 let w = candidate_seq ~combos ~tries !i in
                 let stride = 1 lsl (8 * n_pin) in
                 (match
-                   Layout.probe_strided ctx.layout ~size:tsize ~lo:(jp_lo + w)
+                   probe_strided_g ctx ~size:tsize ~lo:(jp_lo + w)
                      ~hi:jp_hi ~stride
                  with
                 | None -> ()
@@ -533,14 +581,14 @@ let try_t3 ctx (site : Frontend.site) template =
                            ~free_bytes:fv
                            ~fixed_high:(Pun.fixed_high_of_bytes fixed_v))
                     in
-                    if Layout.alloc_at ctx.layout ~addr:t_p ~size:tsize then begin
+                    if alloc_at_g ctx ~addr:t_p ~size:tsize then begin
                       match
-                        Layout.probe ctx.layout ~size:ev_size ~lo:v_lo ~hi:v_hi
+                        probe_g ctx ~size:ev_size ~lo:v_lo ~hi:v_hi
                       with
                       | None ->
                           Layout.release ctx.layout ~addr:t_p ~size:tsize
                       | Some t_v ->
-                          if not (Layout.alloc_at ctx.layout ~addr:t_v ~size:ev_size)
+                          if not (alloc_at_g ctx ~addr:t_v ~size:ev_size)
                           then Layout.release ctx.layout ~addr:t_p ~size:tsize
                           else begin
                             (* Write J_patch first: J_victim puns over it. *)
@@ -572,7 +620,11 @@ let try_t3 ctx (site : Frontend.site) template =
         Obs.accept ctx.obs ~addr:site.addr ~tactic:Obs.T3 ~trampoline:t_p
           ~pad:0 ~evictee_distance:(v_addr - site.addr);
         Some (Stats.T3, t_p)
-    | None -> rejected (if !budget <= 0 then Obs.Budget else Obs.Range))
+    | None ->
+        rejected
+          (if !budget <= 0 then Obs.Budget
+           else if take_injected ctx then Obs.Injected
+           else Obs.Range))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -586,6 +638,7 @@ let try_b0 ctx (site : Frontend.site) template =
   in
   if not (Lock.all_unlocked ctx.locks ~addr:site.addr ~len:1) then
     rejected Obs.Locked
+  else if Fault.fires ctx.fault Fault.B0_alloc then rejected Obs.Injected
   else begin
     let tsize =
       Trampoline.size template ~insn:site.insn ~insn_addr:site.addr
@@ -596,6 +649,9 @@ let try_b0 ctx (site : Frontend.site) template =
       clamp_window ~jmp_end:(site.addr + 5)
         (site.addr + 5 - 0x8000_0000, site.addr + 5 + 0x7fff_ffff)
     in
+    (* Raw [Layout.alloc], not [alloc_g]: B0 is the degradation target
+       for injected allocator exhaustion and must stay refusable only
+       through its own [B0_alloc] site. *)
     match Layout.alloc ctx.layout ~size:tsize ~lo ~hi with
     | None -> rejected Obs.Alloc_conflict
     | Some t ->
@@ -622,6 +678,7 @@ let log_src = Logs.Src.create "e9.tactics" ~doc:"E9Patch tactic decisions"
 module Log = (val Logs.src_log log_src)
 
 let patch ctx site template =
+  ctx.injected <- false;
   let ( <|> ) a b = match a with Some _ -> a | None -> b () in
   let outcome =
     (if not (displaceable site.Frontend.insn) then None

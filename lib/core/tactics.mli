@@ -50,9 +50,17 @@ val max_reach : int
     verdict. [locks] / [dead] substitute externally managed lock state
     (defaults cover the whole text): shard contexts pass locks scoped to
     their own byte range, and the boundary-fixup context passes the lock
-    state merged from all shards. *)
+    state merged from all shards.
+
+    [fault] (default {!E9_fault.Fault.none}) can deterministically refuse
+    allocator queries: [Alloc] rules starve the jump tactics (every
+    [Layout] query they issue funnels through one guarded choke point),
+    [B0_alloc] rules refuse the B0 fallback's own allocation. Injected
+    refusals surface as [Obs.Injected] rejects, never as spurious
+    [Alloc_conflict]s. *)
 val create_ctx :
   ?obs:E9_obs.Obs.t ->
+  ?fault:E9_fault.Fault.t ->
   ?locks:Lock.t ->
   ?dead:Lock.t ->
   text:E9_bits.Buf.t ->

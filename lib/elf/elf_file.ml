@@ -317,11 +317,31 @@ let of_bytes bytes =
   let data = Buf.of_bytes (Buf.sub img ~pos:0 ~len:content_len) in
   { etype; entry; segments; sections; data }
 
-let write_file t path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_bytes oc (to_bytes t))
+exception Io_error of string
+
+(* Atomic: serialize into a temp file beside the destination and rename
+   over it only once fully written. A failure mid-write (real short
+   write, or one injected via [fault]) leaves nothing at [path] — a
+   partially serialized ELF must never be mistaken for output. *)
+let write_file ?(fault = fun () -> false) t path =
+  let tmp = path ^ ".tmp" in
+  let write () =
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let b = to_bytes t in
+        if fault () then begin
+          output_bytes oc (Bytes.sub b 0 (Bytes.length b / 2));
+          raise (Sys_error (path ^ ": injected serialization short-write"))
+        end;
+        output_bytes oc b);
+    Sys.rename tmp path
+  in
+  try write ()
+  with Sys_error m ->
+    if Sys.file_exists tmp then Sys.remove tmp;
+    raise (Io_error m)
 
 let read_file path =
   let ic = open_in_bin path in

@@ -110,8 +110,16 @@ exception Malformed of string
     anything that is not a structurally valid little-endian ELF64 file. *)
 val of_bytes : bytes -> t
 
-(** [write_file t path] / [read_file path] — file-system convenience. *)
-val write_file : t -> string -> unit
+(** A file write failed part-way; the temp file has been removed and no
+    (new) file exists at the destination path. *)
+exception Io_error of string
+
+(** [write_file t path] serializes atomically: the image is written to a
+    temp file and renamed into place, so [path] either holds the complete
+    serialized binary or is untouched — {!Io_error} reports the latter.
+    [fault] (fault-injection campaigns) simulates a short write when it
+    returns [true]. [read_file] is the file-system convenience inverse. *)
+val write_file : ?fault:(unit -> bool) -> t -> string -> unit
 
 val read_file : string -> t
 

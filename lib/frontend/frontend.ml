@@ -1,9 +1,14 @@
 module Buf = E9_bits.Buf
 module Decode = E9_x86.Decode
 module Classify = E9_x86.Classify
+module Fault = E9_fault.Fault
 
 type site = { addr : int; len : int; insn : E9_x86.Insn.t }
 type text = { base : int; offset : int; size : int }
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
 let find_text (elf : Elf_file.t) =
   match Elf_file.find_section elf ".text" with
@@ -70,9 +75,26 @@ let linear_chunked ~jobs ~chunk bytes ~pos ~len =
   in
   walk pos (List.combine bounds decoded) []
 
-let disassemble ?from ?(jobs = 1) ?(chunk = default_chunk) elf =
+(* An injected decode failure is modeled as a linear sweep that stops
+   early: the site list is truncated at the first instruction whose text
+   offset reaches the cut. A strict prefix of the true decode is exactly
+   the partial-disassembly contract the rewriter already honors (§2.2):
+   fewer instrumented sites, never incorrect ones — and the same prefix
+   is produced by the serial and chunked sweeps, preserving
+   jobs-invariance under faults. *)
+let apply_decode_cut fault decoded =
+  match Fault.decode_cut fault with
+  | None -> decoded
+  | Some cut ->
+      let kept = List.filter (fun (off, _) -> off < cut) decoded in
+      if List.compare_lengths kept decoded < 0 then
+        Fault.record_fire fault Fault.Decode;
+      kept
+
+let disassemble ?from ?(jobs = 1) ?(chunk = default_chunk)
+    ?(fault = Fault.none) elf =
   match find_text elf with
-  | None -> failwith "Frontend: no text section or executable segment"
+  | None -> error "Frontend: no text section or executable segment"
   | Some text ->
       (* [from] is the "ChromeMain workaround" (paper §6.2): when the text
          section mixes data and code, start the linear sweep at a known
@@ -82,7 +104,9 @@ let disassemble ?from ?(jobs = 1) ?(chunk = default_chunk) elf =
         | None -> 0
         | Some addr ->
             if addr < text.base || addr >= text.base + text.size then
-              failwith "Frontend: disassembly start outside the text"
+              error "Frontend: disassembly start 0x%x outside the text \
+                     [0x%x, 0x%x)"
+                addr text.base (text.base + text.size)
             else addr - text.base
       in
       let bytes = Buf.sub elf.Elf_file.data ~pos:text.offset ~len:text.size in
@@ -91,6 +115,7 @@ let disassemble ?from ?(jobs = 1) ?(chunk = default_chunk) elf =
         if jobs <= 1 || len <= chunk then Decode.linear bytes ~pos:start ~len
         else linear_chunked ~jobs ~chunk bytes ~pos:start ~len
       in
+      let decoded = apply_decode_cut fault decoded in
       let sites =
         List.map
           (fun (off, d) ->
@@ -104,7 +129,7 @@ let select_heap_writes site = Classify.is_heap_write site.insn
 
 let disassemble_recursive elf =
   match find_text elf with
-  | None -> failwith "Frontend: no text section or executable segment"
+  | None -> error "Frontend: no text section or executable segment"
   | Some text ->
       let bytes = Buf.sub elf.Elf_file.data ~pos:text.offset ~len:text.size in
       let seen = Hashtbl.create 4096 in

@@ -20,6 +20,11 @@ type text = {
   size : int;
 }
 
+(** The input cannot be disassembled as requested (no text section, or a
+    sweep start outside it). Raised instead of patching anything; the CLI
+    renders it as a clean error. *)
+exception Error of string
+
 (** [find_text elf] locates the code to rewrite: the [.text] section if
     present, otherwise the first executable [PT_LOAD] segment. *)
 val find_text : Elf_file.t -> text option
@@ -33,9 +38,16 @@ val find_text : Elf_file.t -> text option
     64 KiB) and re-synchronized serially at chunk seams: chunk boundaries
     are fixed and decoding is a pure function of the byte position, so
     the result is identical to the serial sweep for every [jobs]
-    value. *)
+    value.
+
+    [fault] (default {!E9_fault.Fault.none}) may carry [Decode] rules;
+    the smallest rule value truncates the site list at that text offset —
+    a strict prefix of the true decode, i.e. partial disassembly, which
+    the rewriter turns into partial instrumentation (§2.2). Raises
+    {!Error} if the text cannot be found or [from] lies outside it. *)
 val disassemble :
-  ?from:int -> ?jobs:int -> ?chunk:int -> Elf_file.t -> text * site list
+  ?from:int -> ?jobs:int -> ?chunk:int -> ?fault:E9_fault.Fault.t ->
+  Elf_file.t -> text * site list
 
 (** Patch-location selectors for the paper's two applications. *)
 

@@ -40,11 +40,15 @@ type t = {
 
 let create space = { space; next = Array.make classes 0; free_lists = Array.make classes [] }
 
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
 let class_for n =
   let need = n + redzone in
   let rec go i = if class_size i >= need then i else go (i + 1) in
   if need > max_size then
-    invalid_arg (Printf.sprintf "Lowfat.malloc: %d exceeds max size" n)
+    error "Lowfat.malloc: %d exceeds max size %d" n max_size
   else go 0
 
 let malloc t n =
@@ -55,10 +59,14 @@ let malloc t n =
         t.free_lists.(i) <- rest;
         s
     | [] ->
+        (* Refuse {e before} bumping the cursor: an exhausted region must
+           leave the allocator unchanged so a caller that catches the
+           error can keep serving smaller classes. *)
+        if (t.next.(i) + 1) * class_size i > region_size then
+          error "Lowfat.malloc: size-class %d region exhausted (%d slots)"
+            (class_size i) t.next.(i);
         let s = region_base + (i * region_size) + (t.next.(i) * class_size i) in
         t.next.(i) <- t.next.(i) + 1;
-        if t.next.(i) * class_size i > region_size then
-          failwith "Lowfat.malloc: region exhausted";
         Space.map_zero t.space ~vaddr:s ~len:(class_size i)
           ~prot:Elf_file.prot_rw;
         s

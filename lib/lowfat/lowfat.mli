@@ -48,9 +48,16 @@ type t
 
 val create : E9_vm.Space.t -> t
 
+(** The request cannot be served: oversize, or the size class's region is
+    exhausted. The allocator state is unchanged — harnesses catch this to
+    skip-and-report rather than abort a whole campaign. *)
+exception Error of string
+
 (** [malloc t n] returns a pointer to [n] usable bytes placed at
     [slot + redzone] in the smallest fitting size class. Freed slots are
-    recycled per class. *)
+    recycled per class. Raises {!Error} (leaving the allocator
+    untouched) when [n] exceeds the maximum size class or the class
+    region is exhausted. *)
 val malloc : t -> int -> int
 
 val free : t -> int -> unit

@@ -8,6 +8,7 @@ type reject =
   | Alloc_conflict
   | No_successor
   | Budget
+  | Injected
 
 type outcome =
   | Accepted of { trampoline : int; pad : int; evictee_distance : int }
@@ -19,6 +20,7 @@ type event =
   | Span of { name : string; dur_s : float }
   | Gauge of { name : string; value : int }
   | Counter of { name : string; value : int }
+  | Fault of { site : string; fires : int }
 
 let tactics = [| B0; B1; B2; T1; T2; T3 |]
 let tactic_index = function B0 -> 0 | B1 -> 1 | B2 -> 2 | T1 -> 3 | T2 -> 4 | T3 -> 5
@@ -41,7 +43,8 @@ let tactic_of_name = function
   | _ -> None
 
 let rejects =
-  [| Too_short; Locked; Pun_miss; Range; Alloc_conflict; No_successor; Budget |]
+  [| Too_short; Locked; Pun_miss; Range; Alloc_conflict; No_successor; Budget;
+     Injected |]
 
 let reject_index = function
   | Too_short -> 0
@@ -51,6 +54,7 @@ let reject_index = function
   | Alloc_conflict -> 4
   | No_successor -> 5
   | Budget -> 6
+  | Injected -> 7
 
 let reject_name = function
   | Too_short -> "too_short"
@@ -60,6 +64,7 @@ let reject_name = function
   | Alloc_conflict -> "alloc_conflict"
   | No_successor -> "no_successor"
   | Budget -> "budget"
+  | Injected -> "injected"
 
 let reject_of_name = function
   | "too_short" -> Some Too_short
@@ -69,6 +74,7 @@ let reject_of_name = function
   | "alloc_conflict" -> Some Alloc_conflict
   | "no_successor" -> Some No_successor
   | "budget" -> Some Budget
+  | "injected" -> Some Injected
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -120,6 +126,10 @@ module Agg = struct
     | Counter { name; value } ->
         let prev = Option.value ~default:0 (Hashtbl.find_opt a.counters name) in
         Hashtbl.replace a.counters name (prev + value)
+    | Fault { site; fires } ->
+        let name = "fault." ^ site in
+        let prev = Option.value ~default:0 (Hashtbl.find_opt a.counters name) in
+        Hashtbl.replace a.counters name (prev + fires)
 
   let of_events evs =
     let a = create () in
@@ -280,6 +290,9 @@ let gauge t ~name ~value =
 let counter t ~name ~value =
   match t with Null -> () | _ -> emit t (Counter { name; value })
 
+let fault t ~site ~fires =
+  match t with Null -> () | _ -> emit t (Fault { site; fires })
+
 let span t name f =
   match t with
   | Null -> f ()
@@ -327,6 +340,9 @@ let event_to_json = function
   | Counter { name; value } ->
       Json.Obj
         [ ("ev", Json.Str "counter"); ("name", Json.Str name); ("value", Json.Int value) ]
+  | Fault { site; fires } ->
+      Json.Obj
+        [ ("ev", Json.Str "fault"); ("site", Json.Str site); ("fires", Json.Int fires) ]
 
 let ( let* ) = Result.bind
 
@@ -407,6 +423,10 @@ let event_of_json j =
           let* name = str_field j "name" in
           let* value = int_field j "value" in
           Ok (Counter { name; value })
+      | "fault" ->
+          let* site = str_field j "site" in
+          let* fires = int_field j "fires" in
+          Ok (Fault { site; fires })
       | other -> Error (Printf.sprintf "unknown event kind %S" other))
   | _ -> Error "trace line is not a JSON object"
 
@@ -419,11 +439,32 @@ let to_ndjson t =
     (events t);
   Buffer.contents b
 
-let write_ndjson t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_ndjson t))
+exception Sink_error of string
+
+(* Atomic: the trace lands under its final name only once fully written,
+   so a sink failure (real or injected) never leaves a truncated trace
+   masquerading as a complete one. *)
+let write_ndjson ?(fault = fun () -> false) t path =
+  let tmp = path ^ ".tmp" in
+  let write () =
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let s = to_ndjson t in
+        if fault () then begin
+          (* Simulated short write: half the payload, then the error a
+             full disk or yanked volume would produce. *)
+          output_string oc (String.sub s 0 (String.length s / 2));
+          raise (Sys_error (path ^ ": injected trace-sink write error"))
+        end;
+        output_string oc s);
+    Sys.rename tmp path
+  in
+  try write ()
+  with Sys_error m ->
+    if Sys.file_exists tmp then Sys.remove tmp;
+    raise (Sink_error m)
 
 let validate_ndjson s =
   let lines =

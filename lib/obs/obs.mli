@@ -27,6 +27,7 @@ type reject =
   | Alloc_conflict  (** a valid window, but the allocator found no gap *)
   | No_successor  (** T2: the next address is not a displaceable site *)
   | Budget  (** the candidate-search budget ran out *)
+  | Injected  (** a fault-injection rule refused the query (DESIGN.md §11) *)
 
 type outcome =
   | Accepted of { trampoline : int; pad : int; evictee_distance : int }
@@ -46,6 +47,9 @@ type event =
       (** point-in-time occupancy/fragmentation reading *)
   | Counter of { name : string; value : int }
       (** monotonic count (emulator cache hits/misses/invalidations) *)
+  | Fault of { site : string; fires : int }
+      (** end-of-run fault-injection summary: how many times rules at
+          [site] fired (one event per site with fires > 0) *)
 
 val tactic_name : tactic -> string
 val reject_name : reject -> string
@@ -102,6 +106,7 @@ val reject : t -> addr:int -> tactic:tactic -> reason:reject -> unit
 val site : t -> addr:int -> tactic:tactic option -> unit
 val gauge : t -> name:string -> value:int -> unit
 val counter : t -> name:string -> value:int -> unit
+val fault : t -> site:string -> fires:int -> unit
 
 (** [span t name f] runs [f] and emits its wall-clock duration; with the
     null sink it is exactly [f ()] (no clock reads). Exceptions from [f]
@@ -163,8 +168,16 @@ val event_of_json : Json.t -> (event, string) result
 (** [to_ndjson t] renders the ring's events, one JSON object per line. *)
 val to_ndjson : t -> string
 
-(** [write_ndjson t path] writes {!to_ndjson} output to [path]. *)
-val write_ndjson : t -> string -> unit
+(** A trace-sink write failed; the partially written temp file has been
+    removed and nothing exists at the destination path. *)
+exception Sink_error of string
+
+(** [write_ndjson t path] writes {!to_ndjson} output to [path],
+    atomically (temp file + rename): either the complete trace lands at
+    [path] or {!Sink_error} is raised and no file is left behind. [fault]
+    (used by the injection campaign) simulates a short write when it
+    returns [true]. *)
+val write_ndjson : ?fault:(unit -> bool) -> t -> string -> unit
 
 (** [validate_ndjson s] parses and schema-checks every line. *)
 val validate_ndjson : string -> (event list, string) result

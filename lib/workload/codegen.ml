@@ -5,6 +5,8 @@ module Reg = E9_x86.Reg
 module Asm = E9_x86.Asm
 module Hostcall = E9_emu.Hostcall
 
+exception Error of string
+
 type profile = {
   name : string;
   seed : int64;
@@ -417,7 +419,10 @@ let build ?(imports = [||]) prof =
     fn_labels;
   let code = Asm.assemble g.asm in
   if Bytes.length code > data_base - base then
-    failwith "Codegen: text overflowed its budget";
+    raise
+      (Error
+         (Printf.sprintf "Codegen: text overflowed its budget (%d > %d)"
+            (Bytes.length code) (data_base - base)));
   (* Fill the tables now that label addresses are known. *)
   let rodata = Buf.create (max g.table_off 8) in
   ignore (Buf.add_zeros rodata (max g.table_off 8));

@@ -66,7 +66,13 @@ val base_pie : int
     [data_in_text_kb > 0] — the binary's "ChromeMain symbol". *)
 val chromemain_marker : string
 
-(** [generate profile] builds the ELF image. *)
+(** The profile cannot be generated (the emitted text overflowed its
+    budget). Harnesses over random profiles catch this to skip-and-report
+    the case rather than abort the whole campaign. *)
+exception Error of string
+
+(** [generate profile] builds the ELF image. Raises {!Error} when the
+    profile's code does not fit the text budget. *)
 val generate : profile -> Elf_file.t
 
 (** [generate_library profile] builds a shared object and returns its

@@ -266,6 +266,19 @@ let test_pool_iter_runs_all () =
 let test_pool_default_domains () =
   Alcotest.(check bool) "at least one domain" true (Pool.default_domains () >= 1)
 
+let test_pool_spawn_failure_degrades () =
+  (* Every helper spawn refused: the calling domain still drains the whole
+     task list through the shared cursor, in order. *)
+  let xs = List.init 40 Fun.id in
+  Alcotest.(check (list int))
+    "all spawns fail -> serial completion"
+    (List.map (fun x -> x * 3) xs)
+    (Pool.map ~domains:4 ~spawn_failure:(fun _ -> true) (fun x -> x * 3) xs);
+  Alcotest.(check (list int))
+    "partial spawn failure"
+    (List.map succ xs)
+    (Pool.map ~domains:4 ~spawn_failure:(fun i -> i mod 2 = 0) succ xs)
+
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -354,7 +367,9 @@ let suites =
         Alcotest.test_case "exception propagation" `Quick
           test_pool_map_exception;
         Alcotest.test_case "iter side effects" `Quick test_pool_iter_runs_all;
-        Alcotest.test_case "default domains" `Quick test_pool_default_domains ]
+        Alcotest.test_case "default domains" `Quick test_pool_default_domains;
+        Alcotest.test_case "spawn failure degrades" `Quick
+          test_pool_spawn_failure_degrades ]
     );
     ( "bits.rng",
       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;

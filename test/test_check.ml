@@ -156,11 +156,62 @@ let test_file_roundtrip_verifies () =
     [ ("table", Rewriter.Table); ("stub", Rewriter.Stub) ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection hardening (DESIGN.md §11)                           *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = E9_fault.Fault
+module Inject = E9_check.Inject
+module Trace = E9_check.Trace
+
+(* A fully B0-degraded rewrite is not just statically sound: the trace
+   oracle sees the same architectural retirement stream, every patched
+   site crossed through the trap handler. *)
+let test_b0_degraded_trace_equivalent () =
+  let elf =
+    Codegen.generate
+      { Codegen.default_profile with
+        Codegen.seed = 204L;
+        functions = 24;
+        iterations = 25 }
+  in
+  let options =
+    { Rewriter.default_options with
+      Rewriter.tactics =
+        { Tactics.default_options with Tactics.b0_fallback = true } }
+  in
+  let fault = Fault.create (Fault.parse "alloc@0+") in
+  let r =
+    Rewriter.run ~options ~fault elf ~select:Frontend.select_jumps
+      ~template:(fun _ -> Trampoline.Empty)
+  in
+  let s = r.Rewriter.stats in
+  check_bool "everything on B0" true
+    (s.E9_core.Stats.b0 > 0 && s.E9_core.Stats.b0 = E9_core.Stats.total s);
+  match Trace.compare_runs ~original:elf r.Rewriter.output with
+  | Ok stats ->
+      check_bool "trap boundaries retired" true (stats.Trace.boundary_retires > 0)
+  | Error m -> Alcotest.failf "B0-degraded binary diverged: %s" m
+
+(* A deterministic spot check of the campaign runner itself (the QCheck
+   property below redraws random cases): same seed => same summary. *)
+let test_inject_campaign_deterministic () =
+  let a = Inject.campaign ~n:6 ~seed:7 () in
+  let b = Inject.campaign ~n:6 ~seed:7 () in
+  Alcotest.(check int) "cases" 6 a.Inject.cases;
+  Alcotest.(check (list (pair string string))) "no violations" [] a.Inject.failures;
+  check_bool "summaries identical" true
+    (a.Inject.full = b.Inject.full
+    && a.Inject.degraded = b.Inject.degraded
+    && a.Inject.typed = b.Inject.typed
+    && a.Inject.b0_sites = b.Inject.b0_sites)
+
+(* ------------------------------------------------------------------ *)
 (* The fuzz property                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let prop_fuzz = Fuzz.property ~count:25 ()
 let prop_jobs = Fuzz.jobs_property ~count:15 ~jobs:[ 2; 4; 7 ] ~shard_span:2048 ()
+let prop_inject = Inject.property ~count:15 ()
 
 let suites =
   [ ( "check",
@@ -171,5 +222,10 @@ let suites =
           test_stray_byte_rejected;
         Alcotest.test_case "file round trip verifies" `Quick
           test_file_roundtrip_verifies;
+        Alcotest.test_case "B0-degraded rewrite is trace-equivalent" `Quick
+          test_b0_degraded_trace_equivalent;
+        Alcotest.test_case "inject campaign deterministic" `Quick
+          test_inject_campaign_deterministic;
         QCheck_alcotest.to_alcotest prop_fuzz;
-        QCheck_alcotest.to_alcotest prop_jobs ] ) ]
+        QCheck_alcotest.to_alcotest prop_jobs;
+        QCheck_alcotest.to_alcotest prop_inject ] ) ]

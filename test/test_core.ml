@@ -872,6 +872,171 @@ let suites =
             test_stub_loader_counts_mmaps ] ) ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault hardening (DESIGN.md §11)                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = E9_fault.Fault
+
+let test_alloc_exhaustion_degrades_to_b0 () =
+  (* Outcome (a): with every jump-tactic allocation refused and
+     b0_fallback on, every site lands on B0 and the binary still runs
+     identically (only slower, through the trap handler). *)
+  let elf = Codegen.generate (profile ~seed:62L ~iterations:30 ()) in
+  let orig = run elf in
+  let options =
+    { Rewriter.default_options with
+      Rewriter.tactics =
+        { Tactics.default_options with Tactics.b0_fallback = true } }
+  in
+  let fault = Fault.create (Fault.parse "alloc@0+") in
+  let r =
+    Rewriter.run ~options ~fault elf ~select:Frontend.select_jumps
+      ~template:(fun _ -> Trampoline.Empty)
+  in
+  let s = r.Rewriter.stats in
+  check_int "no failed sites" 0 s.Stats.failed;
+  check_bool "sites were patched" true (Stats.total s > 0);
+  check_int "100% B0" (Stats.total s) s.Stats.b0;
+  check_bool "alloc faults fired" true (Fault.fired fault Fault.Alloc > 0);
+  (match E9_check.Static.verify ~original:elf r.Rewriter.output with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "degraded output rejected: %a" E9_check.Static.pp_error e);
+  let patched = run r.Rewriter.output in
+  check_bool "equivalent under full degradation" true
+    (Machine.equivalent orig patched);
+  check_bool "trap handler exercised" true (patched.Cpu.traps > 0);
+  (* The emitted trap table round-trips through the Loadmap codec and
+     covers exactly the B0 sites. *)
+  let sect =
+    Option.get (Elf_file.find_section r.Rewriter.output Elf_file.trap_section_name)
+  in
+  let raw = Elf_file.section_bytes r.Rewriter.output sect in
+  let traps = Loadmap.decode_traps raw in
+  check_int "one trap record per B0 site" s.Stats.b0 (List.length traps);
+  Alcotest.(check bytes) "trap table round-trips" raw
+    (Loadmap.encode_traps traps);
+  let patched_addrs = List.map fst r.Rewriter.patched_sites in
+  List.iter
+    (fun (t : Loadmap.trap) ->
+      check_bool "trap covers a patched site" true
+        (List.mem t.Loadmap.patch_addr patched_addrs))
+    traps
+
+let test_b0_exhaustion_without_fallback_accounts () =
+  (* Outcome (b): same starvation but no B0 fallback — every site is a
+     per-site failure in Stats, and the (unpatched) output still passes
+     static verification. *)
+  let elf = Codegen.generate (profile ~seed:63L ~iterations:30 ()) in
+  let fault = Fault.create (Fault.parse "alloc@0+") in
+  let r =
+    Rewriter.run ~fault elf ~select:Frontend.select_jumps
+      ~template:(fun _ -> Trampoline.Empty)
+  in
+  let s = r.Rewriter.stats in
+  check_int "nothing succeeded" 0 (Stats.succeeded s);
+  check_bool "failures accounted" true (s.Stats.failed > 0);
+  match E9_check.Static.verify ~original:elf r.Rewriter.output with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "accounted output rejected: %a" E9_check.Static.pp_error e
+
+let test_shard_fault_typed_no_partial () =
+  (* Outcome (c): a shard domain dying mid-Pool.map surfaces as a typed
+     Rewriter.Error, identically for every jobs value, and the input is
+     untouched. *)
+  let elf = Codegen.generate (profile ~seed:64L ()) in
+  let snapshot = Elf_file.to_bytes elf in
+  let options = { Rewriter.default_options with Rewriter.shard_span = 2048 } in
+  let messages =
+    List.map
+      (fun jobs ->
+        let fault = Fault.create (Fault.parse "shard@0") in
+        match
+          Rewriter.run ~options ~fault ~jobs elf
+            ~select:Frontend.select_jumps ~template:(fun _ -> Trampoline.Empty)
+        with
+        | _ -> Alcotest.fail "expected Rewriter.Error"
+        | exception Rewriter.Error m -> m)
+      [ 1; 2; 4 ]
+  in
+  (match messages with
+  | m :: rest ->
+      List.iter
+        (fun m' -> Alcotest.(check string) "same typed error" m m')
+        rest
+  | [] -> assert false);
+  Alcotest.(check bytes) "input untouched" snapshot (Elf_file.to_bytes elf)
+
+let test_stub_collision_typed_before_mutation () =
+  let elf = Codegen.generate (profile ~seed:65L ()) in
+  ignore
+    (Elf_file.add_segment elf
+       { Elf_file.ptype = Elf_file.Load;
+         prot = Elf_file.prot_r;
+         vaddr = E9_core.Loader_stub.home;
+         offset = 0;
+         filesz = 0;
+         memsz = 4096;
+         align = 4096 }
+       ~content:(Bytes.make 16 '\x00'));
+  let snapshot = Elf_file.to_bytes elf in
+  let options =
+    { Rewriter.default_options with Rewriter.loader = Rewriter.Stub }
+  in
+  (match
+     Rewriter.run ~options elf ~select:Frontend.select_jumps
+       ~template:(fun _ -> Trampoline.Empty)
+   with
+  | _ -> Alcotest.fail "expected Rewriter.Error"
+  | exception Rewriter.Error m ->
+      check_bool "message names the collision" true
+        (String.length m >= 8 && String.sub m 0 8 = "Rewriter"));
+  Alcotest.(check bytes) "input untouched by refusal" snapshot
+    (Elf_file.to_bytes elf);
+  (* Table mode is still happy with the same input. *)
+  let r =
+    Rewriter.run elf ~select:Frontend.select_jumps
+      ~template:(fun _ -> Trampoline.Empty)
+  in
+  check_bool "table-mode rewrite succeeds" true
+    (Stats.succ_pct r.Rewriter.stats > 99.0)
+
+let test_stub_home_reserved () =
+  (* The stub's landing zone is pre-reserved in the trampoline layout:
+     in the output, the only segment intersecting it is the stub itself. *)
+  let elf = Codegen.generate (profile ~seed:66L ()) in
+  let options =
+    { Rewriter.default_options with Rewriter.loader = Rewriter.Stub }
+  in
+  let r =
+    rewrite ~options elf Frontend.select_jumps Trampoline.Empty
+  in
+  let home = E9_core.Loader_stub.home
+  and span = E9_core.Loader_stub.home_span in
+  List.iter
+    (fun (s : Elf_file.segment) ->
+      if s.Elf_file.vaddr < home + span && s.Elf_file.vaddr + s.Elf_file.memsz > home
+      then check_int "only the stub lives in its home span" home s.Elf_file.vaddr)
+    r.Rewriter.output.Elf_file.segments;
+  check_bool "stub segment exists" true
+    (Elf_file.segment_at r.Rewriter.output home <> None)
+
+let suites =
+  suites
+  @ [ ( "core.fault",
+        [ Alcotest.test_case "alloc exhaustion degrades to 100% B0" `Quick
+            test_alloc_exhaustion_degrades_to_b0;
+          Alcotest.test_case "starvation without fallback is accounted" `Quick
+            test_b0_exhaustion_without_fallback_accounts;
+          Alcotest.test_case "shard fault is typed, jobs-invariant" `Quick
+            test_shard_fault_typed_no_partial;
+          Alcotest.test_case "stub collision refused before mutation" `Quick
+            test_stub_collision_typed_before_mutation;
+          Alcotest.test_case "stub home reserved from trampolines" `Quick
+            test_stub_home_reserved ] ) ]
+
+(* ------------------------------------------------------------------ *)
 (* Pluggable frontends (§2.2): partial disassembly stays correct       *)
 (* ------------------------------------------------------------------ *)
 

@@ -254,6 +254,40 @@ let test_file_io () =
       let parsed = Elf_file.read_file path in
       Alcotest.(check int) "entry" 0x400000 parsed.Elf_file.entry)
 
+let test_write_atomic_on_fault () =
+  let elf = mk_exec () in
+  let path = Filename.temp_file "e9test" ".elf" in
+  Sys.remove path;
+  (* An injected short-write is a typed Io_error and must leave neither
+     the target nor the temporary behind. *)
+  (match Elf_file.write_file ~fault:(fun () -> true) elf path with
+  | () -> Alcotest.fail "expected Io_error"
+  | exception Elf_file.Io_error _ -> ());
+  Alcotest.(check bool) "no target file" false (Sys.file_exists path);
+  Alcotest.(check bool) "no temp file" false (Sys.file_exists (path ^ ".tmp"));
+  (* A subsequent clean write over the same path parses back. *)
+  Elf_file.write_file elf path;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Alcotest.(check bool) "no temp after success" false
+        (Sys.file_exists (path ^ ".tmp"));
+      Alcotest.(check int) "entry" 0x400000 (Elf_file.read_file path).Elf_file.entry)
+
+let test_write_replaces_existing () =
+  (* The rename-over pattern must atomically replace an existing file,
+     not append or fail. *)
+  let elf = mk_exec () in
+  let path = Filename.temp_file "e9test" ".elf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "stale garbage");
+      Elf_file.write_file elf path;
+      Alcotest.(check int) "replaced" 0x400000
+        (Elf_file.read_file path).Elf_file.entry)
+
 let suites =
   [ ( "elf",
       [ Alcotest.test_case "header roundtrip" `Quick test_roundtrip_header;
@@ -269,7 +303,11 @@ let suites =
         Alcotest.test_case "loadmap traps" `Quick test_loadmap_traps;
         Alcotest.test_case "serialized_size" `Quick test_serialized_size;
         Alcotest.test_case "copy independent" `Quick test_copy_independent;
-        Alcotest.test_case "file io" `Quick test_file_io ] );
+        Alcotest.test_case "file io" `Quick test_file_io;
+        Alcotest.test_case "faulted write is atomic" `Quick
+          test_write_atomic_on_fault;
+        Alcotest.test_case "write replaces existing" `Quick
+          test_write_replaces_existing ] );
     ( "elf.malformed",
       [ Alcotest.test_case "truncated header" `Quick
           test_malformed_truncated_header;

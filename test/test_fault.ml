@@ -1,0 +1,176 @@
+(* Tests for E9_fault: spec parsing, trigger semantics, fork/merge. *)
+
+module Fault = E9_fault.Fault
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* parse / to_string                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_forms () =
+  let rules = Fault.parse "alloc@3,b0alloc@5+,trace%2,decode@0x400" in
+  Alcotest.(check string)
+    "round-trips" "alloc@3,b0alloc@5+,trace%2,decode@1024"
+    (Fault.to_string rules);
+  check_int "four rules" 4 (List.length rules)
+
+let test_parse_whitespace_and_case () =
+  let rules = Fault.parse " Alloc@1 , WRITE@0 " in
+  Alcotest.(check string)
+    "normalized" "alloc@1,write@0" (Fault.to_string rules)
+
+let test_parse_errors () =
+  let bad spec =
+    match Fault.parse spec with
+    | _ -> Alcotest.failf "accepted %S" spec
+    | exception Fault.Parse_error _ -> ()
+  in
+  check_int "empty spec = no rules" 0 (List.length (Fault.parse ""));
+  bad "alloc";
+  bad "alloc@";
+  bad "alloc@x";
+  bad "nosuchsite@3";
+  bad "alloc%0";
+  bad "alloc@3,"
+
+let test_site_names_bijective () =
+  Array.iter
+    (fun s ->
+      Alcotest.(check (option bool))
+        (Fault.site_name s) (Some true)
+        (Option.map (fun s' -> s' = s) (Fault.site_of_name (Fault.site_name s))))
+    Fault.sites
+
+(* ------------------------------------------------------------------ *)
+(* trigger semantics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive [fires] n times and collect which occurrences fired. *)
+let fired_occurrences t site n =
+  List.filter_map
+    (fun i -> if Fault.fires t site then Some i else None)
+    (List.init n Fun.id)
+
+let test_trigger_at () =
+  let t = Fault.create (Fault.parse "alloc@3") in
+  Alcotest.(check (list int))
+    "only occurrence 3" [ 3 ]
+    (fired_occurrences t Fault.Alloc 8);
+  check_int "fired count" 1 (Fault.fired t Fault.Alloc)
+
+let test_trigger_from () =
+  let t = Fault.create (Fault.parse "write@2+") in
+  Alcotest.(check (list int))
+    "2 and onward" [ 2; 3; 4; 5 ]
+    (fired_occurrences t Fault.Write 6)
+
+let test_trigger_every () =
+  let t = Fault.create (Fault.parse "trace%3") in
+  Alcotest.(check (list int))
+    "multiples of 3" [ 0; 3; 6 ]
+    (fired_occurrences t Fault.Trace 8)
+
+let test_sites_independent () =
+  let t = Fault.create (Fault.parse "alloc@0") in
+  check_bool "other sites never fire" false (Fault.fires t Fault.Write);
+  check_bool "alloc occurrence 0 fires" true (Fault.fires t Fault.Alloc);
+  check_bool "alloc occurrence 1 does not" false (Fault.fires t Fault.Alloc)
+
+let test_fires_at_keyed () =
+  let t = Fault.create (Fault.parse "shard@2") in
+  check_bool "key 1" false (Fault.fires_at t Fault.Shard ~key:1);
+  check_bool "key 2" true (Fault.fires_at t Fault.Shard ~key:2);
+  (* keyed matching never consumes occurrence counts *)
+  check_bool "key 2 again" true (Fault.fires_at t Fault.Shard ~key:2)
+
+let test_decode_cut () =
+  Alcotest.(check (option int))
+    "no decode rule" None
+    (Fault.decode_cut (Fault.create (Fault.parse "alloc@1")));
+  Alcotest.(check (option int))
+    "min over rules" (Some 0x80)
+    (Fault.decode_cut (Fault.create (Fault.parse "decode@0x100,decode@0x80")))
+
+let test_none_is_inert () =
+  check_bool "is_none" true (Fault.is_none Fault.none);
+  for _ = 1 to 50 do
+    Array.iter
+      (fun s -> check_bool "never fires" false (Fault.fires Fault.none s))
+      Fault.sites
+  done;
+  check_int "nothing recorded" 0 (Fault.fired_total Fault.none)
+
+(* ------------------------------------------------------------------ *)
+(* fork / merge                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_fork_fresh_counters () =
+  let t = Fault.create (Fault.parse "alloc@0") in
+  check_bool "parent occurrence 0" true (Fault.fires t Fault.Alloc);
+  let f = Fault.fork t in
+  (* The fork restarts counting: its occurrence 0 fires again. *)
+  check_bool "fork occurrence 0" true (Fault.fires f Fault.Alloc);
+  check_bool "fork occurrence 1" false (Fault.fires f Fault.Alloc)
+
+let test_merge_accumulates () =
+  let t = Fault.create (Fault.parse "alloc@0+") in
+  let a = Fault.fork t and b = Fault.fork t in
+  for _ = 1 to 3 do
+    ignore (Fault.fires a Fault.Alloc)
+  done;
+  for _ = 1 to 2 do
+    ignore (Fault.fires b Fault.Alloc)
+  done;
+  Fault.merge_into ~dst:t a;
+  Fault.merge_into ~dst:t b;
+  check_int "fired totals add" 5 (Fault.fired t Fault.Alloc);
+  check_int "total across sites" 5 (Fault.fired_total t)
+
+(* Fork/merge must commute with a serial run of the same per-shard query
+   sequences: the merged counters depend only on the sequences, not on
+   interleaving. *)
+let prop_fork_merge_deterministic =
+  QCheck.Test.make ~name:"Fault fork/merge totals match serial replay"
+    ~count:200
+    QCheck.(pair (int_range 0 20) (small_list (int_bound 15)))
+    (fun (at, shard_queries) ->
+      let rules = [ { Fault.site = Fault.Alloc; trigger = Fault.At at } ] in
+      let run order =
+        let t = Fault.create rules in
+        let forks =
+          List.map
+            (fun n ->
+              let f = Fault.fork t in
+              for _ = 1 to n do
+                ignore (Fault.fires f Fault.Alloc)
+              done;
+              f)
+            order
+        in
+        List.iter (fun f -> Fault.merge_into ~dst:t f) forks;
+        Fault.fired t Fault.Alloc
+      in
+      run shard_queries = run (List.rev shard_queries)
+      || QCheck.Test.fail_report "merge order changed the fired total")
+
+let suites =
+  [ ( "fault",
+      [ Alcotest.test_case "parse forms" `Quick test_parse_forms;
+        Alcotest.test_case "parse whitespace/case" `Quick
+          test_parse_whitespace_and_case;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "site names bijective" `Quick
+          test_site_names_bijective;
+        Alcotest.test_case "trigger @N" `Quick test_trigger_at;
+        Alcotest.test_case "trigger @N+" `Quick test_trigger_from;
+        Alcotest.test_case "trigger %N" `Quick test_trigger_every;
+        Alcotest.test_case "sites independent" `Quick test_sites_independent;
+        Alcotest.test_case "keyed fires_at" `Quick test_fires_at_keyed;
+        Alcotest.test_case "decode cut" `Quick test_decode_cut;
+        Alcotest.test_case "none is inert" `Quick test_none_is_inert;
+        Alcotest.test_case "fork fresh counters" `Quick
+          test_fork_fresh_counters;
+        Alcotest.test_case "merge accumulates" `Quick test_merge_accumulates;
+        QCheck_alcotest.to_alcotest prop_fork_merge_deterministic ] ) ]

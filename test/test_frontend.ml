@@ -93,10 +93,53 @@ let test_disassemble_from () =
 let test_disassemble_from_outside () =
   let elf = elf () in
   let text = Option.get (Frontend.find_text elf) in
+  let addr = text.Frontend.base - 1 in
   Alcotest.check_raises "start outside text"
-    (Failure "Frontend: disassembly start outside the text") (fun () ->
-      ignore
-        (Frontend.disassemble ~from:(text.Frontend.base - 1) elf))
+    (Frontend.Error
+       (Printf.sprintf
+          "Frontend: disassembly start 0x%x outside the text [0x%x, 0x%x)"
+          addr text.Frontend.base
+          (text.Frontend.base + text.Frontend.size)))
+    (fun () -> ignore (Frontend.disassemble ~from:addr elf))
+
+let test_disassemble_no_text_typed () =
+  let elf = elf () in
+  let no_text =
+    { elf with
+      Elf_file.sections =
+        List.filter
+          (fun (s : Elf_file.section) -> s.Elf_file.name <> ".text")
+          elf.Elf_file.sections;
+      segments =
+        List.map
+          (fun (s : Elf_file.segment) -> { s with Elf_file.prot = Elf_file.prot_r })
+          elf.Elf_file.segments }
+  in
+  match Frontend.disassemble no_text with
+  | _ -> Alcotest.fail "expected Frontend.Error"
+  | exception Frontend.Error _ -> ()
+
+(* An injected decode fault truncates the site list at a text offset: the
+   result is a strict prefix of the fault-free sweep (partial
+   instrumentation, never desync), identical under chunked decode. *)
+let test_disassemble_decode_fault_prefix () =
+  let module Fault = E9_fault.Fault in
+  let elf = elf () in
+  let text, full = Frontend.disassemble elf in
+  let cut = text.Frontend.size / 2 in
+  let fault = Fault.create (Fault.parse (Printf.sprintf "decode@%d" cut)) in
+  let _, cut_sites = Frontend.disassemble ~fault elf in
+  check_bool "strict prefix" true
+    (List.length cut_sites < List.length full);
+  List.iteri
+    (fun i (s : Frontend.site) ->
+      check_bool "prefix element matches" true (s = List.nth full i);
+      check_bool "below the cut" true (s.Frontend.addr < text.Frontend.base + cut))
+    cut_sites;
+  check_int "fault recorded" 1 (Fault.fired fault Fault.Decode);
+  let fault2 = Fault.create (Fault.parse (Printf.sprintf "decode@%d" cut)) in
+  let _, cut_chunked = Frontend.disassemble ~jobs:3 ~chunk:64 ~fault:fault2 elf in
+  check_bool "chunked decode cuts identically" true (cut_chunked = cut_sites)
 
 (* The chunked parallel sweep must reproduce the serial sweep exactly:
    chunk boundaries rarely coincide with instruction boundaries, so this
@@ -179,6 +222,10 @@ let suites =
           test_disassemble_from;
         Alcotest.test_case "?from outside text rejected" `Quick
           test_disassemble_from_outside;
+        Alcotest.test_case "no text is a typed error" `Quick
+          test_disassemble_no_text_typed;
+        Alcotest.test_case "decode fault truncates to a prefix" `Quick
+          test_disassemble_decode_fault_prefix;
         Alcotest.test_case "chunked sweep identical" `Quick
           test_disassemble_chunked_identical;
         Alcotest.test_case "empty text" `Quick test_disassemble_empty_text;

@@ -101,9 +101,32 @@ let test_free_legacy_ignored () =
 let test_malloc_too_big () =
   let t = fresh () in
   Alcotest.check_raises "too big"
-    (Invalid_argument
-       (Printf.sprintf "Lowfat.malloc: %d exceeds max size" (Lowfat.max_size)))
+    (Lowfat.Error
+       (Printf.sprintf "Lowfat.malloc: %d exceeds max size %d" Lowfat.max_size
+          Lowfat.max_size))
     (fun () -> ignore (Lowfat.malloc t Lowfat.max_size))
+
+let test_malloc_exhaustion_typed_and_recoverable () =
+  let t = fresh () in
+  (* Drain the largest size class; exhaustion must be a typed error
+     raised *before* any allocator state changes. *)
+  let slot = Option.get (Lowfat.slot_size (Lowfat.malloc t (Lowfat.max_size / 2))) in
+  let slots = Lowfat.region_size / slot in
+  for _ = 2 to slots do
+    ignore (Lowfat.malloc t (Lowfat.max_size / 2))
+  done;
+  (match Lowfat.malloc t (Lowfat.max_size / 2) with
+  | _ -> Alcotest.fail "expected Lowfat.Error"
+  | exception Lowfat.Error m ->
+      check_bool "message names the class" true
+        (String.length m > 0 && String.sub m 0 13 = "Lowfat.malloc"));
+  (* The refusal left the allocator intact: other classes still serve,
+     and a freed slot from the full class is immediately reusable. *)
+  let small = Lowfat.malloc t 16 in
+  check_bool "small class unaffected" true (Lowfat.check small);
+  let p = Lowfat.malloc t 16 in
+  Lowfat.free t p;
+  check_int "free list recycles after refusal" p (Lowfat.malloc t 16)
 
 (* Property: for any allocation size, every byte of the usable object
    passes the check and the byte one past the end fails it. *)
@@ -233,6 +256,8 @@ let suites =
         Alcotest.test_case "free recycles" `Quick test_free_recycles;
         Alcotest.test_case "free legacy ignored" `Quick test_free_legacy_ignored;
         Alcotest.test_case "malloc too big" `Quick test_malloc_too_big;
+        Alcotest.test_case "exhaustion typed and recoverable" `Quick
+          test_malloc_exhaustion_typed_and_recoverable;
         QCheck_alcotest.to_alcotest prop_redzone_tight ] );
     ( "lowfat.hardening",
       [ Alcotest.test_case "clean program unchanged" `Quick

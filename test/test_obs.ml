@@ -99,9 +99,14 @@ let sample_events =
         outcome = Obs.Rejected Obs.Pun_miss };
     Obs.Site { addr = 0x400123; tactic = Some Obs.T2 };
     Obs.Site { addr = 0x400300; tactic = None };
+    Obs.Attempt
+      { addr = 0x400400;
+        tactic = Obs.B1;
+        outcome = Obs.Rejected Obs.Injected };
     Obs.Span { name = "decode"; dur_s = 0.25 };
     Obs.Gauge { name = "layout.occupied_intervals"; value = 17 };
-    Obs.Counter { name = "emu.block_hits"; value = 12345 } ]
+    Obs.Counter { name = "emu.block_hits"; value = 12345 };
+    Obs.Fault { site = "alloc"; fires = 3 } ]
 
 let test_json_line_roundtrip () =
   List.iter
@@ -130,7 +135,33 @@ let test_validate_rejects_bad_lines () =
   expect_err "unknown tactic" {|{"ev":"site","addr":1,"tactic":"T9"}|};
   expect_err "unknown reason"
     {|{"ev":"attempt","addr":1,"tactic":"B1","outcome":"rejected","reason":"gremlins"}|};
-  expect_err "bad value type" {|{"ev":"counter","name":"x","value":"many"}|}
+  expect_err "bad value type" {|{"ev":"counter","name":"x","value":"many"}|};
+  expect_err "fault missing fires" {|{"ev":"fault","site":"alloc"}|}
+
+let test_fault_events_and_sink_error () =
+  let obs = Obs.ring () in
+  Obs.fault obs ~site:"alloc" ~fires:2;
+  Obs.fault obs ~site:"write" ~fires:1;
+  let a = Obs.agg obs in
+  check_int "fault events fold into counters" 2
+    (Hashtbl.find a.Obs.Agg.counters "fault.alloc");
+  check_int "per-site" 1 (Hashtbl.find a.Obs.Agg.counters "fault.write");
+  let path = Filename.temp_file "e9obs" ".ndjson" in
+  Sys.remove path;
+  (* A failing sink is a typed error and leaves nothing behind — neither
+     the target nor the temporary. *)
+  (match Obs.write_ndjson ~fault:(fun () -> true) obs path with
+  | () -> Alcotest.fail "expected Sink_error"
+  | exception Obs.Sink_error _ -> ());
+  check_bool "no file" false (Sys.file_exists path);
+  check_bool "no temp left" false (Sys.file_exists (path ^ ".tmp"));
+  (* And the same sink succeeds cleanly afterwards with a valid trace. *)
+  Obs.write_ndjson obs path;
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  match Obs.validate_ndjson contents with
+  | Ok evs -> check_int "both fault events" 2 (List.length evs)
+  | Error m -> Alcotest.failf "written trace invalid: %s" m
 
 (* ------------------------------------------------------------------ *)
 (* Golden trace of a real rewrite                                      *)
@@ -256,6 +287,8 @@ let suites =
           test_json_line_roundtrip;
         Alcotest.test_case "validator rejects bad lines" `Quick
           test_validate_rejects_bad_lines;
+        Alcotest.test_case "fault events and sink containment" `Quick
+          test_fault_events_and_sink_error;
         Alcotest.test_case "golden trace of a rewrite" `Quick test_trace_golden;
         Alcotest.test_case "aggregator matches ring rollup" `Quick
           test_aggregator_matches_ring;
