@@ -37,10 +37,11 @@ bench: build
 
 # Reduced bench under a hard timeout: the experiments that exercise the
 # emulator throughput path (scalability), end-to-end patched-binary
-# emulation (figure4), and the sharded-rewriter jobs-invariance sweep
-# (parallel), at --smoke sizes. Writes BENCH_throughput.json.
+# emulation (figure4), the sharded-rewriter jobs-invariance sweep
+# (parallel), and the allocator micro-benchmark against its linear-scan
+# baseline (iset), at --smoke sizes. Writes BENCH_throughput.json.
 bench-smoke: build
-	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke $(BENCH_JOBS_FLAG) scalability figure4 parallel | tee bench_output.txt
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke $(BENCH_JOBS_FLAG) scalability figure4 parallel iset | tee bench_output.txt
 
 # Fixed-seed differential fuzz campaign: random profile × tactic configs,
 # each rewrite checked by the static verifier and the trace oracle.

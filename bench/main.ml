@@ -950,14 +950,21 @@ let bench_parallel () =
           [ ("jobs", Json.Int jobs);
             ("search_s", Json.Float search);
             ("wall_s", Json.Float wall);
-            ("search_speedup", Json.Float speedup) ];
-        printf "  %5d %12.3f %12.3f %8.2fx@." jobs search wall speedup;
-        (jobs, wall, search, speedup))
+            ("search_speedup", Json.Float speedup);
+            ("chunks", Json.Int r.Rewriter.shards);
+            ("steal_count", Json.Int r.Rewriter.steals);
+            ("setup_s", Json.Float r.Rewriter.setup_s) ];
+        printf "  %5d %12.3f %12.3f %8.2fx  (%d chunks, %d steals, \
+                setup %.4fs)@."
+          jobs search wall speedup r.Rewriter.shards r.Rewriter.steals
+          r.Rewriter.setup_s;
+        (jobs, wall, search, speedup, r.Rewriter.steals, r.Rewriter.setup_s,
+         r.Rewriter.shards))
       [ 1; 2; 4 ]
   in
   let speedup_at_4 =
     List.fold_left
-      (fun acc (jobs, _, _, s) -> if jobs = 4 then s else acc)
+      (fun acc (jobs, _, _, s, _, _, _) -> if jobs = 4 then s else acc)
       0.0 sweep
   in
   parallel_json :=
@@ -972,12 +979,15 @@ let bench_parallel () =
            ("sweep",
             Json.List
               (List.map
-                 (fun (jobs, wall, search, speedup) ->
+                 (fun (jobs, wall, search, speedup, steals, setup, chunks) ->
                    Json.Obj
                      [ ("jobs", Json.Int jobs);
                        ("search_s", Json.Float search);
                        ("wall_s", Json.Float wall);
-                       ("search_speedup", Json.Float speedup) ])
+                       ("search_speedup", Json.Float speedup);
+                       ("chunks", Json.Int chunks);
+                       ("steal_count", Json.Int steals);
+                       ("setup_s", Json.Float setup) ])
                  sweep));
            ("search_speedup_at_4", Json.Float speedup_at_4) ])
 
@@ -1067,6 +1077,92 @@ let bench_calibration () =
         [ ("small_write_bias", Json.Float sw); ("base_pct", Json.Float base) ];
       printf "  small=%.1f -> Base=%.2f%%@." sw base)
     a2
+
+(* ------------------------------------------------------------------ *)
+(* Iset micro-benchmark: augmented tree vs the linear-scan baseline    *)
+(* ------------------------------------------------------------------ *)
+
+(* Captured for the [iset] list in BENCH_throughput.json. *)
+let iset_json : Json.t option ref = ref None
+
+let bench_iset () =
+  heading "Iset: O(log n) strided query vs the linear-scan baseline";
+  let open Bechamel in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let estimate name f =
+    let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.25) () in
+    let raw = Benchmark.all cfg [ clock ] (Test.make ~name (Staged.stage f)) in
+    let est = ref 0.0 in
+    Hashtbl.iter
+      (fun _ r ->
+        match Analyze.OLS.estimates (Analyze.one ols clock r) with
+        | Some (e :: _) -> est := e
+        | Some [] | None -> ())
+      raw;
+    !est
+  in
+  let sizes = [ 100; 1_000; 10_000; 100_000 ] in
+  printf "  %9s %14s %16s %9s@." "intervals" "tree ns/run" "linear ns/run"
+    "speedup";
+  let rows =
+    List.map
+      (fun n ->
+        (* The allocator's worst query shape: every inter-blocker gap is
+           one byte too small for the request, so the pre-PR linear scan
+           visits all [n] intervals before finding the slot past the last
+           one, while the augmented tree prunes whole subtrees on
+           [max_gap] and answers in O(log n). *)
+        let tree = E9_bits.Iset.create () in
+        let lin = Iset_linear.create () in
+        for i = 0 to n - 1 do
+          let lo = 0x10000 + (i * 48) in
+          E9_bits.Iset.add tree ~lo ~hi:(lo + 33);
+          Iset_linear.add lin ~lo ~hi:(lo + 33)
+        done;
+        let hi = 0x10000 + (n * 48) + 0x10000 in
+        let answer =
+          E9_bits.Iset.find_free_strided tree ~size:16 ~lo:0x10000 ~hi
+            ~stride:64
+        in
+        if
+          answer
+          <> Iset_linear.find_free_strided lin ~size:16 ~lo:0x10000 ~hi
+               ~stride:64
+        then failwith (Printf.sprintf "iset@%d: tree and linear disagree" n);
+        let tree_ns =
+          estimate
+            (Printf.sprintf "iset-tree-%d" n)
+            (fun () ->
+              ignore
+                (E9_bits.Iset.find_free_strided tree ~size:16 ~lo:0x10000 ~hi
+                   ~stride:64))
+        in
+        let linear_ns =
+          estimate
+            (Printf.sprintf "iset-linear-%d" n)
+            (fun () ->
+              ignore
+                (Iset_linear.find_free_strided lin ~size:16 ~lo:0x10000 ~hi
+                   ~stride:64))
+        in
+        let speedup = if tree_ns > 0.0 then linear_ns /. tree_ns else 0.0 in
+        record_row "iset"
+          [ ("intervals", Json.Int n);
+            ("tree_ns", Json.Float tree_ns);
+            ("linear_ns", Json.Float linear_ns);
+            ("speedup", Json.Float speedup) ];
+        printf "  %9d %14.1f %16.1f %8.1fx@." n tree_ns linear_ns speedup;
+        Json.Obj
+          [ ("intervals", Json.Int n);
+            ("tree_ns", Json.Float tree_ns);
+            ("linear_ns", Json.Float linear_ns);
+            ("speedup", Json.Float speedup) ])
+      sizes
+  in
+  iset_json := Some (Json.List rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: rewriter throughput per experiment       *)
@@ -1159,6 +1255,7 @@ let all =
     ("parallel", bench_parallel);
     ("faults", bench_faults);
     ("calibration", bench_calibration);
+    ("iset", bench_iset);
     ("bechamel", bench_bechamel) ]
 
 let usage () =
@@ -1263,6 +1360,8 @@ let () =
           (match !parallel_json with
           | Some j -> j
           | None -> Json.Obj []));
+         ("iset",
+          (match !iset_json with Some j -> j | None -> Json.List []));
          ("faults",
           (match !faults_json with
           | Some j -> j

@@ -2,7 +2,13 @@
 
     Used as the occupancy map of the trampoline address-space allocator:
     intervals mark *occupied* bytes, and allocation queries search for free
-    gaps inside a constrained window (the punned-jump target interval). *)
+    gaps inside a constrained window (the punned-jump target interval).
+
+    Internally an augmented balanced tree (start-keyed AVL carrying the
+    max free gap per subtree), so the [find_free*] queries descend only
+    into branches that can hold a wide-enough gap: O(log n) per query
+    instead of a linear blocker walk. The structure is persistent under
+    the hood, which makes {!copy} O(1). *)
 
 type t
 
@@ -35,9 +41,10 @@ val find_free_last : t -> size:int -> lo:int -> hi:int -> int option
 (** [find_free_strided t ~size ~lo ~hi ~stride] is the lowest start [s]
     with [lo <= s <= hi], [s ≡ lo (mod stride)] and [s, s+size) free.
     With [stride = 1] this is {!find_free}. Requires [stride >= 1].
-    The scan carries the blocking interval forward between probes, so a
-    window crossed by [k] occupied intervals costs [k] map lookups
-    however many stride positions it contains. *)
+    The walk carries the blocking context forward between gaps and prunes
+    undersized subtrees, so it costs O(log n) per free gap wide enough
+    for [size] but misaligned for [stride] — it never iterates stride
+    positions or occupied intervals one by one. *)
 val find_free_strided :
   t -> size:int -> lo:int -> hi:int -> stride:int -> int option
 

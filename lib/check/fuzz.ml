@@ -105,7 +105,7 @@ let prepare case =
   in
   (elf, disasm_from, select)
 
-let rewrite ?jobs ?shard_span case =
+let rewrite ?jobs ?jitter ?shard_span case =
   let elf, disasm_from, select = prepare case in
   let options =
     match shard_span with
@@ -113,7 +113,7 @@ let rewrite ?jobs ?shard_span case =
     | Some shard_span -> { case.options with Rewriter.shard_span }
   in
   let r =
-    Rewriter.run ~options ?jobs ?disasm_from elf ~select
+    Rewriter.run ~options ?jobs ?jitter ?disasm_from elf ~select
       ~template:(fun _ -> Trampoline.Empty)
   in
   (elf, disasm_from, r)
@@ -205,6 +205,54 @@ let property ?(count = 50) ?(name = "rewrite is byte-accounted and trace-equival
       match run_case case with
       | Ok _ -> true
       | Error msg -> QCheck2.Test.fail_reportf "%s" msg)
+
+let steal_property ?(count = 15) ?(jobs = [ 2; 4; 7 ]) ?(shard_span = 2048)
+    ?(name = "rewrite output is identical for every steal schedule") () =
+  let gen =
+    QCheck2.Gen.pair gen_case
+      (QCheck2.Gen.pair (QCheck2.Gen.int_range 1 7) (QCheck2.Gen.int_range 0 7))
+  in
+  let print (case, (k, off)) =
+    Printf.sprintf "%s | jitter shard@%d,shard%%%d" (case_to_string case) off k
+  in
+  QCheck2.Test.make ~count ~name ~print gen (fun (case, (k, off)) ->
+      let _, _, r1 = rewrite ~jobs:1 ~shard_span case in
+      let reference = Elf_file.to_bytes r1.Rewriter.output in
+      List.for_all
+        (fun n ->
+          (* A standalone keyed fault record picks which chunks to stall:
+             the claiming worker spins before chunk [i] whenever the
+             [Shard] site matches [i] (every [k]-th chunk plus chunk
+             [off]), skewing completion order and provoking steals —
+             without touching any input the chunk tasks compute from. *)
+          let sched =
+            E9_fault.Fault.create
+              [ { E9_fault.Fault.site = E9_fault.Fault.Shard;
+                  trigger = E9_fault.Fault.Every k };
+                { E9_fault.Fault.site = E9_fault.Fault.Shard;
+                  trigger = E9_fault.Fault.At off } ]
+          in
+          let jitter i =
+            if E9_fault.Fault.fires_at sched E9_fault.Fault.Shard ~key:i then
+              for _ = 1 to 100_000 do
+                ignore (Sys.opaque_identity i)
+              done
+          in
+          let _, _, rn = rewrite ~jobs:n ~jitter ~shard_span case in
+          if
+            not (Bytes.equal (Elf_file.to_bytes rn.Rewriter.output) reference)
+          then
+            QCheck2.Test.fail_reportf
+              "jobs=%d jitter(%%%d,@%d): output bytes differ from jobs=1 \
+               (%d chunks, %d steals)"
+              n k off rn.Rewriter.shards rn.Rewriter.steals
+          else if rn.Rewriter.occupancy <> r1.Rewriter.occupancy then
+            QCheck2.Test.fail_reportf
+              "jobs=%d jitter(%%%d,@%d): absorbed layout occupancy differs \
+               from jobs=1"
+              n k off
+          else true)
+        jobs)
 
 let jobs_property ?(count = 25) ?(jobs = [ 2; 4; 7 ]) ?(shard_span = 2048)
     ?(name = "rewrite output is identical for every domain count") () =

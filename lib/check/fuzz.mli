@@ -35,12 +35,15 @@ val prepare :
     round trip. *)
 val run_case : case -> (Static.report * Trace.stats, string) result
 
-(** [rewrite ?jobs ?shard_span case] is the generate → rewrite half alone,
-    returning the input binary, the disassembly start it used, and the
-    full rewrite result — the hook for determinism and scaling tests that
-    need to compare outputs across [jobs] values or shard spans. *)
+(** [rewrite ?jobs ?jitter ?shard_span case] is the generate → rewrite
+    half alone, returning the input binary, the disassembly start it
+    used, and the full rewrite result — the hook for determinism and
+    scaling tests that need to compare outputs across [jobs] values,
+    steal schedules ([jitter] is passed to {!E9_core.Rewriter.run}) or
+    shard spans. *)
 val rewrite :
   ?jobs:int ->
+  ?jitter:(int -> unit) ->
   ?shard_span:int ->
   case ->
   Elf_file.t * int option * E9_core.Rewriter.result
@@ -76,6 +79,20 @@ val property : ?count:int -> ?name:string -> unit -> QCheck2.Test.t
     (default 2048) small enough to force multiple shards on fuzz-sized
     binaries; the sharded output must also pass {!Static.verify}. *)
 val jobs_property :
+  ?count:int ->
+  ?jobs:int list ->
+  ?shard_span:int ->
+  ?name:string ->
+  unit ->
+  QCheck2.Test.t
+
+(** Steal-schedule determinism property (DESIGN.md §12): for every
+    domain count in [jobs] and a randomized jitter schedule (a keyed
+    [Shard]-site fault record decides which chunks the claiming worker
+    stalls on, skewing completion order and provoking steals), output
+    bytes and the absorbed {!E9_core.Layout} occupancy are identical to
+    the [jobs = 1] rewrite. *)
+val steal_property :
   ?count:int ->
   ?jobs:int list ->
   ?shard_span:int ->

@@ -28,21 +28,45 @@ let stripe_owner ~count i =
   if count <= 1 then 0 else ((i + row_mix (i / count)) mod count + count) mod count
 
 (* Next-fit cursors: one remembered resume point per window-span class
-   (log2 of [hi - lo]). Windows of similar span are issued by the same
-   tactic shapes and drift slowly under S1, so resuming the first-fit scan
-   where the last same-class allocation ended skips the packed prefix that
-   produced the alloc_conflict rescans. Falling back to a full scan on a
-   cursor miss preserves first-fit's success set exactly — the cursor only
-   relocates placements, never turns a success into a failure. *)
+   (quarter-log2 of [hi - lo]: each class covers a 4-octave span band, so
+   windows of similar-but-not-identical width share a resume point).
+   Windows of similar span are issued by the same tactic shapes and drift
+   slowly under S1, so resuming the first-fit scan where the last
+   same-class allocation ended skips the packed prefix that produced the
+   alloc_conflict rescans. Falling back to a full scan on a cursor miss
+   preserves first-fit's success set exactly — the cursor only relocates
+   placements, never turns a success into a failure. *)
 let cursor_classes = 64
 
+(* Why the most recent failed query failed — the tactic layer turns this
+   into distinct reject reasons (and a deferral decision) instead of
+   blaming every failure on allocator contention:
+   - [Dead_window]: the create-time occupancy (guards + segments) alone
+     already blocks every position, so NO allocator, serial or sharded,
+     could ever serve the window. Identical for every shard and jobs
+     value, since the base set is shared.
+   - [Foreign_stripe]: the merged occupancy has room but the extent falls
+     in stripes this arena does not own — retrying against the absorbed
+     layout after the join can succeed.
+   - [Conflict]: a genuine dynamic collision with earlier trampolines. *)
+type denial = No_denial | Dead_window | Foreign_stripe | Conflict
+
 type t = {
+  base : Iset.t;
+      (* create-time occupancy, never mutated afterwards; shared (not
+         copied) across every shard arena *)
   occupied : Iset.t;
   trampolines : Iset.t;  (* subset of [occupied]: what we allocated *)
   stripe : stripe option;
   cursors : int array;
   mutable cursor_hits : int;
   mutable cursor_misses : int;
+  mutable resume_stripe : int;
+      (* start address of the owned stripe that served the last striped
+         search ([min_int] = none yet): striped searches resume here and
+         fall back to the window start, like the span-class cursors *)
+  mutable stripe_rotations : int;
+  mutable last_denial : denial;
 }
 
 (* Keep clear of the emulator's fixed homes so patched binaries cannot
@@ -79,31 +103,45 @@ let create ?(reserve_below_base = false) ?(block_size = 4096) (elf : Elf_file.t)
             ~hi:(ceil_b (s.vaddr + s.memsz))
       | Note | Other _ -> ())
     elf.segments;
-  { occupied;
+  { base = Iset.copy occupied;
+    occupied;
     trampolines = Iset.create ();
     stripe = None;
     cursors = Array.make cursor_classes min_int;
     cursor_hits = 0;
-    cursor_misses = 0 }
+    cursor_misses = 0;
+    resume_stripe = min_int;
+    stripe_rotations = 0;
+    last_denial = No_denial }
 
 let shard t ~index ~count =
   if index < 0 || index >= count then invalid_arg "Layout.shard";
-  { occupied = Iset.copy t.occupied;
+  (* Both snapshots are O(1): the interval tree is persistent, so the
+     arena holds the parent's occupancy as an immutable shared prefix and
+     its own allocations as a private delta of tree paths. *)
+  { base = t.base;
+    occupied = Iset.copy t.occupied;
     trampolines = Iset.create ();
     stripe = (if count <= 1 then None else Some { index; count });
     cursors = Array.make cursor_classes min_int;
     cursor_hits = 0;
-    cursor_misses = 0 }
+    cursor_misses = 0;
+    resume_stripe = min_int;
+    stripe_rotations = 0;
+    last_denial = No_denial }
 
 let absorb ~dst src =
   Iset.iter src.trampolines (fun ~lo ~hi ->
       Iset.add dst.occupied ~lo ~hi;
       Iset.add dst.trampolines ~lo ~hi);
   dst.cursor_hits <- dst.cursor_hits + src.cursor_hits;
-  dst.cursor_misses <- dst.cursor_misses + src.cursor_misses
+  dst.cursor_misses <- dst.cursor_misses + src.cursor_misses;
+  dst.stripe_rotations <- dst.stripe_rotations + src.stripe_rotations
 
 let cursor_hits t = t.cursor_hits
 let cursor_misses t = t.cursor_misses
+let stripe_rotations t = t.stripe_rotations
+let last_denial t = t.last_denial
 
 (* ------------------------------------------------------------------ *)
 (* Stripe-constrained searches                                         *)
@@ -149,17 +187,69 @@ let find_owned st ~size ~hi find ~lo =
     go lo
   end
 
+(* Failure classification (see {!denial}). Runs only on the failure
+   path: two extra O(log n) probes against the base and the unstriped
+   occupancy, far cheaper than the rescans the old misclassification
+   provoked downstream. *)
+let note_denial t d = t.last_denial <- d
+
+(* Conflict-aware rotation: a window the arena could not serve because
+   its free space sat in foreign stripes means this arena's low owned
+   stripes are saturated or out of reach — advance the resume point one
+   owned stripe so subsequent searches spread instead of re-plowing the
+   same prefix. Pure per-arena state: stripe *ownership* never changes
+   (disjointness requires every arena to agree on it). *)
+let rotate_resume t st =
+  t.stripe_rotations <- t.stripe_rotations + 1;
+  let cur = if t.resume_stripe = min_int then low_guard else t.resume_stripe in
+  t.resume_stripe <- next_own_stripe st (cur asr stripe_bits)
+
+(* Striped window search: resume from the stripe that served the last
+   allocation when it lies inside the window, falling back to the full
+   window on a miss — the success set stays exactly first-fit's, only
+   placements move. *)
+let find_striped t ~lo ~hi search =
+  let r =
+    let rs = t.resume_stripe in
+    if rs > lo && rs <= hi then
+      match search rs with Some _ as x -> x | None -> search lo
+    else search lo
+  in
+  (match r with
+  | Some a -> t.resume_stripe <- (a asr stripe_bits) lsl stripe_bits
+  | None -> ());
+  r
+
+
 let find_free t ~size ~lo ~hi =
   match t.stripe with
-  | None -> Iset.find_free t.occupied ~size ~lo ~hi
-  | Some st ->
-      find_owned st ~size ~hi
-        (fun ~lo -> Iset.find_free t.occupied ~size ~lo ~hi)
-        ~lo
+  | None -> (
+      match Iset.find_free t.occupied ~size ~lo ~hi with
+      | Some _ as r -> r
+      | None ->
+          note_denial t
+            (if Iset.find_free t.base ~size ~lo ~hi = None then Dead_window
+             else Conflict);
+          None)
+  | Some st -> (
+      let find ~lo = Iset.find_free t.occupied ~size ~lo ~hi in
+      let search l = find_owned st ~size ~hi find ~lo:l in
+      match find_striped t ~lo ~hi search with
+      | Some _ as r -> r
+      | None ->
+          (if Iset.find_free t.base ~size ~lo ~hi = None then
+             note_denial t Dead_window
+           else if Iset.find_free t.occupied ~size ~lo ~hi <> None then begin
+             note_denial t Foreign_stripe;
+             rotate_resume t st
+           end
+           else note_denial t Conflict);
+          None)
+
 
 let span_class ~lo ~hi =
   let rec go n c =
-    if n <= 1 || c >= cursor_classes - 1 then c else go (n lsr 1) (c + 1)
+    if n <= 1 || c >= cursor_classes - 1 then c else go (n lsr 2) (c + 1)
   in
   go (max (hi - lo) 1) 0
 
@@ -186,15 +276,33 @@ let alloc t ~size ~lo ~hi =
   | None -> None
 
 let is_free t ~addr ~size =
-  Iset.is_free t.occupied ~lo:addr ~hi:(addr + size)
-  && match t.stripe with None -> true | Some st -> range_owned st ~addr ~size
+  let free = Iset.is_free t.occupied ~lo:addr ~hi:(addr + size) in
+  let owned =
+    match t.stripe with None -> true | Some st -> range_owned st ~addr ~size
+  in
+  if free && owned then true
+  else begin
+    note_denial t
+      (if not (Iset.is_free t.base ~lo:addr ~hi:(addr + size)) then Dead_window
+       else if not owned then Foreign_stripe
+       else Conflict);
+    false
+  end
 
 let probe t ~size ~lo ~hi = find_free t ~size ~lo ~hi
 
 let probe_strided t ~size ~lo ~hi ~stride =
   match t.stripe with
-  | None -> Iset.find_free_strided t.occupied ~size ~lo ~hi ~stride
-  | Some st ->
+  | None -> (
+      match Iset.find_free_strided t.occupied ~size ~lo ~hi ~stride with
+      | Some _ as r -> r
+      | None ->
+          note_denial t
+            (if Iset.find_free_strided t.base ~size ~lo ~hi ~stride = None then
+               Dead_window
+             else Conflict);
+          None)
+  | Some st -> (
       (* Keep candidates ≡ the caller's [lo] (mod stride) while restarting
          the scan at owned-stripe starts. *)
       let base = lo in
@@ -205,7 +313,20 @@ let probe_strided t ~size ~lo ~hi ~stride =
         in
         Iset.find_free_strided t.occupied ~size ~lo ~hi ~stride
       in
-      find_owned st ~size ~hi find ~lo
+      let search l = find_owned st ~size ~hi find ~lo:l in
+      match find_striped t ~lo ~hi search with
+      | Some _ as r -> r
+      | None ->
+          (if Iset.find_free_strided t.base ~size ~lo ~hi ~stride = None then
+             note_denial t Dead_window
+           else if
+             Iset.find_free_strided t.occupied ~size ~lo ~hi ~stride <> None
+           then begin
+             note_denial t Foreign_stripe;
+             rotate_resume t st
+           end
+           else note_denial t Conflict);
+          None)
 
 let release t ~addr ~size =
   Iset.remove t.occupied ~lo:addr ~hi:(addr + size);

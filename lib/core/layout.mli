@@ -22,14 +22,37 @@ type t
 val create : ?reserve_below_base:bool -> ?block_size:int -> Elf_file.t -> t
 
 (** [shard t ~index ~count] is a private arena for one shard of a
-    domain-parallel rewrite (DESIGN.md §10): it snapshots [t]'s occupancy
-    (O(1) — the interval map is persistent) and constrains every
-    subsequent search to the 64 KiB address stripes owned by [index].
-    Stripe ownership partitions the address space deterministically across
-    [count] arenas, so concurrent shards can never allocate overlapping
-    extents; with [count = 1] no constraint applies. [t] is not
-    mutated. *)
+    domain-parallel rewrite (DESIGN.md §10/§12): it shares [t]'s
+    immutable base occupancy and snapshots the current occupancy (both
+    O(1) — the interval tree is persistent, so the arena's own
+    allocations form a private delta of tree paths over the shared
+    prefix) and constrains every subsequent search to the address
+    stripes owned by [index]. Stripe ownership partitions the address
+    space deterministically across [count] arenas, so concurrent shards
+    can never allocate overlapping extents; with [count = 1] no
+    constraint applies. [t] is not mutated. *)
 val shard : t -> index:int -> count:int -> t
+
+(** Why the most recent failed query ({!alloc}, {!probe},
+    {!probe_strided}, {!is_free}, {!alloc_at}) failed. [Dead_window]: the
+    create-time base occupancy (guards + segments) alone blocks every
+    position — no allocator, serial or sharded, could ever serve the
+    window, so retrying is pointless. [Foreign_stripe]: the merged
+    occupancy has room, but only inside stripes this arena does not own —
+    retrying against the absorbed layout after the parallel join can
+    succeed. [Conflict]: a genuine dynamic collision with previously
+    allocated trampolines. Classification runs only on failure paths and
+    is deterministic per arena (the base set is shared by all shards). *)
+type denial = No_denial | Dead_window | Foreign_stripe | Conflict
+
+val last_denial : t -> denial
+
+(** How many times a [Foreign_stripe] denial rotated the arena's striped
+    resume point forward (conflict-aware rotation: spreads subsequent
+    searches across the owned stripes instead of re-plowing a saturated
+    prefix; ownership itself never rotates — disjointness requires all
+    arenas to agree on it). *)
+val stripe_rotations : t -> int
 
 (** [absorb ~dst src] merges the trampoline extents allocated in the
     shard arena [src] into [dst]'s occupancy and trampoline sets, and

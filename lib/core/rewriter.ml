@@ -35,6 +35,9 @@ type result = {
   mappings : int;
   patched_sites : (int * Stats.tactic) list;
   shards : int;
+  steals : int;
+  setup_s : float;
+  occupancy : Layout.occupancy;
 }
 
 let default_jobs () =
@@ -46,7 +49,7 @@ let default_jobs () =
   | None -> 1
 
 let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
-    ?(fault = Fault.none) ?jobs ?disasm_from ?frontend input ~select
+    ?(fault = Fault.none) ?jobs ?jitter ?disasm_from ?frontend input ~select
     ~template =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let input_size = Elf_file.serialized_size input in
@@ -100,12 +103,14 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
      single shard degenerates to the plain serial rewrite. *)
   let span = max options.shard_span (4 * Tactics.max_reach) in
   let nshards = max 1 ((text.Frontend.size + span - 1) / span) in
-  let tramps, traps, locked_bytes =
+  let tramps, traps, locked_bytes, steals, setup_s, deferred_count =
     if nshards <= 1 then begin
+      let t0 = Unix.gettimeofday () in
       let ctx =
         Tactics.create_ctx ~obs ~fault ~text:text_buf ~text_base:base ~layout
           ~sites ~options:options.tactics ()
       in
+      let setup_s = Unix.gettimeofday () -. t0 in
       E9_obs.Obs.span obs "tactic_search" (fun () ->
           List.iter
             (fun site ->
@@ -117,7 +122,10 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
             selected);
       ( Tactics.trampolines ctx,
         Tactics.trap_entries ctx,
-        Lock.locked_count (Tactics.locks ctx) )
+        Lock.locked_count (Tactics.locks ctx),
+        0,
+        setup_s,
+        0 )
     end
     else begin
       (* Domain-parallel rewrite (DESIGN.md §10). Shards are [span]-byte
@@ -156,9 +164,18 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
         (List.rev selected);
       (* [interior.(k)] and [boundary] are in descending address order. *)
       E9_obs.Obs.span obs "tactic_search" (fun () ->
-          let shard_results =
+          (* Work-stealing execution (DESIGN.md §12): the chunk list and
+             every chunk's work are functions of the text alone; [domains]
+             only sets how many workers drain them. Capped at the
+             machine's core count — oversubscribed domains cost minor-GC
+             barriers without buying parallelism. An idle worker steals
+             whole chunks, and chunk [k]'s stripe ownership travels with
+             [k], not with the worker, so a stolen chunk allocates from
+             exactly the stripes it would have owned unstolen. *)
+          let domains = min jobs (Domain.recommended_domain_count ()) in
+          let shard_results, steal_report =
             try
-              E9_bits.Pool.map ~domains:jobs
+              E9_bits.Pool.map_stealing ~domains ?jitter
                 (fun k ->
                   (* Forked fault record per shard: occurrence counting is
                      then a function of the shard's own query sequence,
@@ -172,6 +189,7 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
                     raise
                       (Fault.Injected
                          (Printf.sprintf "shard %d raised mid-Pool.map" k));
+                  let t0 = Unix.gettimeofday () in
                   let lo = shard_lo k and top = shard_top k in
                   let arena = Layout.shard layout ~index:k ~count:nshards in
                   let locks = Lock.create ~base:lo ~len:(top - lo) in
@@ -182,15 +200,19 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
                       ~text:text_buf ~text_base:base ~layout:arena
                       ~sites:shard_sites.(k) ~options:options.tactics ()
                   in
+                  let ssetup = Unix.gettimeofday () -. t0 in
                   let sstats = Stats.create () in
                   let spatched = ref [] in
+                  let sdeferred = ref [] in
                   List.iter
                     (fun site ->
-                      match Tactics.patch ctx site (template site) with
-                      | Some tactic ->
+                      match Tactics.patch_deferrable ctx site (template site)
+                      with
+                      | `Patched tactic ->
                           Stats.record sstats tactic;
                           spatched := (site.Frontend.addr, tactic) :: !spatched
-                      | None -> Stats.record_failure sstats)
+                      | `Deferred -> sdeferred := site :: !sdeferred
+                      | `Failed -> Stats.record_failure sstats)
                     interior.(k);
                   ( arena,
                     locks,
@@ -200,18 +222,21 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
                     sstats,
                     !spatched,
                     Tactics.trampolines ctx,
-                    Tactics.trap_entries ctx ))
+                    Tactics.trap_entries ctx,
+                    List.rev !sdeferred,
+                    ssetup ))
                 (List.init nshards (fun i -> nshards - 1 - i))
             with Fault.Injected m -> error "injected fault: %s" m
           in
           (* Canonical merge, shards high-to-low (the fixed task order —
-             Pool.map returns results in input order whatever the
+             Pool.map_stealing returns results in input order whatever the
              completion order, so the merge is identical for every
              [jobs]). *)
           let locks_all = Lock.create ~base ~len:text.Frontend.size in
           let dead_all = Lock.create ~base ~len:text.Frontend.size in
           List.iter
-            (fun (arena, locks, dead, sobs, sfault, sstats, spatched, _, _) ->
+            (fun (arena, locks, dead, sobs, sfault, sstats, spatched, _, _, _,
+                  _) ->
               Layout.absorb ~dst:layout arena;
               Lock.merge_into ~dst:locks_all locks;
               Lock.merge_into ~dst:dead_all dead;
@@ -221,9 +246,26 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
               patched := List.rev_append spatched !patched)
             shard_results;
           (* Serial fixup over the merged state: boundary sites see every
-             shard's locks, dead bytes and occupancy, and allocate from
-             the unconstrained merged layout — exactly the serial
-             algorithm, restricted to the deferred sites. *)
+             shard's locks, dead bytes and occupancy, and stripe-starved
+             deferred sites retry their windows against the unconstrained
+             merged layout, where the O(log n) query sees every stripe —
+             exactly the serial algorithm, restricted to the held-back
+             sites, in canonical descending address order. *)
+          let deferred_all =
+            List.concat_map
+              (fun (_, _, _, _, _, _, _, _, _, dfr, _) -> dfr)
+              shard_results
+          in
+          let setup_total =
+            List.fold_left
+              (fun acc (_, _, _, _, _, _, _, _, _, _, s) -> acc +. s)
+              0. shard_results
+          in
+          let fixup_sites =
+            List.merge
+              (fun (a : Frontend.site) b -> compare b.addr a.addr)
+              deferred_all !boundary
+          in
           let fixup_ctx =
             Tactics.create_ctx ~obs ~fault ~locks:locks_all ~dead:dead_all
               ~text:text_buf ~text_base:base ~layout ~sites
@@ -236,24 +278,27 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
                   Stats.record stats tactic;
                   patched := (site.Frontend.addr, tactic) :: !patched
               | None -> Stats.record_failure stats)
-            !boundary;
+            fixup_sites;
           let shard_tramps =
             List.concat_map
-              (fun (_, _, _, _, _, _, _, tr, _) -> tr)
+              (fun (_, _, _, _, _, _, _, tr, _, _, _) -> tr)
               shard_results
           in
           let shard_traps =
             List.concat_map
-              (fun (_, _, _, _, _, _, _, _, tp) -> tp)
+              (fun (_, _, _, _, _, _, _, _, tp, _, _) -> tp)
               shard_results
           in
           ( shard_tramps @ Tactics.trampolines fixup_ctx,
             shard_traps @ Tactics.trap_entries fixup_ctx,
-            Lock.locked_count locks_all ))
+            Lock.locked_count locks_all,
+            steal_report.E9_bits.Pool.steals,
+            setup_total,
+            List.length deferred_all ))
     end
   in
+  let occ = Layout.occupancy layout in
   if E9_obs.Obs.enabled obs then begin
-    let occ = Layout.occupancy layout in
     E9_obs.Obs.gauge obs ~name:"layout.occupied_intervals"
       ~value:occ.Layout.occupied_intervals;
     E9_obs.Obs.gauge obs ~name:"layout.trampoline_extents"
@@ -268,6 +313,14 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
       ~value:(Layout.cursor_hits layout);
     E9_obs.Obs.counter obs ~name:"layout.cursor_misses"
       ~value:(Layout.cursor_misses layout);
+    (* Parallel-search honesty counters (DESIGN.md §12): stripe rotations
+       and deferrals show how the conflict storm was absorbed; steals show
+       whether the scheduler actually balanced anything. *)
+    E9_obs.Obs.counter obs ~name:"layout.stripe_rotations"
+      ~value:(Layout.stripe_rotations layout);
+    E9_obs.Obs.counter obs ~name:"pool.steals" ~value:steals;
+    E9_obs.Obs.counter obs ~name:"rewrite.deferred_sites"
+      ~value:deferred_count;
     Array.iter
       (fun s ->
         let n = Fault.fired fault s in
@@ -357,7 +410,10 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
     physical_blocks = grouped.Pagegroup.physical_blocks;
     mappings = List.length grouped.Pagegroup.mappings;
     patched_sites = List.sort (fun (a, _) (b, _) -> compare b a) !patched;
-    shards = nshards }
+    shards = nshards;
+    steals;
+    setup_s;
+    occupancy = occ }
 
 let size_pct r =
   if r.input_size = 0 then 0.0

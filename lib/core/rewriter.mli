@@ -52,7 +52,16 @@ type result = {
   mappings : int;  (** loader mmap calls in the output binary *)
   patched_sites : (int * Stats.tactic) list;
       (** per-site outcome, in descending address order *)
-  shards : int;  (** parallel shards the text was split into *)
+  shards : int;
+      (** parallel chunks the text was split into (the work-stealing
+          scheduler's task count; 1 = plain serial rewrite) *)
+  steals : int;
+      (** chunks executed by a worker other than their home worker —
+          scheduler telemetry only, never an input to any decision *)
+  setup_s : float;
+      (** summed per-chunk setup time (arena + lock table + context
+          construction), wall clock *)
+  occupancy : Layout.occupancy;  (** final allocator occupancy gauges *)
 }
 
 (** [run ?options ?disasm_from elf ~select ~template] rewrites [elf]. The
@@ -77,21 +86,35 @@ type result = {
     domain parallelism the record is forked per shard and merged back in
     canonical order, so injected faults preserve jobs-invariance.
 
-    [jobs] sets the domain count for the parallel tactic search and the
-    chunked decode (default: the [E9_JOBS] environment variable, else 1).
-    The text is sharded into [options.shard_span]-byte regions; each
-    domain runs the full S1 search over interior sites of its shards
-    against a stripe-partitioned private arena, and sites within
-    {!Tactics.max_reach} of a shard's top edge are patched in a serial
-    fixup pass over the merged state. Shard geometry never depends on
-    [jobs], and per-shard results merge in fixed shard order, so output
-    bytes, stats and patched-site lists are identical for every [jobs]
-    value. *)
+    [jobs] sets the worker count for the parallel tactic search and the
+    chunked decode (default: the [E9_JOBS] environment variable, else 1);
+    the spawned domain count is additionally capped at
+    [Domain.recommended_domain_count ()], since oversubscribed domains
+    pay minor-GC synchronization without buying parallelism. The text is
+    sharded into [options.shard_span]-byte chunks drained by a
+    work-stealing scheduler ({!E9_bits.Pool.map_stealing}); each chunk
+    runs the full S1 search over its interior sites against a
+    stripe-partitioned private arena (stripe ownership belongs to the
+    chunk index, not the executing worker), and sites within
+    {!Tactics.max_reach} of a chunk's top edge — plus interior sites
+    deferred as stripe-starved ({!Tactics.patch_deferrable}) — are
+    patched in a serial fixup pass over the merged state, in canonical
+    descending address order. Chunk geometry never depends on [jobs],
+    per-chunk results merge in fixed chunk order, and the deferred set
+    depends only on deterministic per-arena state, so output bytes,
+    stats and patched-site lists are identical for every [jobs] value
+    and every steal schedule.
+
+    [jitter i] (default: nothing) runs in the claiming worker just
+    before chunk [i] executes — a test hook for skewing steal schedules
+    (the determinism property races randomized delays against the
+    byte-identity guarantee). *)
 val run :
   ?options:options ->
   ?obs:E9_obs.Obs.t ->
   ?fault:E9_fault.Fault.t ->
   ?jobs:int ->
+  ?jitter:(int -> unit) ->
   ?disasm_from:int ->
   ?frontend:(Elf_file.t -> Frontend.text * Frontend.site list) ->
   Elf_file.t ->

@@ -46,6 +46,13 @@ type ctx = {
      failure, so the Obs reject reason reads [Injected] rather than a
      spurious [Alloc_conflict]; consumed (and cleared) at reject time. *)
   mutable injected : bool;
+  (* Per-site accumulation of why Layout queries failed (reset at the top
+     of [patch]): feeds the typed reject reasons and the chunk pass's
+     decision to defer a stripe-starved site to the post-join fixup
+     instead of recording a failure. *)
+  mutable stripe_starved : bool;
+  mutable dead_denied : bool;
+  mutable dyn_denied : bool;
 }
 
 (* E9_obs sits below this library, so it carries its own copy of the
@@ -92,7 +99,10 @@ let create_ctx ?(obs = Obs.null) ?(fault = Fault.none) ?locks ?dead ~text
     opts = options;
     obs;
     fault;
-    injected = false }
+    injected = false;
+    stripe_starved = false;
+    dead_denied = false;
+    dyn_denied = false }
 
 let trampolines ctx = List.rev ctx.trampolines
 let trap_entries ctx = List.rev ctx.traps
@@ -119,21 +129,61 @@ let take_injected ctx =
   ctx.injected <- false;
   v
 
+(* Record why the Layout query that just failed failed (valid only
+   immediately after a failing call; see Layout.last_denial). *)
+let note_denial ctx =
+  match Layout.last_denial ctx.layout with
+  | Layout.Dead_window -> ctx.dead_denied <- true
+  | Layout.Foreign_stripe -> ctx.stripe_starved <- true
+  | Layout.Conflict -> ctx.dyn_denied <- true
+  | Layout.No_denial -> ()
+
+(* The typed reject reason for a query that just returned [None]:
+   injected refusal first (the Layout state is stale in that case), then
+   the allocator's own classification, with [default] naming the
+   tactic's historical reason for a genuine dynamic conflict. *)
+let denial_reason ctx ~default =
+  if take_injected ctx then Obs.Injected
+  else
+    match Layout.last_denial ctx.layout with
+    | Layout.Dead_window -> Obs.Dead_window
+    | Layout.Foreign_stripe -> Obs.Stripe_blocked
+    | Layout.Conflict | Layout.No_denial -> default
+
 let alloc_g ctx ~size ~lo ~hi =
   if Fault.fires ctx.fault Fault.Alloc then begin inj ctx; None end
-  else Layout.alloc ctx.layout ~size ~lo ~hi
+  else
+    match Layout.alloc ctx.layout ~size ~lo ~hi with
+    | None ->
+        note_denial ctx;
+        None
+    | r -> r
 
 let probe_g ctx ~size ~lo ~hi =
   if Fault.fires ctx.fault Fault.Alloc then begin inj ctx; None end
-  else Layout.probe ctx.layout ~size ~lo ~hi
+  else
+    match Layout.probe ctx.layout ~size ~lo ~hi with
+    | None ->
+        note_denial ctx;
+        None
+    | r -> r
 
 let probe_strided_g ctx ~size ~lo ~hi ~stride =
   if Fault.fires ctx.fault Fault.Alloc then begin inj ctx; None end
-  else Layout.probe_strided ctx.layout ~size ~lo ~hi ~stride
+  else
+    match Layout.probe_strided ctx.layout ~size ~lo ~hi ~stride with
+    | None ->
+        note_denial ctx;
+        None
+    | r -> r
 
 let alloc_at_g ctx ~addr ~size =
   if Fault.fires ctx.fault Fault.Alloc then begin inj ctx; false end
-  else Layout.alloc_at ctx.layout ~addr ~size
+  else if Layout.alloc_at ctx.layout ~addr ~size then true
+  else begin
+    note_denial ctx;
+    false
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Text access                                                         *)
@@ -239,8 +289,7 @@ let try_pun ctx (site : Frontend.site) template ~pad =
             ~insn_len:site.len
         in
         match alloc_g ctx ~size:tsize ~lo ~hi with
-        | None ->
-            Error (if take_injected ctx then Obs.Injected else Obs.Alloc_conflict)
+        | None -> Error (denial_reason ctx ~default:Obs.Alloc_conflict)
         | Some t ->
             write_jump ctx ~addr:site.addr ~len:site.len ~pad ~target:t;
             add_trampoline ctx t
@@ -433,6 +482,9 @@ let try_t2 ctx (site : Frontend.site) template =
                 rejected
                   (if !budget <= 0 then Obs.Budget
                    else if take_injected ctx then Obs.Injected
+                   else if ctx.dyn_denied then Obs.Alloc_conflict
+                   else if ctx.stripe_starved then Obs.Stripe_blocked
+                   else if ctx.dead_denied then Obs.Dead_window
                    else Obs.Alloc_conflict))
       end
 
@@ -624,6 +676,8 @@ let try_t3 ctx (site : Frontend.site) template =
         rejected
           (if !budget <= 0 then Obs.Budget
            else if take_injected ctx then Obs.Injected
+           else if ctx.stripe_starved && not ctx.dyn_denied then
+             Obs.Stripe_blocked
            else Obs.Range))
   end
 
@@ -653,7 +707,9 @@ let try_b0 ctx (site : Frontend.site) template =
        for injected allocator exhaustion and must stay refusable only
        through its own [B0_alloc] site. *)
     match Layout.alloc ctx.layout ~size:tsize ~lo ~hi with
-    | None -> rejected Obs.Alloc_conflict
+    | None ->
+        note_denial ctx;
+        rejected (denial_reason ctx ~default:Obs.Alloc_conflict)
     | Some t ->
         set_byte ctx site.addr 0xcc;
         Lock.lock ctx.locks site.addr;
@@ -677,28 +733,54 @@ let log_src = Logs.Src.create "e9.tactics" ~doc:"E9Patch tactic decisions"
 
 module Log = (val Logs.src_log log_src)
 
-let patch ctx site template =
+let patch_result ctx site template ~defer =
   ctx.injected <- false;
+  ctx.stripe_starved <- false;
+  ctx.dead_denied <- false;
+  ctx.dyn_denied <- false;
   let ( <|> ) a b = match a with Some _ -> a | None -> b () in
-  let outcome =
-    (if not (displaceable site.Frontend.insn) then None
-     else
-       (if ctx.opts.enable_base then try_b1_b2 ctx site template else None)
-       <|> (fun () -> if ctx.opts.enable_t1 then try_t1 ctx site template else None)
-       <|> (fun () -> if ctx.opts.enable_t2 then try_t2 ctx site template else None)
-       <|> (fun () -> if ctx.opts.enable_t3 then try_t3 ctx site template else None)
-       <|> fun () -> if ctx.opts.b0_fallback then try_b0 ctx site template else None)
+  let jump_outcome =
+    if not (displaceable site.Frontend.insn) then None
+    else
+      (if ctx.opts.enable_base then try_b1_b2 ctx site template else None)
+      <|> (fun () -> if ctx.opts.enable_t1 then try_t1 ctx site template else None)
+      <|> (fun () -> if ctx.opts.enable_t2 then try_t2 ctx site template else None)
+      <|> fun () -> if ctx.opts.enable_t3 then try_t3 ctx site template else None
   in
-  (match outcome with
-  | Some (tactic, tramp) ->
-      Log.debug (fun m ->
-          m "0x%x %s -> %s, trampoline 0x%x" site.Frontend.addr
-            (E9_x86.Insn.to_string site.Frontend.insn)
-            (Stats.tactic_name tactic) tramp)
-  | None ->
-      Log.info (fun m ->
-          m "0x%x %s: all tactics failed" site.Frontend.addr
-            (E9_x86.Insn.to_string site.Frontend.insn)));
-  Obs.site ctx.obs ~addr:site.Frontend.addr
-    ~tactic:(Option.map (fun (t, _) -> obs_tactic t) outcome);
-  Option.map fst outcome
+  if jump_outcome = None && defer && ctx.stripe_starved then begin
+    (* Free space exists, but only in stripes a foreign arena owns: hold
+       the site for the post-join fixup pass instead of burning it to B0
+       here. No [Site] event and no stats — the fixup retry is the
+       site's one verdict. *)
+    Log.debug (fun m ->
+        m "0x%x %s: stripe-starved, deferred to fixup" site.Frontend.addr
+          (E9_x86.Insn.to_string site.Frontend.insn));
+    `Deferred
+  end
+  else begin
+    let outcome =
+      jump_outcome
+      <|> fun () -> if ctx.opts.b0_fallback then try_b0 ctx site template else None
+    in
+    (match outcome with
+    | Some (tactic, tramp) ->
+        Log.debug (fun m ->
+            m "0x%x %s -> %s, trampoline 0x%x" site.Frontend.addr
+              (E9_x86.Insn.to_string site.Frontend.insn)
+              (Stats.tactic_name tactic) tramp)
+    | None ->
+        Log.info (fun m ->
+            m "0x%x %s: all tactics failed" site.Frontend.addr
+              (E9_x86.Insn.to_string site.Frontend.insn)));
+    Obs.site ctx.obs ~addr:site.Frontend.addr
+      ~tactic:(Option.map (fun (t, _) -> obs_tactic t) outcome);
+    match outcome with Some (t, _) -> `Patched t | None -> `Failed
+  end
+
+let patch ctx site template =
+  match patch_result ctx site template ~defer:false with
+  | `Patched t -> Some t
+  | `Failed -> None
+  | `Deferred -> assert false
+
+let patch_deferrable ctx site template = patch_result ctx site template ~defer:true

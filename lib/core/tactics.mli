@@ -76,6 +76,22 @@ val create_ctx :
     succeeded, if any, after applying its effects. *)
 val patch : ctx -> Frontend.site -> Trampoline.template -> Stats.tactic option
 
+(** [patch_deferrable ctx site template] is {!patch} for the chunk pass of
+    a sharded rewrite (DESIGN.md §12): when every jump tactic fails and at
+    least one Layout query was denied only because the free space lies in
+    a foreign arena's stripes ([Layout.Foreign_stripe]), the site is
+    {e deferred} — no B0 fallback, no [Obs.site] verdict, no stats — so
+    the driver can retry it against the absorbed layout after the join,
+    where the O(log n) query sees every stripe. The deferral decision
+    depends only on the shared base occupancy, the arena's own
+    deterministic allocations and stripe ownership, never on scheduling,
+    so the deferred set is identical for every steal schedule. *)
+val patch_deferrable :
+  ctx ->
+  Frontend.site ->
+  Trampoline.template ->
+  [ `Patched of Stats.tactic | `Failed | `Deferred ]
+
 (** Individual tactics, exposed for testing and ablation. Each returns the
     trampoline address on success. *)
 val try_b1_b2 :

@@ -9,6 +9,8 @@ type reject =
   | No_successor
   | Budget
   | Injected
+  | Dead_window
+  | Stripe_blocked
 
 type outcome =
   | Accepted of { trampoline : int; pad : int; evictee_distance : int }
@@ -44,7 +46,7 @@ let tactic_of_name = function
 
 let rejects =
   [| Too_short; Locked; Pun_miss; Range; Alloc_conflict; No_successor; Budget;
-     Injected |]
+     Injected; Dead_window; Stripe_blocked |]
 
 let reject_index = function
   | Too_short -> 0
@@ -55,6 +57,8 @@ let reject_index = function
   | No_successor -> 5
   | Budget -> 6
   | Injected -> 7
+  | Dead_window -> 8
+  | Stripe_blocked -> 9
 
 let reject_name = function
   | Too_short -> "too_short"
@@ -65,6 +69,8 @@ let reject_name = function
   | No_successor -> "no_successor"
   | Budget -> "budget"
   | Injected -> "injected"
+  | Dead_window -> "dead_window"
+  | Stripe_blocked -> "stripe_blocked"
 
 let reject_of_name = function
   | "too_short" -> Some Too_short
@@ -75,6 +81,8 @@ let reject_of_name = function
   | "no_successor" -> Some No_successor
   | "budget" -> Some Budget
   | "injected" -> Some Injected
+  | "dead_window" -> Some Dead_window
+  | "stripe_blocked" -> Some Stripe_blocked
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

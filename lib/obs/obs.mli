@@ -28,6 +28,12 @@ type reject =
   | No_successor  (** T2: the next address is not a displaceable site *)
   | Budget  (** the candidate-search budget ran out *)
   | Injected  (** a fault-injection rule refused the query (DESIGN.md §11) *)
+  | Dead_window
+      (** the window is blocked by the base occupancy (guards/segments)
+          alone — structurally unservable by any allocator (DESIGN.md §12) *)
+  | Stripe_blocked
+      (** free space exists but only in stripes a foreign shard owns; the
+          site is retried against the absorbed layout after the join *)
 
 type outcome =
   | Accepted of { trampoline : int; pad : int; evictee_distance : int }

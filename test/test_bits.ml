@@ -228,6 +228,118 @@ let prop_iset_add_remove_inverse =
       List.iter (fun (lo, len) -> Iset.remove s ~lo ~hi:(lo + len)) ranges;
       Iset.occupied s = 0)
 
+(* Naive reference queries over a boolean occupancy array (true =
+   occupied; indexes beyond the array are free). *)
+let model_free model s size =
+  let ok = ref true in
+  for i = s to s + size - 1 do
+    if i >= 0 && i < Array.length model && model.(i) then ok := false
+  done;
+  !ok
+
+let model_find_free model ~size ~lo ~hi =
+  let result = ref None in
+  (try
+     for s = lo to hi do
+       if model_free model s size then begin
+         result := Some s;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let model_find_free_last model ~size ~lo ~hi =
+  let result = ref None in
+  (try
+     for s = hi downto lo do
+       if model_free model s size then begin
+         result := Some s;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let model_find_free_strided model ~size ~lo ~hi ~stride =
+  let result = ref None in
+  (try
+     let s = ref lo in
+     while !s <= hi do
+       if model_free model !s size then begin
+         result := Some !s;
+         raise Exit
+       end;
+       s := !s + stride
+     done
+   with Exit -> ());
+  !result
+
+(* Property: after an arbitrary add/remove interleaving the augmented
+   tree agrees with the naive model on every query the allocator issues —
+   point membership, window freeness and all three find_free variants —
+   for arbitrary windows, sizes and strides (the gap-descent structure is
+   cross-checked against brute force, not trusted). *)
+let prop_iset_queries_match_model =
+  QCheck.Test.make
+    ~name:"Iset queries agree with naive model (all find_free variants)"
+    ~count:600
+    QCheck.(
+      pair
+        (small_list (triple bool (int_bound 250) (int_range 1 25)))
+        (quad (int_bound 12) (int_bound 280) (int_bound 280) (int_range 1 40)))
+    (fun (ops, (size, lo, hi, stride)) ->
+      (* QCheck's int_range shrinker can escape its bounds; clamp. *)
+      let stride = max 1 stride in
+      let s = Iset.create () in
+      let model = Array.make 300 false in
+      List.iter
+        (fun (is_add, olo, len) ->
+          let len = max 1 (min len 25) in
+          if is_add then Iset.add s ~lo:olo ~hi:(olo + len)
+          else Iset.remove s ~lo:olo ~hi:(olo + len);
+          Array.fill model olo len is_add)
+        ops;
+      let free_agrees =
+        Iset.is_free s ~lo ~hi
+        = (hi <= lo || model_free model lo (hi - lo))
+      in
+      (* size = 0 must yield None from every variant, like the old scan. *)
+      let zero_agrees =
+        Iset.find_free s ~size:0 ~lo ~hi = None
+        && Iset.find_free_last s ~size:0 ~lo ~hi = None
+        && Iset.find_free_strided s ~size:0 ~lo ~hi ~stride = None
+      in
+      size = 0
+      || (free_agrees && zero_agrees
+         && Iset.find_free s ~size ~lo ~hi = model_find_free model ~size ~lo ~hi
+         && Iset.find_free_last s ~size ~lo ~hi
+            = model_find_free_last model ~size ~lo ~hi
+         && Iset.find_free_strided s ~size ~lo ~hi ~stride
+            = model_find_free_strided model ~size ~lo ~hi ~stride))
+
+(* Deterministic stride corners the property may not hit often enough:
+   a stride wider than the window (only candidate is [lo]), and a blocker
+   whose interval ends exactly at the window's last viable start. *)
+let test_iset_stride_corners () =
+  let s = Iset.create () in
+  Iset.add s ~lo:10 ~hi:20;
+  Alcotest.(check (option int))
+    "stride > hi-lo, lo free" (Some 0)
+    (Iset.find_free_strided s ~size:4 ~lo:0 ~hi:5 ~stride:100);
+  Alcotest.(check (option int))
+    "stride > hi-lo, lo blocked" None
+    (Iset.find_free_strided s ~size:4 ~lo:12 ~hi:15 ~stride:100);
+  Alcotest.(check (option int))
+    "blocker ends at hi: only start left is hi itself" (Some 20)
+    (Iset.find_free_strided s ~size:4 ~lo:10 ~hi:20 ~stride:5);
+  Alcotest.(check (option int))
+    "blocker covering hi leaves nothing" None
+    (Iset.find_free s ~size:1 ~lo:10 ~hi:19);
+  Alcotest.check_raises "stride < 1 rejected"
+    (Invalid_argument "Iset.find_free_strided") (fun () ->
+      ignore (Iset.find_free_strided s ~size:1 ~lo:0 ~hi:10 ~stride:0))
+
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -278,6 +390,51 @@ let test_pool_spawn_failure_degrades () =
     "partial spawn failure"
     (List.map succ xs)
     (Pool.map ~domains:4 ~spawn_failure:(fun i -> i mod 2 = 0) succ xs)
+
+let test_pool_stealing_preserves_order () =
+  let xs = List.init 200 Fun.id in
+  let out, report = Pool.map_stealing ~domains:4 (fun x -> x * x) xs in
+  Alcotest.(check (list int))
+    "same as List.map, in input order"
+    (List.map (fun x -> x * x) xs)
+    out;
+  check_bool "worker count sane" true (report.Pool.workers >= 1)
+
+let test_pool_stealing_steals_under_skew () =
+  (* Worker 0's deque holds the only slow tasks; the other workers must
+     finish their own deques and steal from it. *)
+  let xs = List.init 64 Fun.id in
+  let out, report =
+    Pool.map_stealing ~domains:4
+      ~jitter:(fun i ->
+        (* Spin, not sleep: test/dune does not link unix. *)
+        if i < 16 then
+          for k = 0 to 400_000 do
+            ignore (Sys.opaque_identity k)
+          done)
+      succ xs
+  in
+  Alcotest.(check (list int)) "results intact" (List.map succ xs) out;
+  if report.Pool.workers > 1 then
+    check_bool "skewed schedule forces steals" true (report.Pool.steals > 0)
+
+let test_pool_stealing_serial_and_failures () =
+  let xs = List.init 30 Fun.id in
+  let out, report = Pool.map_stealing ~domains:1 succ xs in
+  Alcotest.(check (list int)) "domains:1 is List.map" (List.map succ xs) out;
+  Alcotest.(check int) "serial path reports one worker" 1 report.Pool.workers;
+  Alcotest.(check int) "serial path reports no steals" 0 report.Pool.steals;
+  let out, _ =
+    Pool.map_stealing ~domains:4 ~spawn_failure:(fun _ -> true) succ xs
+  in
+  Alcotest.(check (list int))
+    "all spawns fail -> caller drains every deque" (List.map succ xs) out;
+  Alcotest.check_raises "worker exception reaches the caller"
+    (Failure "boom") (fun () ->
+      ignore
+        (Pool.map_stealing ~domains:4
+           (fun x -> if x = 23 then failwith "boom" else x)
+           (List.init 48 Fun.id)))
 
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
@@ -355,10 +512,12 @@ let suites =
         Alcotest.test_case "find_free" `Quick test_iset_find_free;
         Alcotest.test_case "find_free_last" `Quick test_iset_find_free_last;
         Alcotest.test_case "copy independent" `Quick test_iset_copy_independent;
+        Alcotest.test_case "stride corners" `Quick test_iset_stride_corners;
         QCheck_alcotest.to_alcotest prop_iset_matches_model;
         QCheck_alcotest.to_alcotest prop_iset_find_free_last_valid;
         QCheck_alcotest.to_alcotest prop_iset_op_sequence_model;
-        QCheck_alcotest.to_alcotest prop_iset_add_remove_inverse ] );
+        QCheck_alcotest.to_alcotest prop_iset_add_remove_inverse;
+        QCheck_alcotest.to_alcotest prop_iset_queries_match_model ] );
     ( "bits.pool",
       [ Alcotest.test_case "map preserves order" `Quick
           test_pool_map_preserves_order;
@@ -369,7 +528,13 @@ let suites =
         Alcotest.test_case "iter side effects" `Quick test_pool_iter_runs_all;
         Alcotest.test_case "default domains" `Quick test_pool_default_domains;
         Alcotest.test_case "spawn failure degrades" `Quick
-          test_pool_spawn_failure_degrades ]
+          test_pool_spawn_failure_degrades;
+        Alcotest.test_case "stealing preserves order" `Quick
+          test_pool_stealing_preserves_order;
+        Alcotest.test_case "stealing under skew" `Quick
+          test_pool_stealing_steals_under_skew;
+        Alcotest.test_case "stealing serial/failure paths" `Quick
+          test_pool_stealing_serial_and_failures ]
     );
     ( "bits.rng",
       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
