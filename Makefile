@@ -21,7 +21,7 @@ FAULT_SEED ?= 42
 BENCH_JOBS ?=
 BENCH_JOBS_FLAG = $(if $(BENCH_JOBS),--jobs $(BENCH_JOBS))
 
-.PHONY: all build test bench bench-smoke fuzz-smoke fault-smoke fmt clean
+.PHONY: all build test bench bench-smoke fuzz-smoke fault-smoke robust-smoke fmt clean
 
 all: build
 
@@ -56,6 +56,15 @@ fuzz-smoke: build
 # under E9_JOBS=1 and E9_JOBS=4.
 fault-smoke: build
 	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- fault -n $(FAULT_N) --seed $(FAULT_SEED) | tee fault_output.txt
+
+# Robustness corpus: every adversarial family (lock prefixes, tiny-insn
+# starvation, mid-function data islands, stripped headers, endbr64
+# entries, PIE/DSO regimes, far rel32, alias padding) scored against its
+# pinned pass-rate floor; exits non-zero if any family regresses. Writes
+# the machine-readable matrix to robust_matrix.json. Deterministic and
+# jobs-invariant; CI runs it under E9_JOBS=1 and E9_JOBS=4.
+robust-smoke: build
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- robust --json robust_matrix.json | tee robust_output.txt
 
 clean:
 	$(DUNE) clean

@@ -4,7 +4,7 @@
      dune exec bench/main.exe              -- everything
      dune exec bench/main.exe -- table1    -- one experiment
      ... robustness | figure4 | figure5 | grouping | ablation | pie | b0
-     ... scalability | parallel | faults | calibration | bechamel
+     ... scalability | parallel | faults | calibration | robust | bechamel
 
    Flags (EXPERIMENTS.md "Reproducing"):
      --serial       run every task on one domain (the speedup baseline)
@@ -1238,6 +1238,39 @@ let bench_bechamel () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Robustness corpus: the adversarial families                         *)
+(* ------------------------------------------------------------------ *)
+
+let robust_json : Json.t option ref = ref None
+
+let bench_robust () =
+  heading
+    "Robustness corpus: adversarial families through the tactic ladder";
+  let module Matrix = E9_check.Matrix in
+  let module Adversary = E9_workload.Adversary in
+  let scores = Matrix.run () in
+  List.iter (fun s -> printf "  %a@." Matrix.pp_score s) scores;
+  List.iter
+    (fun (s : Matrix.score) ->
+      let f = s.Matrix.family in
+      record_row "robust"
+        [ ("family", Json.Str f.Adversary.name);
+          ("sites", Json.Int s.Matrix.sites);
+          ("patched_pct", Json.Float s.Matrix.patched_pct);
+          ("floor_pct", Json.Float f.Adversary.floor_pct);
+          ("pass", Json.Bool (Matrix.passed s)) ])
+    scores;
+  robust_json := Some (Matrix.to_json scores);
+  let failed = List.filter (fun s -> not (Matrix.passed s)) scores in
+  printf "  %d/%d families pass@."
+    (List.length scores - List.length failed)
+    (List.length scores);
+  if failed <> [] then begin
+    Atomic.incr verify_checked;
+    Atomic.incr verify_failed
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1255,6 +1288,7 @@ let all =
     ("parallel", bench_parallel);
     ("faults", bench_faults);
     ("calibration", bench_calibration);
+    ("robust", bench_robust);
     ("iset", bench_iset);
     ("bechamel", bench_bechamel) ]
 
@@ -1364,6 +1398,10 @@ let () =
           (match !iset_json with Some j -> j | None -> Json.List []));
          ("faults",
           (match !faults_json with
+          | Some j -> j
+          | None -> Json.Obj []));
+         ("robustness",
+          (match !robust_json with
           | Some j -> j
           | None -> Json.Obj []));
          ("verify",

@@ -188,7 +188,8 @@ let patch_cmd =
         grouping = not no_grouping;
         reserve_below_base = shared;
         loader = (if stub then Rewriter.Stub else Rewriter.Table);
-        shard_span = Rewriter.default_options.Rewriter.shard_span }
+        shard_span = Rewriter.default_options.Rewriter.shard_span;
+        keep_ranges = [] }
     in
     let select, template =
       match (spec_arg, spec_file) with
@@ -500,6 +501,62 @@ let fault_cmd =
     Term.(const run $ setup_logs $ n $ seed)
 
 (* ------------------------------------------------------------------ *)
+(* robust                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let robust_cmd =
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the machine-readable pass-rate matrix to \\$(docv).")
+  in
+  let family =
+    Arg.(
+      value & opt (some string) None
+      & info [ "family" ] ~docv:"NAME"
+          ~doc:"Score a single corpus family instead of the whole corpus.")
+  in
+  let run () json family =
+   or_die @@ fun () ->
+    let module Adversary = E9_workload.Adversary in
+    let module Matrix = E9_check.Matrix in
+    let scores =
+      match family with
+      | Some name -> (
+          match Adversary.find name with
+          | Some f -> [ Matrix.score_family f ]
+          | None ->
+              failwith
+                (Printf.sprintf "unknown family %s; corpus: %s" name
+                   (String.concat " "
+                      (List.map
+                         (fun (f : Adversary.family) -> f.Adversary.name)
+                         Adversary.families))))
+      | None ->
+          let total = List.length Adversary.families in
+          Matrix.run
+            ~progress:(fun i ->
+              Printf.eprintf "\r%d/%d" i total;
+              flush stderr)
+            ()
+    in
+    Printf.eprintf "\r";
+    flush stderr;
+    printf "%a" E9_check.Matrix.pp scores;
+    (match json with
+    | Some path -> E9_obs.Json.to_file path (Matrix.to_json scores)
+    | None -> ());
+    if not (List.for_all Matrix.passed scores) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:"Robustness corpus: score every adversarial binary family \
+             (patched%, tactic mix, reject histogram, static and trace \
+             verdicts, jobs byte-identity) against its pinned floor.")
+    Term.(const run $ setup_logs $ json $ family)
+
+(* ------------------------------------------------------------------ *)
 (* spec-check                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -532,4 +589,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group (Cmd.info "e9patch" ~doc)
           [ patch_cmd; generate_cmd; run_cmd; disasm_cmd; check_cmd;
-            fuzz_cmd; fault_cmd; spec_check_cmd ]))
+            fuzz_cmd; fault_cmd; robust_cmd; spec_check_cmd ]))

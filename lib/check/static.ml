@@ -66,7 +66,7 @@ type jmp_div = { start : int; jlen : int; target : int }
 let e9_sections =
   [ ".e9patch.tramp"; Elf_file.mmap_section_name; Elf_file.trap_section_name ]
 
-let verify ?disasm_from ~original rewritten =
+let verify ?disasm_from ?(holes = []) ~original rewritten =
   try
     (* ---- structural prelude ------------------------------------- *)
     let otext =
@@ -317,7 +317,14 @@ let verify ?disasm_from ~original rewritten =
           (Loadmap.decode_traps (Elf_file.section_bytes rewritten sec))
     | None -> ());
     (* ---- original instruction boundaries ------------------------- *)
-    let _, sites = Frontend.disassemble ?from:disasm_from original in
+    (* With interior data islands the plain sweep desynchronizes and the
+       boundary map grows phantoms; the hole-aware sweep reproduces the
+       boundary set the rewriting itself used. *)
+    let _, sites =
+      match holes with
+      | [] -> Frontend.disassemble ?from:disasm_from original
+      | holes -> Frontend.disassemble_excluding ~holes original
+    in
     let bounds = Hashtbl.create 4096 in
     List.iter
       (fun (s : Frontend.site) ->

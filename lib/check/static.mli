@@ -50,12 +50,18 @@ type error = { addr : int; reason : string }
 val pp_report : Format.formatter -> report -> unit
 val pp_error : Format.formatter -> error -> unit
 
-(** [verify ?disasm_from ~original rewritten] re-derives and checks the
-    rewriting contract. [disasm_from] is the ChromeMain workaround: the
-    address linear disassembly of the original started at (changed bytes
-    before it are rejected, since the rewriter never patches data). *)
+(** [verify ?disasm_from ?holes ~original rewritten] re-derives and
+    checks the rewriting contract. [disasm_from] is the ChromeMain
+    workaround: the address linear disassembly of the original started at
+    (changed bytes before it are rejected, since the rewriter never
+    patches data). [holes] are interior data extents the rewrite excluded
+    ({!Frontend.disassemble_excluding}); when non-empty they replace the
+    plain sweep (and [disasm_from] is ignored), so the verifier's
+    boundary map matches the one the rewriting used instead of growing
+    phantoms inside the islands. *)
 val verify :
   ?disasm_from:int ->
+  ?holes:(int * int) list ->
   original:Elf_file.t ->
   Elf_file.t ->
   (report, error) result

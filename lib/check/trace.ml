@@ -117,8 +117,18 @@ let first_divergence ta tb =
   in
   go 0
 
-let compare_runs ?config ?disasm_from ~original rewritten =
-  let _, sites = Frontend.disassemble ?from:disasm_from original in
+let compare_runs ?config ?disasm_from ?(holes = []) ~original rewritten =
+  (* [holes]: interior data extents the rewrite excluded. The boundary set
+     is only a filter applied identically to both runs, so phantom entries
+     from a desynchronized sweep are harmless (island bytes never retire)
+     — but the hole-aware sweep also recovers the real boundaries {e
+     after} each island that a desynchronized sweep would miss, keeping
+     the comparison dense there. *)
+  let _, sites =
+    match holes with
+    | [] -> Frontend.disassemble ?from:disasm_from original
+    | holes -> Frontend.disassemble_excluding ~holes original
+  in
   let bounds = Hashtbl.create 4096 in
   List.iter
     (fun (s : Frontend.site) -> Hashtbl.replace bounds s.Frontend.addr ())

@@ -30,13 +30,17 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
-(** [compare_runs ?config ?disasm_from ~original rewritten] executes both
-    binaries and compares their traces; [Error] describes the first
-    divergence. [disasm_from] must match the value the rewriting used, so
-    boundary sets agree. *)
+(** [compare_runs ?config ?disasm_from ?holes ~original rewritten]
+    executes both binaries and compares their traces; [Error] describes
+    the first divergence. [disasm_from] must match the value the
+    rewriting used, so boundary sets agree. [holes] (interior data
+    extents, see {!Frontend.disassemble_excluding}) likewise reproduces
+    an island-excluding rewrite's boundary set; when non-empty it
+    replaces the plain sweep and [disasm_from] is ignored. *)
 val compare_runs :
   ?config:E9_emu.Cpu.config ->
   ?disasm_from:int ->
+  ?holes:(int * int) list ->
   original:Elf_file.t ->
   Elf_file.t ->
   (stats, string) result

@@ -14,6 +14,7 @@ type options = {
   reserve_below_base : bool;
   loader : loader_mode;
   shard_span : int;
+  keep_ranges : (int * int) list;
 }
 
 let default_options =
@@ -22,7 +23,8 @@ let default_options =
     grouping = true;
     reserve_below_base = false;
     loader = Table;
-    shard_span = 1 lsl 16 }
+    shard_span = 1 lsl 16;
+    keep_ranges = [] }
 
 type result = {
   output : Elf_file.t;
@@ -97,6 +99,17 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
     Array.to_list sites |> List.filter select
     |> List.sort (fun (a : Frontend.site) b -> compare b.addr a.addr)
   in
+  (* Immutable byte ranges (mid-text data islands, hand-excluded pools):
+     pre-locked before any tactic runs, so no patch, pun, dead-byte squat
+     or eviction can write into them. Locking is range-clipped (out-of-
+     range bytes are ignored), so applying the full list to every lock
+     domain — serial, per-shard, merged — marks exactly the same bytes
+     whatever the shard count, preserving jobs-invariance. *)
+  let apply_keeps locks =
+    List.iter
+      (fun (addr, len) -> Lock.lock_range locks ~addr ~len)
+      options.keep_ranges
+  in
   (* Shard geometry is a function of the text alone — never of [jobs] —
      so the rewritten bytes are identical for every domain count: [jobs]
      only decides how many domains execute the fixed shard tasks. A
@@ -110,6 +123,7 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
         Tactics.create_ctx ~obs ~fault ~text:text_buf ~text_base:base ~layout
           ~sites ~options:options.tactics ()
       in
+      apply_keeps (Tactics.locks ctx);
       let setup_s = Unix.gettimeofday () -. t0 in
       E9_obs.Obs.span obs "tactic_search" (fun () ->
           List.iter
@@ -193,6 +207,7 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
                   let lo = shard_lo k and top = shard_top k in
                   let arena = Layout.shard layout ~index:k ~count:nshards in
                   let locks = Lock.create ~base:lo ~len:(top - lo) in
+                  apply_keeps locks;
                   let dead = Lock.create ~base:lo ~len:(top - lo) in
                   let sobs = E9_obs.Obs.fork obs in
                   let ctx =

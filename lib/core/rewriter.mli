@@ -37,6 +37,15 @@ type options = {
           least [4 * Tactics.max_reach]). Shard geometry depends only on
           the text size and this span — never on the domain count — so
           the rewritten bytes are identical for every [jobs] value. *)
+  keep_ranges : (int * int) list;
+      (** [(addr, len)] byte ranges of the text that must survive the
+          rewrite untouched — mid-text data islands, hand-excluded
+          constant pools. The ranges are pre-locked in every lock domain
+          before any tactic runs, so no patch, pun, dead-byte squat or
+          eviction can write into them (a site selected inside one simply
+          fails with a [Locked] reject, B0 included). Clipped per lock
+          domain exactly like ordinary locks, so jobs-invariance is
+          preserved. Default [[]]. *)
 }
 
 val default_options : options

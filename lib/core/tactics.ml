@@ -204,7 +204,8 @@ let displaceable = function
   | Insn.Not _ | Insn.Inc _ | Insn.Dec _ | Insn.Shift _ | Insn.Push _
   | Insn.Pop _ | Insn.Pushfq | Insn.Popfq | Insn.Call _ | Insn.Call_ind _
   | Insn.Ret | Insn.Jmp _ | Insn.Jmp_short _ | Insn.Jmp_ind _ | Insn.Jcc _
-  | Insn.Jcc_short _ | Insn.Nop _ | Insn.Int _ | Insn.Syscall ->
+  | Insn.Jcc_short _ | Insn.Nop _ | Insn.Endbr64 | Insn.Int _
+  | Insn.Syscall ->
       true
 
 (* Padding prefixes for T1, in the order they are prepended (all are

@@ -133,7 +133,7 @@ let emit_displaced asm ~insn ~insn_addr ~insn_len =
         (Insn.Shift (sh, sz, retarget_operand ~orig_next ~new_addr ~enc_len dst, n));
       true
   | (Insn.Movabs _ | Insn.Push _ | Insn.Pop _ | Insn.Pushfq | Insn.Popfq
-    | Insn.Nop _ | Insn.Syscall | Insn.Int _) as i ->
+    | Insn.Nop _ | Insn.Endbr64 | Insn.Syscall | Insn.Int _) as i ->
       Asm.ins asm i;
       true
   | Insn.Int3 | Insn.Ud2 | Insn.Unknown _ ->

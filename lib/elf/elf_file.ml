@@ -202,6 +202,24 @@ let to_bytes t =
     t.segments;
   Buf.contents img
 
+(* Serialize without a section header table: keep the header + program
+   headers + content that [to_bytes] lays out, cut the generated string
+   table and section headers off the tail, and zero the header fields
+   pointing at them. The result is what a fully stripped toolchain leaves
+   behind — parsing it back exercises the program-header fallback. *)
+let to_bytes_stripped t =
+  let full = to_bytes t in
+  let img = Buf.of_bytes (Bytes.sub full 0 (Buf.length t.data)) in
+  Buf.set_u64 img 40 0L;
+  (* e_shoff *)
+  Buf.set_u16 img 58 0;
+  (* e_shentsize *)
+  Buf.set_u16 img 60 0;
+  (* e_shnum *)
+  Buf.set_u16 img 62 0;
+  (* e_shstrndx *)
+  Buf.contents img
+
 exception Malformed of string
 
 let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
@@ -297,7 +315,15 @@ let of_bytes bytes =
           malformed "string table [0x%x, 0x%x) outside the image" s.offset
             (s.offset + s.size);
         Buf.sub img ~pos:s.offset ~len:s.size
-    | None -> Bytes.empty
+    | None ->
+        (* [shstrndx = 0] (SHN_UNDEF) legitimately means "no string
+           table" — including the fully stripped case where [shnum = 0].
+           A nonzero index with no such section is a lie in the header:
+           refuse rather than silently dropping every section name. *)
+        if shstrndx = 0 then Bytes.empty
+        else
+          malformed "e_shstrndx %d out of range (%d section headers)"
+            shstrndx shnum
   in
   let name_at idx =
     if idx >= Bytes.length strtab then ""
@@ -312,8 +338,20 @@ let of_bytes bytes =
     |> List.filter (fun s -> s.sh_type <> 0 && s.name <> ".shstrtab")
   in
   (* Keep only the content up to the section header table: the string table
-     and headers are regenerated on the next [to_bytes]. *)
-  let content_len = min (Buf.length img) shoff in
+     and headers are regenerated on the next [to_bytes]. A fully stripped
+     image (shnum = 0, shoff = 0) has no table to cut at — the whole file
+     is content and the program headers alone describe it. An image that
+     claims zero sections but still points at a table is ambiguous (stale
+     offset? hidden data?): refuse with a typed error instead of guessing
+     where content ends. *)
+  let content_len =
+    if shnum = 0 then
+      if shoff = 0 then Buf.length img
+      else
+        malformed "no section headers but e_shoff = 0x%x; ambiguous extent"
+          shoff
+    else min (Buf.length img) shoff
+  in
   let data = Buf.of_bytes (Buf.sub img ~pos:0 ~len:content_len) in
   { etype; entry; segments; sections; data }
 

@@ -99,6 +99,14 @@ val segment_at : t -> int -> segment option
     headers in a leading header block and never moves content. *)
 val to_bytes : t -> bytes
 
+(** [to_bytes_stripped t] serializes like {!to_bytes} but without a
+    section header table ([e_shoff]/[e_shnum]/[e_shstrndx] zeroed, the
+    generated [.shstrtab] cut off): exactly what a fully stripped
+    toolchain leaves — header, program headers, content. Parsing it back
+    relies on the stripped-file path of {!of_bytes} (whole image kept as
+    content) and downstream program-header fallbacks. *)
+val to_bytes_stripped : t -> bytes
+
 (** Raised by {!of_bytes} (and the metadata decoders in {!Tablemeta} /
     {!Loadmap}) on structurally invalid input: truncated or zero-sized
     header tables, overlapping PT_LOAD segments, out-of-image ranges. A

@@ -358,7 +358,7 @@ let exec st (d : Decode.decoded) =
   let next_rip = here + d.len in
   st.rip <- next_rip;
   match d.insn with
-  | Insn.Nop _ -> ()
+  | Insn.Nop _ | Insn.Endbr64 -> ()
   | Insn.Mov (sz, dst, src) -> (
       let v = read_operand st sz ~next_rip src in
       match dst with

@@ -124,6 +124,39 @@ let disassemble ?from ?(jobs = 1) ?(chunk = default_chunk)
       in
       (text, sites)
 
+(* The §6.2 workaround generalized past a leading pool: a linear sweep
+   that hops over known interior data extents, re-synchronizing at each
+   hole's end. Holes come from ground truth (symbols, metadata sections);
+   any sweep position inside a hole — including one reached by a decode
+   that overran into it — resumes at the hole's end, so the sweep is
+   self-correcting at both edges. *)
+let disassemble_excluding ~holes ?(fault = Fault.none) elf =
+  match find_text elf with
+  | None -> error "Frontend: no text section or executable segment"
+  | Some text ->
+      let bytes = Buf.sub elf.Elf_file.data ~pos:text.offset ~len:text.size in
+      let hole_at p =
+        let addr = text.base + p in
+        List.find_opt (fun (a, l) -> addr >= a && addr < a + l) holes
+      in
+      let rec go p acc =
+        if p >= text.size then List.rev acc
+        else
+          match hole_at p with
+          | Some (a, l) -> go (a + l - text.base) acc
+          | None ->
+              let d = Decode.decode bytes p in
+              go (p + d.Decode.len) ((p, d) :: acc)
+      in
+      let decoded = apply_decode_cut fault (go 0 []) in
+      let sites =
+        List.map
+          (fun (off, d) ->
+            { addr = text.base + off; len = d.Decode.len; insn = d.Decode.insn })
+          decoded
+      in
+      (text, sites)
+
 let select_jumps site = Classify.is_jump site.insn
 let select_heap_writes site = Classify.is_heap_write site.insn
 

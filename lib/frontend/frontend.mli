@@ -49,6 +49,18 @@ val disassemble :
   ?from:int -> ?jobs:int -> ?chunk:int -> ?fault:E9_fault.Fault.t ->
   Elf_file.t -> text * site list
 
+(** [disassemble_excluding ~holes elf] is the §6.2 workaround generalized
+    past a leading pool: a serial linear sweep that never decodes inside
+    the [(addr, len)] extents of [holes] (mid-function data islands,
+    constant pools known from ground truth), re-synchronizing at each
+    hole's end. A decode that overruns into a hole is also corrected —
+    the next sweep position inside the hole resumes at its end — so the
+    sweep is self-correcting at both edges. Sites inside holes are never
+    produced, hence never patched. *)
+val disassemble_excluding :
+  holes:(int * int) list -> ?fault:E9_fault.Fault.t -> Elf_file.t ->
+  text * site list
+
 (** Patch-location selectors for the paper's two applications. *)
 
 (** A1: all [jmp]/[jcc] instructions (§6.1). *)

@@ -257,6 +257,7 @@ let mnemonic_of (i : Insn.t) =
   | Insn.Jmp _ | Insn.Jmp_short _ | Insn.Jmp_ind _ -> "jmp"
   | Insn.Jcc _ | Insn.Jcc_short _ -> "jcc"
   | Insn.Nop _ -> "nop"
+  | Insn.Endbr64 -> "endbr64"
   | Insn.Int3 -> "int3"
   | Insn.Int _ -> "int"
   | Insn.Syscall -> "syscall"

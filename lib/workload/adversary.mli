@@ -1,0 +1,44 @@
+(** The adversarial corpus: named binary families, each built around one
+    structural property real binaries use to break naive rewriters.
+
+    This module is pure data — family descriptors over {!Codegen}
+    profiles. Interpreting a descriptor (generating the binary, choosing
+    rewriter options, scoring the outcome) is the robustness campaign's
+    job ({!E9_check.Matrix}); keeping the registry here means workload
+    code, tests and the CLI all agree on what each family is without
+    depending on the rewriter.
+
+    Derived attributes are not duplicated in the record: a family with
+    [profile.island_bias > 0] needs island exclusion ranges, one with
+    [profile.shared_object] needs [reserve_below_base], one with
+    [profile.endbr64_entries] carries an anchor-count ground truth of
+    [functions + 1]. *)
+
+(** Which of the paper's two applications the family is scored under:
+    patch all jumps (A1) or all heap writes (A2). *)
+type selector = Jumps | Heap_writes
+
+type family = {
+  name : string;  (** stable identifier (CLI, JSON matrix, tests) *)
+  blurb : string;  (** one-line description for reports *)
+  profile : Codegen.profile;
+  selector : selector;
+  strip : bool;
+      (** serialize via {!Elf_file.to_bytes_stripped}: no section header
+          table, so text discovery must use the program-header fallback *)
+  floor_pct : float;
+      (** pinned regression floor: the campaign fails if the family's
+          patched% drops below this *)
+  expect_pressure : bool;
+      (** the family is expected to starve the jump-tactic ladder — the
+          campaign fails unless T3 or B0 fired at least once *)
+}
+
+val selector_name : selector -> string
+
+(** The corpus, in canonical order. Every family is deterministic (fixed
+    profile seed), so scores are reproducible byte-for-byte. *)
+val families : family list
+
+(** [find name] looks a family up by its stable identifier. *)
+val find : string -> family option

@@ -23,6 +23,13 @@ type profile = {
   bss_mb : int;
   shared_object : bool;
   iterations : int;
+  (* Adversarial knobs (the robustness corpus; all inert at default). *)
+  lock_bias : float;
+  tiny_run_bias : float;
+  island_bias : float;
+  alias_bias : float;
+  far_gap_kb : int;
+  endbr64_entries : bool;
 }
 
 let default_profile =
@@ -40,9 +47,16 @@ let default_profile =
     data_in_text_kb = 0;
     bss_mb = 0;
     shared_object = false;
-    iterations = 400 }
+    iterations = 400;
+    lock_bias = 0.0;
+    tiny_run_bias = 0.0;
+    island_bias = 0.0;
+    alias_bias = 0.0;
+    far_gap_kb = 0;
+    endbr64_entries = false }
 
 let chromemain_marker = ".text.chromemain"
+let islands_section = ".e9.islands"
 let base_nonpie = 0x400000
 let base_pie = 0x5555_5555_4000
 let buf_size = 4096
@@ -71,6 +85,8 @@ type gen = {
       (* rodata offset, entry encoding, targets *)
   mutable raw_tables : (int * int array) list;
       (* rodata offset, absolute addresses (imports from other binaries) *)
+  mutable islands : (int * int) list;
+      (* mid-function data islands: (absolute addr, byte length) *)
 }
 
 (* Reserve a .rodata slot for a jump/call table; returns its absolute
@@ -135,8 +151,36 @@ let emit_small_heap_write g =
   let sz = if Rng.chance g.rng 0.3 then Insn.B else Insn.L in
   ins g (Insn.Mov (sz, Insn.Mem m, Insn.Reg src))
 
+(* A lock-prefixed read-modify-write through a low (non-REX) pointer
+   register: [f0 01 0b]-style 3-4 byte sites. The decoder folds the
+   prefix into the instruction; a displacing tactic re-encodes it without
+   the prefix, which the single-threaded emulator cannot observe —
+   E9Patch's own transparency caveat for atomics. What the corpus tests
+   is that the extra prefix byte (shifting the pun geometry by one) never
+   breaks byte accounting. *)
+let emit_locked_rmw g =
+  let ptr = Rng.pick g.rng [| Reg.RBX; Reg.RSI; Reg.RDI |] in
+  let src = Rng.pick g.rng [| Reg.RAX; Reg.RCX; Reg.RDX |] in
+  let base = if Rng.bool g.rng then heap_a else heap_b in
+  ins g (Insn.Mov (Insn.Q, Insn.Reg ptr, Insn.Reg base));
+  let m =
+    if Rng.chance g.rng 0.5 then Insn.mem ~base:ptr ()
+    else Insn.mem ~base:ptr ~disp:(8 * (1 + Rng.int g.rng 14)) ()
+  in
+  Asm.ins_raw g.asm "\xf0";
+  ins g
+    (Insn.Alu
+       ( Rng.pick g.rng [| Insn.Add; Insn.Or; Insn.And; Insn.Xor |],
+         Insn.L, Insn.Mem m, Insn.Reg src ))
+
 let emit_heap_write g =
-  if Rng.chance g.rng g.prof.small_write_bias then emit_small_heap_write g
+  (* The bias > 0 guards keep zero-bias profiles from consuming a draw:
+     legacy profiles must generate the exact same bytes as before these
+     knobs existed (fixed-seed tests and goldens depend on it). *)
+  if g.prof.lock_bias > 0.0 && Rng.chance g.rng g.prof.lock_bias then
+    emit_locked_rmw g
+  else if Rng.chance g.rng g.prof.small_write_bias then
+    emit_small_heap_write g
   else
   match Rng.int g.rng 5 with
   | 0 -> emit_indexed_heap_write g
@@ -164,8 +208,22 @@ let emit_condition g =
     ins g (Insn.Alu (Insn.Cmp, Insn.Q, Insn.Reg (reg g), Insn.Imm (imm8 g)))
   else ins g (Insn.Alu (Insn.Test, Insn.Q, Insn.Reg (reg g), Insn.Reg (reg g)))
 
+(* Immediates whose last-emitted (most significant) byte is a legal x86
+   prefix: the byte sitting directly before the next instruction then
+   reads as 0x66/0x2e/0x48/0x3e. A verifier classifying a padded patch
+   jump must not absorb these unchanged look-alike bytes as T1 padding —
+   they belong to the previous instruction. *)
+let alias_imms = [| 0x6648_2e90; 0x2e66_4890; 0x4890_6666; 0x3e2e_6648 |]
+
+let emit_alias_padded_site g =
+  let dst = Rng.pick g.rng [| Reg.RAX; Reg.RCX; Reg.RDX |] in
+  ins g (Insn.Mov (Insn.L, Insn.Reg dst, Insn.Imm (Rng.pick g.rng alias_imms)));
+  emit_small_heap_write g
+
 let emit_body_insn g =
-  if Rng.chance g.rng g.prof.heap_write_bias then emit_heap_write g
+  if g.prof.alias_bias > 0.0 && Rng.chance g.rng g.prof.alias_bias then
+    emit_alias_padded_site g
+  else if Rng.chance g.rng g.prof.heap_write_bias then emit_heap_write g
   else
     match Rng.int g.rng 16 with
     | 0 -> ins g (Insn.Mov (Insn.Q, Insn.Reg (reg g), Insn.Reg (reg g)))
@@ -217,9 +275,76 @@ let emit_body_insn g =
         if Rng.bool g.rng then ins g (Insn.Neg (Insn.Q, Insn.Reg (reg g)))
         else ins g (Insn.Not (Insn.Q, Insn.Reg (reg g)))
 
+(* A dense strip of 2-3 byte instructions (no REX: low registers only).
+   Every jump and write site in the strip is too short for a direct
+   5-byte patch jump, and its neighbours leave no pun slack — the tactic
+   ladder must run T2/T3 eviction chains, and once every displaceable
+   victim within rel8 range is consumed, fall through to B0. Long runs
+   (up to ~200 bytes) push the nearest >= 5-byte victim beyond the short
+   jump's +127 reach for the sites in the middle. *)
+let emit_tiny_run g =
+  let ptr = Rng.pick g.rng [| Reg.RBX; Reg.RSI; Reg.RDI |] in
+  let base = if Rng.bool g.rng then heap_a else heap_b in
+  ins g (Insn.Mov (Insn.Q, Insn.Reg ptr, Insn.Reg base));
+  let lows = [| Reg.RAX; Reg.RCX; Reg.RDX |] in
+  let k = 24 + Rng.int g.rng 40 in
+  for _ = 1 to k do
+    let a = Rng.pick g.rng lows and b = Rng.pick g.rng lows in
+    match Rng.int g.rng 5 with
+    | 0 ->
+        (* 2-byte store: 89 /r *)
+        ins g (Insn.Mov (Insn.L, Insn.Mem (Insn.mem ~base:ptr ()), Insn.Reg a))
+    | 1 ->
+        (* 3-byte store, disp8 *)
+        ins g
+          (Insn.Mov
+             ( Insn.L,
+               Insn.Mem (Insn.mem ~base:ptr ~disp:(4 * (1 + Rng.int g.rng 30)) ()),
+               Insn.Reg a ))
+    | 2 ->
+        (* 2-byte conditional short hop over one 2-byte ALU *)
+        ins g (Insn.Alu (Insn.Test, Insn.L, Insn.Reg a, Insn.Reg a));
+        let skip = Asm.fresh_label g.asm "tiny" in
+        Asm.jcc_short g.asm (Rng.pick g.rng cc_pool) skip;
+        ins g (Insn.Alu (Insn.Add, Insn.L, Insn.Reg a, Insn.Reg b));
+        Asm.place g.asm skip
+    | _ ->
+        ins g
+          (Insn.Alu
+             ( Rng.pick g.rng [| Insn.Add; Insn.Xor; Insn.Or |],
+               Insn.L, Insn.Reg a, Insn.Reg b ))
+  done
+
+(* A mid-function data island: a rel32 jmp hops over a random blob that
+   linear disassembly cannot tell from code. Both ends of the blob are
+   folded into the checksum, so a tactic that treats a phantom decoded
+   "instruction" inside the island as an eviction victim (or a selector
+   that patches one) becomes an observable trace divergence. The island
+   extents are recorded in {!islands_section} as ground-truth metadata —
+   rewriting these binaries correctly requires exclusion ranges, exactly
+   the paper's §6.2 Chrome situation generalized past a leading pool. *)
+let emit_island g =
+  let skip = Asm.fresh_label g.asm "isl" in
+  Asm.jmp g.asm skip;
+  let addr = Asm.here g.asm in
+  let len = 8 * (3 + Rng.int g.rng 6) in
+  Asm.ins_raw g.asm (String.init len (fun _ -> Char.chr (Rng.int g.rng 256)));
+  Asm.place g.asm skip;
+  g.islands <- (addr, len) :: g.islands;
+  ins g (Insn.Movabs (Reg.R11, Int64.of_int addr));
+  ins g
+    (Insn.Mov (Insn.Q, Insn.Reg Reg.R10, Insn.Mem (Insn.mem ~base:Reg.R11 ())));
+  ins g (Insn.Alu (Insn.Add, Insn.Q, Insn.Reg checksum, Insn.Reg Reg.R10));
+  ins g
+    (Insn.Mov
+       ( Insn.Q, Insn.Reg Reg.R10,
+         Insn.Mem (Insn.mem ~base:Reg.R11 ~disp:(len - 8) ()) ));
+  ins g (Insn.Alu (Insn.Xor, Insn.Q, Insn.Reg checksum, Insn.Reg Reg.R10))
+
 (* One function: a forward-only DAG of basic blocks ending in ret. *)
-let emit_function g fn_label n_blocks =
+let emit_function g ?far_ret fn_label n_blocks =
   Asm.place g.asm fn_label;
+  if g.prof.endbr64_entries then ins g Insn.Endbr64;
   ins g (Insn.Push Reg.RBX);
   let labels =
     Array.init n_blocks (fun i -> Asm.fresh_label g.asm (Printf.sprintf "b%d" i))
@@ -230,6 +355,10 @@ let emit_function g fn_label n_blocks =
     for _ = 1 to n_insns do
       emit_body_insn g
     done;
+    if g.prof.tiny_run_bias > 0.0 && Rng.chance g.rng g.prof.tiny_run_bias
+    then emit_tiny_run g;
+    if g.prof.island_bias > 0.0 && Rng.chance g.rng g.prof.island_bias then
+      emit_island g;
     let remaining = n_blocks - 1 - b in
     if remaining > 0 then begin
       (* Choose a terminator. All targets are forward: the DAG guarantees
@@ -290,7 +419,13 @@ let emit_function g fn_label n_blocks =
     end
   done;
   ins g (Insn.Pop Reg.RBX);
-  ins g Insn.Ret
+  (* With a far-gap profile every function returns through a shared ret
+     thunk on the far side of a nop desert: the tail jmps carry rel32
+     displacements in the hundreds of KiB, stressing displacement
+     arithmetic far from the usual few-hundred-byte offsets. *)
+  match far_ret with
+  | None -> ins g Insn.Ret
+  | Some l -> Asm.jmp g.asm l
 
 (* The §6.2 Chrome challenge: a constant pool embedded at the start of the
    text section. The program jumps over it at entry and reads from it every
@@ -313,6 +448,7 @@ let emit_text_data_prefix g =
   end
 
 let emit_main g fn_labels loop_body_calls ?blob ?(imports = [||]) () =
+  if g.prof.endbr64_entries then ins g Insn.Endbr64;
   (* Allocate the two heap buffers and initialize fixed-role registers. *)
   ins g (Insn.Mov (Insn.Q, Insn.Reg Reg.RDI, Insn.Imm buf_size));
   ins g (Insn.Int Hostcall.malloc);
@@ -388,8 +524,19 @@ let build ?(imports = [||]) prof =
      (handled by the rewriter's [reserve_below_base]). *)
   let high = prof.pie || prof.shared_object in
   let base = if high then base_pie else base_nonpie in
-  (* Budget the text region generously; assert the code fits. *)
-  let est = (prof.functions * prof.blocks_per_fn * 100) + 4096 in
+  (* Budget the text region generously; assert the code fits. The
+     adversarial emitters inflate blocks well past the baseline ~100
+     bytes, so only profiles that enable them pay for the headroom (the
+     estimate — hence every address — is unchanged for legacy knobs). *)
+  let per_block =
+    100
+    + (if prof.tiny_run_bias > 0.0 then 256 else 0)
+    + (if prof.island_bias > 0.0 then 160 else 0)
+  in
+  let est =
+    (prof.functions * prof.blocks_per_fn * per_block)
+    + (prof.far_gap_kb * 1024) + 4096
+  in
   let data_base = base + align4k (est * 2) in
   let g =
     { rng = Rng.create prof.seed;
@@ -399,7 +546,8 @@ let build ?(imports = [||]) prof =
       data_base;
       table_off = 0;
       tables = [];
-      raw_tables = [] }
+      raw_tables = [];
+      islands = [] }
   in
   let fn_labels =
     Array.init prof.functions (fun i ->
@@ -412,11 +560,23 @@ let build ?(imports = [||]) prof =
     List.init n_calls (fun i -> fn_labels.(i * prof.functions / n_calls))
   in
   emit_main g fn_labels loop_body_calls ?blob ~imports ();
+  let far_ret =
+    if prof.far_gap_kb = 0 then None
+    else Some (Asm.fresh_label g.asm "far_ret")
+  in
   Array.iter
     (fun fl ->
       let n_blocks = max 2 (prof.blocks_per_fn - 2 + Rng.int g.rng 5) in
-      emit_function g fl n_blocks)
+      emit_function g ?far_ret fl n_blocks)
     fn_labels;
+  (match far_ret with
+  | None -> ()
+  | Some l ->
+      (* The nop desert between the last function and the shared ret
+         thunk. Single-byte nops keep a linear sweep trivially in sync. *)
+      Asm.ins_raw g.asm (String.make (prof.far_gap_kb * 1024) '\x90');
+      Asm.place g.asm l;
+      Asm.ins g.asm Insn.Ret);
   let code = Asm.assemble g.asm in
   if Bytes.length code > data_base - base then
     raise
@@ -500,6 +660,21 @@ let build ?(imports = [||]) prof =
   ignore
     (Elf_file.add_section elf ~name:Tablemeta.section_name ~addr:0 ~sh_type:1
        ~sh_flags:0 ~content:(Tablemeta.encode meta));
+  (* Island ground truth: (addr, len) u64 pairs. A correct campaign turns
+     these into exclusion/keep ranges before rewriting. *)
+  (match g.islands with
+  | [] -> ()
+  | isl ->
+      let isl = List.rev isl in
+      let b = Buf.create (16 * List.length isl) in
+      List.iter
+        (fun (a, l) ->
+          ignore (Buf.add_u64 b (Int64.of_int a));
+          ignore (Buf.add_u64 b (Int64.of_int l)))
+        isl;
+      ignore
+        (Elf_file.add_section elf ~name:islands_section ~addr:0 ~sh_type:1
+           ~sh_flags:0 ~content:(Buf.contents b)));
   (* The .text section marks the region the frontend disassembles; the
      zero-sized marker is the "ChromeMain symbol" a frontend can use to
      skip the data prefix (§6.2). *)
@@ -520,6 +695,24 @@ let build ?(imports = [||]) prof =
   (elf, Array.map (Asm.label_addr g.asm) fn_labels)
 
 let generate prof = fst (build prof)
+
+(* Decode the island ground-truth section back out of a generated binary.
+   Tolerant of absence (no islands emitted, or the table was stripped);
+   intolerant of corruption. *)
+let islands elf =
+  match Elf_file.find_section elf islands_section with
+  | None -> []
+  | Some s ->
+      let b = Buf.of_bytes (Elf_file.section_bytes elf s) in
+      let n = Buf.length b in
+      if n mod 16 <> 0 then
+        raise
+          (Elf_file.Malformed
+             (Printf.sprintf "%s: size %d is not a multiple of 16"
+                islands_section n));
+      List.init (n / 16) (fun i ->
+          ( Int64.to_int (Buf.get_u64 b (16 * i)),
+            Int64.to_int (Buf.get_u64 b ((16 * i) + 8)) ))
 
 (* A shared library: the same code shape, loaded high, with its function
    entry points exported for an executable's import table. *)

@@ -51,6 +51,34 @@ type profile = {
   bss_mb : int;  (** static .bss allocation in MiB (limitation L1) *)
   shared_object : bool;  (** model a DSO: space below base is unavailable *)
   iterations : int;  (** main-loop trips (dynamic instruction count) *)
+  lock_bias : float;
+      (** probability a heap write is a lock-prefixed read-modify-write
+          through a non-REX pointer ([f0 01 0b]-style 3-4 byte sites): the
+          extra prefix byte shifts the pun geometry by one *)
+  tiny_run_bias : float;
+      (** probability a block ends with a dense strip of 2-3 byte non-REX
+          instructions — runs long enough that mid-strip patch sites
+          exhaust every displaceable eviction victim within rel8 reach,
+          forcing T2/T3 chains and ultimately B0 *)
+  island_bias : float;
+      (** probability a block embeds a mid-function data island (a rel32
+          jmp over a random blob whose two ends are checksummed): linear
+          disassembly walks straight into it, so correct rewriting needs
+          exclusion ranges; ground truth is recorded in
+          {!islands_section} *)
+  alias_bias : float;
+      (** probability a small-write site is preceded by a [mov r32, imm32]
+          whose most-significant (last-emitted) immediate byte is a legal
+          x86 prefix — bait for a verifier's phantom-prefix / T1-padding
+          classifier *)
+  far_gap_kb : int;
+      (** when > 0, functions return through a shared ret thunk placed
+          after a nop desert this many KiB long: every tail jmp carries a
+          large rel32 displacement (0 = plain rets) *)
+  endbr64_entries : bool;
+      (** mark main and every function entry with [endbr64] (CET-style
+          binaries); the 4-byte marker is itself displaceable and gives
+          campaigns an anchor-count ground truth of [functions + 1] *)
 }
 
 (** A reasonable default profile (non-PIE, C-compiler-like mix). *)
@@ -65,6 +93,17 @@ val base_pie : int
 (** The zero-sized section marking the first real instruction when
     [data_in_text_kb > 0] — the binary's "ChromeMain symbol". *)
 val chromemain_marker : string
+
+(** Ground-truth metadata section listing mid-function data islands as
+    little-endian [(addr : u64, len : u64)] pairs. Emitted only when
+    [island_bias > 0] produced at least one island. *)
+val islands_section : string
+
+(** [islands elf] decodes {!islands_section} back into [(addr, len)]
+    pairs, in emission order. [[]] when the section is absent; raises
+    {!Elf_file.Malformed} when present but not a whole number of 16-byte
+    records. *)
+val islands : Elf_file.t -> (int * int) list
 
 (** The profile cannot be generated (the emitted text overflowed its
     budget). Harnesses over random profiles catch this to skip-and-report

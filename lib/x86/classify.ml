@@ -6,8 +6,8 @@ let is_jump = function
   | Insn.Movzx _ | Insn.Movsx _ | Insn.Setcc _ | Insn.Cmov _ | Insn.Neg _
   | Insn.Not _ | Insn.Inc _ | Insn.Dec _ | Insn.Shift _ | Insn.Push _
   | Insn.Pop _ | Insn.Pushfq | Insn.Popfq | Insn.Call _ | Insn.Call_ind _
-  | Insn.Ret | Insn.Nop _ | Insn.Int3 | Insn.Int _ | Insn.Syscall | Insn.Ud2
-  | Insn.Unknown _ ->
+  | Insn.Ret | Insn.Nop _ | Insn.Endbr64 | Insn.Int3 | Insn.Int _
+  | Insn.Syscall | Insn.Ud2 | Insn.Unknown _ ->
       false
 
 let mem_written = function
@@ -26,8 +26,9 @@ let mem_written = function
   | Insn.Mov _ | Insn.Movabs _ | Insn.Lea _ | Insn.Alu _ | Insn.Imul _
   | Insn.Shift _ | Insn.Push _ | Insn.Pop _ | Insn.Pushfq | Insn.Popfq
   | Insn.Call _ | Insn.Call_ind _ | Insn.Ret | Insn.Jmp _ | Insn.Jmp_short _
-  | Insn.Jmp_ind _ | Insn.Jcc _ | Insn.Jcc_short _ | Insn.Nop _ | Insn.Int3
-  | Insn.Int _ | Insn.Syscall | Insn.Ud2 | Insn.Unknown _ ->
+  | Insn.Jmp_ind _ | Insn.Jcc _ | Insn.Jcc_short _ | Insn.Nop _
+  | Insn.Endbr64 | Insn.Int3 | Insn.Int _ | Insn.Syscall | Insn.Ud2
+  | Insn.Unknown _ ->
       None
 
 let is_heap_write insn =
@@ -47,8 +48,8 @@ let is_control_flow = function
   | Insn.Mov _ | Insn.Movabs _ | Insn.Lea _ | Insn.Alu _ | Insn.Imul _
   | Insn.Movzx _ | Insn.Movsx _ | Insn.Setcc _ | Insn.Cmov _ | Insn.Neg _
   | Insn.Not _ | Insn.Inc _ | Insn.Dec _ | Insn.Shift _ | Insn.Push _
-  | Insn.Pop _ | Insn.Pushfq | Insn.Popfq | Insn.Nop _ | Insn.Syscall
-  | Insn.Unknown _ ->
+  | Insn.Pop _ | Insn.Pushfq | Insn.Popfq | Insn.Nop _ | Insn.Endbr64
+  | Insn.Syscall | Insn.Unknown _ ->
       false
 
 let uses_rip_mem = function

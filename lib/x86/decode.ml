@@ -131,6 +131,12 @@ let opcode c ~w ~rex_r ~rex_x ~rex_b : Insn.t =
       match op2 with
       | 0x05 -> Insn.Syscall
       | 0x0b -> Insn.Ud2
+      | 0x1e ->
+          (* endbr64 is F3 0F 1E FA; the F3 lands in [prefixes]. Decoding
+             it keeps the linear sweep synchronized at CET-marked function
+             entries instead of resyncing byte-by-byte through a 4-byte
+             blind spot. *)
+          if byte c = 0xfa then Insn.Endbr64 else Insn.Unknown op
       | 0x1f ->
           let _, _ = modrm c ~rex_r ~rex_x ~rex_b in
           Insn.Nop (c.pos - c.start)

@@ -324,6 +324,7 @@ let emit b (insn : Insn.t) =
           List.iter (u8 b)
             [ 0x66; 0x0f; 0x1f; 0x84; 0x00; 0x00; 0x00; 0x00; 0x00 ]
       | _ -> invalid_arg "Encode: nop length must be 1..9")
+  | Endbr64 -> List.iter (u8 b) [ 0xf3; 0x0f; 0x1e; 0xfa ]
   | Int3 -> u8 b 0xcc
   | Int n ->
       u8 b 0xcd;

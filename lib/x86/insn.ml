@@ -58,6 +58,7 @@ type t =
   | Jcc of cc * int
   | Jcc_short of cc * int
   | Nop of int
+  | Endbr64
   | Int3
   | Int of int
   | Syscall
@@ -179,6 +180,7 @@ let pp ppf insn =
   | Jcc (c, rel) -> Format.fprintf ppf "j%s .%+d" (cc_name c) rel
   | Jcc_short (c, rel) -> Format.fprintf ppf "j%s(short) .%+d" (cc_name c) rel
   | Nop n -> Format.fprintf ppf "nop(%d)" n
+  | Endbr64 -> Format.pp_print_string ppf "endbr64"
   | Int3 -> Format.pp_print_string ppf "int3"
   | Int n -> Format.fprintf ppf "int $0x%x" n
   | Syscall -> Format.pp_print_string ppf "syscall"

@@ -77,6 +77,7 @@ type t =
   | Jcc of cc * int  (** [jcc rel32] *)
   | Jcc_short of cc * int  (** [jcc rel8] *)
   | Nop of int  (** multi-byte nop of total length 1..9 *)
+  | Endbr64  (** CET indirect-branch landing pad ([f3 0f 1e fa]); nop-class *)
   | Int3
   | Int of int  (** [int imm8]; ids >= 0x40 are emulator host calls *)
   | Syscall

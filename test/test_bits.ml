@@ -318,6 +318,41 @@ let prop_iset_queries_match_model =
          && Iset.find_free_strided s ~size ~lo ~hi ~stride
             = model_find_free_strided model ~size ~lo ~hi ~stride))
 
+(* Non-power-of-two strides, specifically: a pow2 stride lets a masking
+   bug in the gap-descent congruence arithmetic pass unnoticed (rounding
+   to the stride and masking to it coincide), so this property pins the
+   stride to primes and odd composites over a dense random comb and
+   checks the full contract of a hit — in-window, congruent to [lo]
+   modulo the stride, free, and minimal (the brute-force model finds
+   nothing earlier). *)
+let prop_iset_strided_non_pow2 =
+  QCheck.Test.make
+    ~name:"find_free_strided honors congruence/minimality at non-pow2 strides"
+    ~count:500
+    QCheck.(
+      pair
+        (small_list (triple (int_bound 400) (int_range 1 30) bool))
+        (quad (int_range 1 15) (int_bound 380) (int_bound 380) (int_bound 7)))
+    (fun (ops, (size, lo, hi, k)) ->
+      let stride = [| 3; 5; 6; 7; 9; 11; 13; 24 |].(abs k mod 8) in
+      let size = max 1 size in
+      let s = Iset.create () in
+      let model = Array.make 440 false in
+      List.iter
+        (fun (olo, len, is_add) ->
+          let len = max 1 (min len 30) in
+          if is_add then Iset.add s ~lo:olo ~hi:(olo + len)
+          else Iset.remove s ~lo:olo ~hi:(olo + len);
+          Array.fill model olo len is_add)
+        ops;
+      match Iset.find_free_strided s ~size ~lo ~hi ~stride with
+      | None -> model_find_free_strided model ~size ~lo ~hi ~stride = None
+      | Some r ->
+          r >= lo && r <= hi
+          && (r - lo) mod stride = 0
+          && model_free model r size
+          && model_find_free_strided model ~size ~lo ~hi ~stride = Some r)
+
 (* Deterministic stride corners the property may not hit often enough:
    a stride wider than the window (only candidate is [lo]), and a blocker
    whose interval ends exactly at the window's last viable start. *)
@@ -517,7 +552,8 @@ let suites =
         QCheck_alcotest.to_alcotest prop_iset_find_free_last_valid;
         QCheck_alcotest.to_alcotest prop_iset_op_sequence_model;
         QCheck_alcotest.to_alcotest prop_iset_add_remove_inverse;
-        QCheck_alcotest.to_alcotest prop_iset_queries_match_model ] );
+        QCheck_alcotest.to_alcotest prop_iset_queries_match_model;
+        QCheck_alcotest.to_alcotest prop_iset_strided_non_pow2 ] );
     ( "bits.pool",
       [ Alcotest.test_case "map preserves order" `Quick
           test_pool_map_preserves_order;

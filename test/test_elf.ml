@@ -288,6 +288,58 @@ let test_write_replaces_existing () =
       Alcotest.(check int) "replaced" 0x400000
         (Elf_file.read_file path).Elf_file.entry)
 
+(* ------------------------------------------------------------------ *)
+(* Stripped images                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let expect_malformed name f =
+  match f () with
+  | (_ : Elf_file.t) -> Alcotest.failf "%s: expected Malformed" name
+  | exception Elf_file.Malformed _ -> ()
+
+(* A fully stripped serialization must still parse: no section table,
+   segments intact, and — since nothing marks where the content ends —
+   the whole image kept as content. *)
+let test_stripped_roundtrip () =
+  let elf = mk_exec () in
+  ignore
+    (Elf_file.add_section elf ~name:".text" ~addr:0x400000 ~sh_type:1
+       ~sh_flags:6 ~content:(Bytes.of_string "abc"));
+  let b = Elf_file.to_bytes_stripped elf in
+  (* The stripped header really advertises no table at all. *)
+  Alcotest.(check int) "e_shnum zeroed" 0 (Bytes.get_uint16_le b 60);
+  Alcotest.(check int) "e_shentsize zeroed" 0 (Bytes.get_uint16_le b 58);
+  Alcotest.(check int) "e_shstrndx zeroed" 0 (Bytes.get_uint16_le b 62);
+  Alcotest.(check int64) "e_shoff zeroed" 0L (Bytes.get_int64_le b 40);
+  let parsed = Elf_file.of_bytes b in
+  Alcotest.(check int) "no sections survive" 0
+    (List.length parsed.Elf_file.sections);
+  Alcotest.(check int) "segments survive" 1
+    (List.length parsed.Elf_file.segments);
+  Alcotest.(check int) "entry survives" 0x400000 parsed.Elf_file.entry;
+  let seg = List.hd parsed.Elf_file.segments in
+  Alcotest.(check string)
+    "segment content survives" "\x90\x90\xc3"
+    (Bytes.to_string
+       (Buf.sub parsed.Elf_file.data ~pos:seg.Elf_file.offset
+          ~len:seg.Elf_file.filesz));
+  Alcotest.(check int) "whole image kept as content" (Bytes.length b)
+    (Buf.length parsed.Elf_file.data)
+
+(* shnum = 0 with a nonzero e_shoff is ambiguous — there is no table to
+   cut the content at, but the header claims one exists somewhere. The
+   parser must refuse with a typed error rather than guess an extent. *)
+let test_stripped_ambiguous_shoff () =
+  let b = Elf_file.to_bytes_stripped (mk_exec ()) in
+  Bytes.set_int64_le b 40 0x1000L;
+  expect_malformed "shnum=0, shoff<>0" (fun () -> Elf_file.of_bytes b)
+
+let test_shstrndx_out_of_range () =
+  let b = Elf_file.to_bytes (mk_exec ()) in
+  let shnum = Bytes.get_uint16_le b 60 in
+  Bytes.set_uint16_le b 62 (shnum + 5);
+  expect_malformed "shstrndx beyond table" (fun () -> Elf_file.of_bytes b)
+
 let suites =
   [ ( "elf",
       [ Alcotest.test_case "header roundtrip" `Quick test_roundtrip_header;
@@ -307,7 +359,12 @@ let suites =
         Alcotest.test_case "faulted write is atomic" `Quick
           test_write_atomic_on_fault;
         Alcotest.test_case "write replaces existing" `Quick
-          test_write_replaces_existing ] );
+          test_write_replaces_existing;
+        Alcotest.test_case "stripped roundtrip" `Quick test_stripped_roundtrip;
+        Alcotest.test_case "stripped ambiguous shoff" `Quick
+          test_stripped_ambiguous_shoff;
+        Alcotest.test_case "shstrndx out of range" `Quick
+          test_shstrndx_out_of_range ] );
     ( "elf.malformed",
       [ Alcotest.test_case "truncated header" `Quick
           test_malformed_truncated_header;

@@ -4,4 +4,5 @@ let () =
    @ Test_frontend.suites @ Test_core.suites @ Test_lowfat.suites
    @ Test_workload.suites @ Test_invariants.suites @ Test_reloc.suites
    @ Test_spec.suites @ Test_flags.suites @ Test_asm.suites
-   @ Test_check.suites @ Test_obs.suites @ Test_fault.suites)
+   @ Test_check.suites @ Test_obs.suites @ Test_fault.suites
+   @ Test_robust.suites)

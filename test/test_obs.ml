@@ -275,6 +275,81 @@ let test_json_parser_corners () =
   | Ok j -> check_bool "member" true (Json.member "x" j = Some (Json.Int 7))
   | Error m -> Alcotest.failf "parse failed: %s" m
 
+(* ------------------------------------------------------------------ *)
+(* Enum encoding golden                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The wire encoding of the two enums is an external contract: the
+   Agg.rejected/accepted array positions feed BENCH_throughput.json and
+   robust_matrix.json, and the names appear in every ndjson trace. This
+   golden pins both — reordering a variant, renaming its spelling, or
+   inserting one mid-enum must fail here, not silently reshuffle every
+   downstream consumer's histograms. *)
+let test_enum_encoding_golden () =
+  let rejects =
+    [ (Obs.Too_short, 0, "too_short");
+      (Obs.Locked, 1, "locked");
+      (Obs.Pun_miss, 2, "pun_miss");
+      (Obs.Range, 3, "range");
+      (Obs.Alloc_conflict, 4, "alloc_conflict");
+      (Obs.No_successor, 5, "no_successor");
+      (Obs.Budget, 6, "budget");
+      (Obs.Injected, 7, "injected");
+      (Obs.Dead_window, 8, "dead_window");
+      (Obs.Stripe_blocked, 9, "stripe_blocked") ]
+  in
+  let tactics =
+    [ (Obs.B0, 0, "B0"); (Obs.B1, 1, "B1"); (Obs.B2, 2, "B2");
+      (Obs.T1, 3, "T1"); (Obs.T2, 4, "T2"); (Obs.T3, 5, "T3") ]
+  in
+  check_int "reject enum is exactly 10 wide" 10 (List.length rejects);
+  let agg = (let obs = Obs.aggregator () in Obs.agg obs) in
+  check_int "rejected array width" (List.length rejects)
+    (Array.length agg.Obs.Agg.rejected);
+  check_int "accepted array width" (List.length tactics)
+    (Array.length agg.Obs.Agg.accepted);
+  List.iter
+    (fun (r, idx, name) ->
+      Alcotest.(check string) ("spelling of " ^ name) name (Obs.reject_name r);
+      (* One event per reason must land at exactly the pinned index. *)
+      let obs = Obs.aggregator () in
+      Obs.reject obs ~addr:0x400000 ~tactic:Obs.B1 ~reason:r;
+      let a = Obs.agg obs in
+      Array.iteri
+        (fun i n ->
+          check_int
+            (Printf.sprintf "%s counts at index %d only" name i)
+            (if i = idx then 1 else 0)
+            n)
+        a.Obs.Agg.rejected)
+    rejects;
+  List.iter
+    (fun (t, idx, name) ->
+      Alcotest.(check string) ("spelling of " ^ name) name (Obs.tactic_name t);
+      let obs = Obs.aggregator () in
+      Obs.accept obs ~addr:0x400000 ~tactic:t ~trampoline:0x700000 ~pad:0
+        ~evictee_distance:0;
+      let a = Obs.agg obs in
+      Array.iteri
+        (fun i n ->
+          check_int
+            (Printf.sprintf "%s counts at index %d only" name i)
+            (if i = idx then 1 else 0)
+            n)
+        a.Obs.Agg.accepted)
+    tactics;
+  (* The ndjson spellings parse back to the same variants. *)
+  List.iter
+    (fun (r, _, _) ->
+      let e =
+        Obs.Attempt
+          { addr = 1; tactic = Obs.B1; outcome = Obs.Rejected r }
+      in
+      match Obs.event_of_json (Obs.event_to_json e) with
+      | Ok e' -> check_bool "reject json roundtrip" true (e = e')
+      | Error m -> Alcotest.failf "reject %s: %s" (Obs.reject_name r) m)
+    rejects
+
 let suites =
   [ ( "obs",
       [ Alcotest.test_case "null sink is free and transparent" `Quick
@@ -295,4 +370,6 @@ let suites =
         Alcotest.test_case "tracing does not perturb the rewrite" `Quick
           test_detached_rewrite_unchanged;
         Alcotest.test_case "json parser corners" `Quick
-          test_json_parser_corners ] ) ]
+          test_json_parser_corners;
+        Alcotest.test_case "enum encoding golden" `Quick
+          test_enum_encoding_golden ] ) ]
