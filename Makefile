@@ -12,7 +12,13 @@ SMOKE_TIMEOUT ?= 300
 FUZZ_N ?= 200
 FUZZ_SEED ?= 42
 FAULT_N ?= 500
+FAULT_RPC_N ?= 60
 FAULT_SEED ?= 42
+
+# Domains per rewrite for serve-smoke's daemon (`serve -j`). Output bytes
+# are jobs-invariant, so CI runs the target at 1 and 4 and diffs nothing
+# but the clock.
+SERVE_JOBS ?= 1
 
 # Rewriter domain count for the smoke targets. Empty means the binary's
 # own default (serial, or the E9_JOBS environment variable). The outputs
@@ -21,7 +27,7 @@ FAULT_SEED ?= 42
 BENCH_JOBS ?=
 BENCH_JOBS_FLAG = $(if $(BENCH_JOBS),--jobs $(BENCH_JOBS))
 
-.PHONY: all build test bench bench-smoke fuzz-smoke fault-smoke robust-smoke fmt clean
+.PHONY: all build test bench bench-smoke fuzz-smoke fault-smoke robust-smoke serve-smoke fmt clean
 
 all: build
 
@@ -38,10 +44,11 @@ bench: build
 # Reduced bench under a hard timeout: the experiments that exercise the
 # emulator throughput path (scalability), end-to-end patched-binary
 # emulation (figure4), the sharded-rewriter jobs-invariance sweep
-# (parallel), and the allocator micro-benchmark against its linear-scan
-# baseline (iset), at --smoke sizes. Writes BENCH_throughput.json.
+# (parallel), the allocator micro-benchmark against its linear-scan
+# baseline (iset), and the rewriting-service throughput/caching run
+# (serve), at --smoke sizes. Writes BENCH_throughput.json.
 bench-smoke: build
-	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke $(BENCH_JOBS_FLAG) scalability figure4 parallel iset | tee bench_output.txt
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke $(BENCH_JOBS_FLAG) scalability figure4 parallel iset serve | tee bench_output.txt
 
 # Fixed-seed differential fuzz campaign: random profile × tactic configs,
 # each rewrite checked by the static verifier and the trace oracle.
@@ -56,6 +63,7 @@ fuzz-smoke: build
 # under E9_JOBS=1 and E9_JOBS=4.
 fault-smoke: build
 	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- fault -n $(FAULT_N) --seed $(FAULT_SEED) | tee fault_output.txt
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- fault --rpc -n $(FAULT_RPC_N) --seed $(FAULT_SEED) | tee -a fault_output.txt
 
 # Robustness corpus: every adversarial family (lock prefixes, tiny-insn
 # starvation, mid-function data islands, stripped headers, endbr64
@@ -65,6 +73,27 @@ fault-smoke: build
 # jobs-invariant; CI runs it under E9_JOBS=1 and E9_JOBS=4.
 robust-smoke: build
 	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- robust --json robust_matrix.json | tee robust_output.txt
+
+# Daemon end-to-end smoke (DESIGN.md §13): boot `serve` in stdio mode with
+# per-session telemetry, replay a canned five-message session (load, patch,
+# emit to a file, status, shutdown), then verify the emitted binary against
+# the input with the independent checker. Asserts the emit was verified,
+# the checker accepts the output, and the session left an obs trace
+# (serve-smoke/session-0.ndjson — CI uploads it).
+serve-smoke: build
+	rm -rf serve-smoke && mkdir -p serve-smoke
+	$(DUNE) exec bin/e9patch_cli.exe -- generate -o serve-smoke/input.elf --functions 25 --iterations 40 --seed 7
+	printf '%s\n' \
+	  '{"jsonrpc":"2.0","id":1,"method":"binary","params":{"filename":"serve-smoke/input.elf"}}' \
+	  '{"jsonrpc":"2.0","id":2,"method":"patch","params":{"spec":"patch jumps with counter"}}' \
+	  '{"jsonrpc":"2.0","id":3,"method":"emit","params":{"filename":"serve-smoke/out.elf"}}' \
+	  '{"jsonrpc":"2.0","id":4,"method":"status"}' \
+	  '{"jsonrpc":"2.0","id":5,"method":"shutdown"}' \
+	  > serve-smoke/session.jsonl
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- serve -j $(SERVE_JOBS) --trace-dir serve-smoke < serve-smoke/session.jsonl | tee serve_output.txt
+	grep -q '"verified":true' serve_output.txt
+	$(DUNE) exec bin/e9patch_cli.exe -- check serve-smoke/input.elf serve-smoke/out.elf | tee -a serve_output.txt
+	test -s serve-smoke/session-0.ndjson
 
 clean:
 	$(DUNE) clean

@@ -914,11 +914,7 @@ let bench_parallel () =
         ~template:(fun _ -> Trampoline.Empty)
     in
     let wall = Unix.gettimeofday () -. t0 in
-    let search =
-      match Hashtbl.find_opt (Obs.agg obs).Obs.Agg.spans "tactic_search" with
-      | Some (_, s) -> s
-      | None -> 0.0
-    in
+    let search = Obs.Agg.span_total (Obs.agg obs) "tactic_search" in
     (r, wall, search)
   in
   (* The un-sharded serial algorithm (one shard spans the whole text) is
@@ -1271,6 +1267,118 @@ let bench_robust () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* serve: the RPC daemon as a workload                                  *)
+(* ------------------------------------------------------------------ *)
+
+let service_json : Json.t option ref = ref None
+
+(* Sustained request throughput through the rewriting service: D distinct
+   binaries served cold (every emit a rewrite), then replayed twice warm
+   (every emit a result-cache hit), client sessions fanned across
+   domains. The replay hit-rate is an acceptance gate: the daemon's
+   content-addressed cache must convert repeated binaries into hits. *)
+let bench_serve () =
+  heading "Rewriting-as-a-service: request throughput, latency, caching";
+  let module Server = E9_rpc.Server in
+  let module Harness = E9_rpc.Harness in
+  let module Cache = E9_rpc.Cache in
+  let distinct = if !smoke then 3 else 6 in
+  let repeats = 3 in
+  let spec = "patch jumps with counter" in
+  let binaries =
+    List.init distinct (fun i ->
+        Elf_file.to_bytes
+          (Codegen.generate
+             { Codegen.default_profile with
+               Codegen.name = Printf.sprintf "serve-%d" i;
+               seed = Int64.of_int (300 + i);
+               functions = (if !smoke then 25 else 60);
+               iterations = 2 }))
+  in
+  let server = Server.create ~cache_capacity:64 () in
+  let emit_verified (responses, _alive) =
+    List.exists
+      (fun line ->
+        match Json.of_string line with
+        | Ok j -> (
+            match Json.member "result" j with
+            | Some result ->
+                Json.member "verified" result = Some (Json.Bool true)
+            | None -> false)
+        | Error _ -> false)
+      responses
+  in
+  let run_phase sessions =
+    par_map
+      (fun raw -> emit_verified (Harness.run_session server (Harness.script ~spec raw)))
+      sessions
+  in
+  let t0 = Unix.gettimeofday () in
+  (* Cold: one session per distinct binary, concurrently. *)
+  let cold = run_phase binaries in
+  (* Warm replay: every binary again, (repeats - 1) more times — all
+     sessions race, but every result is already cached. *)
+  let warm = run_phase (List.concat (List.init (repeats - 1) (fun _ -> binaries))) in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun ok ->
+      Atomic.incr verify_checked;
+      if not ok then Atomic.incr verify_failed)
+    (cold @ warm);
+  let started, closed = Server.sessions server in
+  let rc = Cache.stats (Server.ctx server).E9_rpc.Session.result_cache in
+  let dc = Cache.stats (Server.ctx server).E9_rpc.Session.decode_cache in
+  let hit_rate = Cache.hit_rate rc in
+  let req_per_s =
+    if wall > 0.0 then float_of_int (Server.requests server) /. wall else 0.0
+  in
+  let p50 = Server.latency_percentile server 0.50 in
+  let p99 = Server.latency_percentile server 0.99 in
+  printf
+    "  %d sessions (%d binaries x %d), %d requests in %.2fs — %.0f req/s; \
+     p50 %.1f ms, p99 %.1f ms@."
+    closed distinct repeats (Server.requests server) wall req_per_s
+    (1000.0 *. p50) (1000.0 *. p99);
+  printf "  result cache: %d/%d hits (%.0f%%); decode cache: %d/%d hits@."
+    rc.Cache.hits (rc.Cache.hits + rc.Cache.misses) (100.0 *. hit_rate)
+    dc.Cache.hits (dc.Cache.hits + dc.Cache.misses);
+  record_row "serve"
+    [ ("sessions", Json.Int closed);
+      ("requests", Json.Int (Server.requests server));
+      ("req_per_s", Json.Float req_per_s);
+      ("p50_ms", Json.Float (1000.0 *. p50));
+      ("p99_ms", Json.Float (1000.0 *. p99));
+      ("hit_rate", Json.Float hit_rate) ];
+  (* Fold the daemon's per-phase spans (rpc_decode/rpc_rewrite/rpc_verify,
+     per-method rpc_* timings) into the global rollup. *)
+  Mutex.protect obs_lock (fun () ->
+      Obs.Agg.merge_into ~dst:obs_agg (Server.agg server));
+  service_json :=
+    Some
+      (Json.Obj
+         [ ("sessions", Json.Int closed);
+           ("requests", Json.Int (Server.requests server));
+           ("errors", Json.Int (Server.errors server));
+           ("req_per_s", Json.Float req_per_s);
+           ("p50_ms", Json.Float (1000.0 *. p50));
+           ("p99_ms", Json.Float (1000.0 *. p99));
+           ("hit_rate", Json.Float hit_rate);
+           ("result_cache", Cache.stats_json rc);
+           ("decode_cache", Cache.stats_json dc) ]);
+  if started <> closed then begin
+    printf "  FAIL: %d sessions started, %d closed@." started closed;
+    Atomic.incr verify_checked;
+    Atomic.incr verify_failed
+  end;
+  (* Acceptance gate: the replay workload must hit at least half the
+     time (it is 2/3 by construction — 2 warm emits per 1 cold). *)
+  if hit_rate < 0.5 then begin
+    printf "  FAIL: replay hit-rate %.2f < 0.5@." hit_rate;
+    Atomic.incr verify_checked;
+    Atomic.incr verify_failed
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1290,6 +1398,7 @@ let all =
     ("calibration", bench_calibration);
     ("robust", bench_robust);
     ("iset", bench_iset);
+    ("serve", bench_serve);
     ("bechamel", bench_bechamel) ]
 
 let usage () =
@@ -1402,6 +1511,10 @@ let () =
           | None -> Json.Obj []));
          ("robustness",
           (match !robust_json with
+          | Some j -> j
+          | None -> Json.Obj []));
+         ("service",
+          (match !service_json with
           | Some j -> j
           | None -> Json.Obj []));
          ("verify",

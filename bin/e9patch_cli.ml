@@ -473,24 +473,48 @@ let fault_cmd =
       & info [ "n" ] ~doc:"Number of randomized fault cases to run.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.") in
-  let run () n seed =
+  let rpc =
+    Arg.(
+      value & flag
+      & info [ "rpc" ]
+          ~doc:"Run the daemon-site campaign (rpcaccept, rpcread, rpcdecode, \
+                rpcemit): canned client sessions against in-process servers, \
+                checking every session is served byte-identically, dropped \
+                at the edge, or killed typed — never the daemon.")
+  in
+  let run () n seed rpc =
    or_die @@ fun () ->
     let progress i =
       if i mod 10 = 0 then (
         Printf.eprintf "\r%d/%d" i n;
         flush stderr)
     in
-    let s = E9_check.Inject.campaign ~progress ~n ~seed () in
-    Printf.eprintf "\r";
-    flush stderr;
-    printf "%a@." E9_check.Inject.pp_summary s;
-    match s.E9_check.Inject.failures with
-    | [] -> printf "fault: OK (seed %d)@." seed
-    | failures ->
-        List.iter
-          (fun (case, msg) -> printf "FAILED %s@.  %s@." case msg)
-          failures;
-        exit 1
+    if rpc then begin
+      let s = E9_rpc.Harness.campaign ~progress ~n ~seed () in
+      Printf.eprintf "\r";
+      flush stderr;
+      printf "%a@." E9_rpc.Harness.pp_summary s;
+      match s.E9_rpc.Harness.failures with
+      | [] -> printf "fault: OK (seed %d)@." seed
+      | failures ->
+          List.iter
+            (fun (case, msg) -> printf "FAILED %s@.  %s@." case msg)
+            failures;
+          exit 1
+    end
+    else begin
+      let s = E9_check.Inject.campaign ~progress ~n ~seed () in
+      Printf.eprintf "\r";
+      flush stderr;
+      printf "%a@." E9_check.Inject.pp_summary s;
+      match s.E9_check.Inject.failures with
+      | [] -> printf "fault: OK (seed %d)@." seed
+      | failures ->
+          List.iter
+            (fun (case, msg) -> printf "FAILED %s@.  %s@." case msg)
+            failures;
+          exit 1
+    end
   in
   Cmd.v
     (Cmd.info "fault"
@@ -498,7 +522,109 @@ let fault_cmd =
              schedules; every injected fault must degrade to a verified \
              output, be accounted per-site, or raise a typed error with no \
              partial file, byte-identically across domain counts.")
-    Term.(const run $ setup_logs $ n $ seed)
+    Term.(const run $ setup_logs $ n $ seed $ rpc)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve on a Unix-domain socket at $(docv) (sessions run on a \
+                worker-pool domain each) instead of a single session over \
+                stdio.")
+  in
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:"Write one ndjson telemetry trace per session \
+                (session-N.ndjson) into $(docv).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains per rewrite inside a session (default 1: the daemon \
+                parallelizes across sessions; output bytes never depend on \
+                this).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the socket session pool (default: \
+                \\$E9_DOMAINS, else the recommended domain count).")
+  in
+  let max_sessions =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Stop accepting after $(docv) connections (testing; default \
+                unlimited).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Entries per content-addressed cache (decode and result).")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:"Deterministic fault injection over the daemon sites \
+                (rpcaccept, rpcread, rpcdecode, rpcemit), same grammar as \
+                patch --inject.")
+  in
+  let run () socket trace_dir jobs domains max_sessions cache inject =
+   or_die @@ fun () ->
+    let fault =
+      match inject with
+      | None -> Fault.none
+      | Some spec -> Fault.create (Fault.parse spec)
+    in
+    let server =
+      E9_rpc.Server.create ~cache_capacity:cache ~jobs ~fault ?trace_dir ()
+    in
+    (match socket with
+    | None -> E9_rpc.Server.serve_channels server stdin stdout
+    | Some path ->
+        Printf.eprintf "e9patch: serving on %s\n%!" path;
+        E9_rpc.Server.serve_unix server ~path ?domains ?max_sessions ());
+    (* Protocol output went to stdout (or the socket); the end-of-life
+       summary is operator-facing, so it goes to stderr. *)
+    let started, closed = E9_rpc.Server.sessions server in
+    let rc = E9_rpc.Cache.stats (E9_rpc.Server.ctx server).E9_rpc.Session.result_cache in
+    Printf.eprintf
+      "e9patch: served %d session(s) (%d request(s), %d error(s)); result \
+       cache %d/%d hits; p99 %.1f ms\n%!"
+      closed
+      (E9_rpc.Server.requests server)
+      (E9_rpc.Server.errors server)
+      rc.E9_rpc.Cache.hits
+      (rc.E9_rpc.Cache.hits + rc.E9_rpc.Cache.misses)
+      (1000.0 *. E9_rpc.Server.latency_percentile server 0.99);
+    ignore started
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the rewriting service: JSON-RPC 2.0 (binary / options / \
+             trampoline / reserve / patch / emit, line-delimited, batch \
+             arrays supported) over stdio or a Unix-domain socket, with \
+             content-addressed caching and oracle verification of every \
+             served output.")
+    Term.(
+      const run $ setup_logs $ socket $ trace_dir $ jobs $ domains
+      $ max_sessions $ cache $ inject)
 
 (* ------------------------------------------------------------------ *)
 (* robust                                                              *)
@@ -589,4 +715,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group (Cmd.info "e9patch" ~doc)
           [ patch_cmd; generate_cmd; run_cmd; disasm_cmd; check_cmd;
-            fuzz_cmd; fault_cmd; robust_cmd; spec_check_cmd ]))
+            fuzz_cmd; fault_cmd; robust_cmd; spec_check_cmd; serve_cmd ]))

@@ -160,3 +160,140 @@ let map_stealing ?domains ?(spawn_failure = fun _ -> false)
     in
     (out, { workers = d; steals = Atomic.get steals })
   end
+
+(* ------------------------------------------------------------------ *)
+(* Service: a persistent worker pool for open-ended task streams       *)
+(* ------------------------------------------------------------------ *)
+
+(* [map]/[map_stealing] fan a *fixed* task list and join; a daemon has an
+   open-ended stream (sessions arrive over time), so it needs long-lived
+   workers draining a queue. Same containment rules as the maps: a task
+   exception is recorded, never propagated into the worker loop — one
+   crashed session must not take the daemon (or its siblings) down. *)
+module Service = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    idle : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable closing : bool;
+    mutable running : int;  (** tasks currently executing *)
+    mutable executed : int;
+    mutable trapped : int;  (** task exceptions contained *)
+    mutable workers : unit Domain.t list;
+  }
+
+  let worker t () =
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while Queue.is_empty t.queue && not t.closing do
+        Condition.wait t.nonempty t.mutex
+      done;
+      if Queue.is_empty t.queue then begin
+        (* closing and drained *)
+        Mutex.unlock t.mutex
+      end
+      else begin
+        let task = Queue.pop t.queue in
+        t.running <- t.running + 1;
+        Mutex.unlock t.mutex;
+        (try task () with _ ->
+          Mutex.lock t.mutex;
+          t.trapped <- t.trapped + 1;
+          Mutex.unlock t.mutex);
+        Mutex.lock t.mutex;
+        t.running <- t.running - 1;
+        t.executed <- t.executed + 1;
+        if t.running = 0 && Queue.is_empty t.queue then
+          Condition.broadcast t.idle;
+        Mutex.unlock t.mutex;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?domains () =
+    let d =
+      match domains with
+      | Some d -> max 1 d
+      | None -> default_domains ()
+    in
+    (* Cap like the rewriter does: oversubscribed domains pay minor-GC
+       synchronization without buying parallelism. *)
+    let d = min d (Domain.recommended_domain_count ()) in
+    let t =
+      { mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        idle = Condition.create ();
+        queue = Queue.create ();
+        closing = false;
+        running = 0;
+        executed = 0;
+        trapped = 0;
+        workers = [] }
+    in
+    (* Spawn-failure degradation as in [map]: a worker that cannot spawn
+       only shrinks the pool. With zero workers, [submit] runs tasks
+       inline so nothing is ever stuck in the queue forever. *)
+    t.workers <-
+      (List.init d Fun.id
+      |> List.filter_map (fun _ ->
+             match Domain.spawn (worker t) with
+             | dom -> Some dom
+             | exception _ -> None));
+    t
+
+  let workers t = List.length t.workers
+
+  let submit t task =
+    Mutex.lock t.mutex;
+    if t.closing then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.Service.submit: pool is shut down"
+    end;
+    if t.workers = [] then begin
+      (* Degraded (spawnless) pool: run inline with the same containment. *)
+      t.running <- t.running + 1;
+      Mutex.unlock t.mutex;
+      (try task () with _ ->
+        Mutex.lock t.mutex;
+        t.trapped <- t.trapped + 1;
+        Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      t.executed <- t.executed + 1;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      Queue.push task t.queue;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.mutex
+    end
+
+  let drain t =
+    Mutex.lock t.mutex;
+    while not (Queue.is_empty t.queue && t.running = 0) do
+      Condition.wait t.idle t.mutex
+    done;
+    Mutex.unlock t.mutex
+
+  let shutdown t =
+    drain t;
+    Mutex.lock t.mutex;
+    t.closing <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers
+
+  let executed t =
+    Mutex.lock t.mutex;
+    let n = t.executed in
+    Mutex.unlock t.mutex;
+    n
+
+  let trapped t =
+    Mutex.lock t.mutex;
+    let n = t.trapped in
+    Mutex.unlock t.mutex;
+    n
+end

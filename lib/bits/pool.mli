@@ -50,3 +50,45 @@ type steal_report = { workers : int; steals : int }
 val map_stealing :
   ?domains:int -> ?spawn_failure:(int -> bool) -> ?jitter:(int -> unit) ->
   ('a -> 'b) -> 'a list -> 'b list * steal_report
+
+(** A persistent worker pool for open-ended task streams.
+
+    {!map}/{!map_stealing} fan a fixed task list and join; a daemon has
+    an open-ended stream (sessions arrive over time), so it needs
+    long-lived workers draining a queue (DESIGN.md §13). Containment
+    matches the maps' discipline, strengthened for daemon use: a task
+    exception is {e swallowed and counted} ({!Service.trapped}), never
+    propagated — one crashed session must not take the daemon or its
+    sibling sessions down. *)
+module Service : sig
+  type t
+
+  (** [create ?domains ()] spawns up to [domains] worker domains
+      (default {!default_domains}, capped at
+      [Domain.recommended_domain_count ()]). A worker that cannot be
+      spawned only shrinks the pool; with zero workers, {!submit} runs
+      tasks inline in the caller, so the pool degrades to serial service
+      rather than deadlock. *)
+  val create : ?domains:int -> unit -> t
+
+  (** Workers actually running (0 = degraded inline mode). *)
+  val workers : t -> int
+
+  (** [submit t task] enqueues [task] for the next free worker. Raises
+      [Invalid_argument] after {!shutdown}. *)
+  val submit : t -> (unit -> unit) -> unit
+
+  (** [drain t] blocks until the queue is empty and no task is
+      executing. *)
+  val drain : t -> unit
+
+  (** [shutdown t] drains, then stops and joins every worker. The pool
+      cannot be reused. *)
+  val shutdown : t -> unit
+
+  (** Tasks completed (including trapped ones). *)
+  val executed : t -> int
+
+  (** Task exceptions contained by the pool. *)
+  val trapped : t -> int
+end

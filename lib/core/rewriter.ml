@@ -26,6 +26,26 @@ let default_options =
     shard_span = 1 lsl 16;
     keep_ranges = [] }
 
+(* A stable, injective textual encoding of every options field. Lives
+   next to the type so a new field cannot be forgotten without the
+   record pattern below failing to compile. The RPC service hashes this
+   into its content-addressed cache key (DESIGN.md §13): two options
+   values rewrite identically iff their signatures are equal. *)
+let options_signature o =
+  let { tactics; granularity; grouping; reserve_below_base; loader;
+        shard_span; keep_ranges } = o in
+  let { Tactics.enable_base; enable_t1; enable_t2; enable_t3; b0_fallback;
+        t2_joint; t2_cap; t3_cap } = tactics in
+  Printf.sprintf
+    "base=%b;t1=%b;t2=%b;t3=%b;b0=%b;joint=%b;t2cap=%d;t3cap=%d;M=%d;\
+     grouping=%b;shared=%b;loader=%s;span=%d;keep=%s"
+    enable_base enable_t1 enable_t2 enable_t3 b0_fallback t2_joint t2_cap
+    t3_cap granularity grouping reserve_below_base
+    (match loader with Table -> "table" | Stub -> "stub")
+    shard_span
+    (String.concat ","
+       (List.map (fun (a, l) -> Printf.sprintf "%x+%x" a l) keep_ranges))
+
 type result = {
   output : Elf_file.t;
   stats : Stats.t;

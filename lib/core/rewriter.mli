@@ -50,6 +50,14 @@ type options = {
 
 val default_options : options
 
+(** [options_signature o] is a stable, injective textual encoding of
+    every field of [o] — equal signatures iff the two option values
+    drive byte-identical rewrites of the same input. The RPC service
+    hashes it into its content-addressed cache key (DESIGN.md §13);
+    adding a field to [options] without extending the signature is a
+    compile error, so the encoding cannot silently drift. *)
+val options_signature : options -> string
+
 type result = {
   output : Elf_file.t;
   stats : Stats.t;

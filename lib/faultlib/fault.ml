@@ -1,8 +1,23 @@
-type site = Alloc | B0_alloc | Decode | Shard | Trace | Write
+type site =
+  | Alloc
+  | B0_alloc
+  | Decode
+  | Shard
+  | Trace
+  | Write
+  | Rpc_accept
+  | Rpc_read
+  | Rpc_decode
+  | Rpc_emit
 
-let sites = [| Alloc; B0_alloc; Decode; Shard; Trace; Write |]
+let sites =
+  [| Alloc; B0_alloc; Decode; Shard; Trace; Write; Rpc_accept; Rpc_read;
+     Rpc_decode; Rpc_emit |]
+
 let nsites = Array.length sites
 
+(* Append-only: existing indices are pinned by golden tests and by any
+   persisted fired-count report. New sites go at the end. *)
 let site_index = function
   | Alloc -> 0
   | B0_alloc -> 1
@@ -10,6 +25,10 @@ let site_index = function
   | Shard -> 3
   | Trace -> 4
   | Write -> 5
+  | Rpc_accept -> 6
+  | Rpc_read -> 7
+  | Rpc_decode -> 8
+  | Rpc_emit -> 9
 
 let site_name = function
   | Alloc -> "alloc"
@@ -18,6 +37,10 @@ let site_name = function
   | Shard -> "shard"
   | Trace -> "trace"
   | Write -> "write"
+  | Rpc_accept -> "rpcaccept"
+  | Rpc_read -> "rpcread"
+  | Rpc_decode -> "rpcdecode"
+  | Rpc_emit -> "rpcemit"
 
 let site_of_name s =
   let rec go i =

@@ -21,6 +21,10 @@ type site =
   | Shard      (** raise inside a shard task mid-[Pool.map] *)
   | Trace      (** trace-sink (ndjson) write errors *)
   | Write      (** ELF serialization short-writes *)
+  | Rpc_accept (** daemon: drop a just-accepted connection (DESIGN.md §13) *)
+  | Rpc_read   (** daemon: a session read fails mid-stream *)
+  | Rpc_decode (** daemon: request decoding refuses the message *)
+  | Rpc_emit   (** daemon: the emit-time rewrite/serve path fails *)
 
 val sites : site array
 val site_name : site -> string
@@ -87,8 +91,9 @@ val fired_total : t -> int
 (** Spec grammar (also in DESIGN.md §11): comma-separated rules, each
     [site@N] (fire at occurrence N), [site@N+] (from N on) or [site%N]
     (every Nth); N is decimal or 0x-hex. Sites: alloc, b0alloc, decode,
-    shard, trace, write. Example: ["alloc@3,write@0,decode@0x400"].
-    Raises [Parse_error] on malformed input. *)
+    shard, trace, write, rpcaccept, rpcread, rpcdecode, rpcemit.
+    Example: ["alloc@3,write@0,decode@0x400"]. Raises [Parse_error] on
+    malformed input. *)
 val parse : string -> rule list
 
 val to_string : rule list -> string

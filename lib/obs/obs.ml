@@ -197,6 +197,14 @@ module Agg = struct
                [ ("calls", Json.Int calls); ("total_s", Json.Float total) ] ))
          (sorted_bindings a.spans))
 
+  let span_total a name =
+    match Hashtbl.find_opt a.spans name with
+    | Some (_, total) -> total
+    | None -> 0.0
+
+  let counter_total a name =
+    match Hashtbl.find_opt a.counters name with Some n -> n | None -> 0
+
   let counters_json a =
     Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (sorted_bindings a.counters))
 

@@ -145,6 +145,15 @@ module Agg : sig
   (** [merge_into ~dst src] adds [src] into [dst] (gauges: [src] wins). *)
   val merge_into : dst:agg -> agg -> unit
 
+  (** [span_total a name] is the summed duration of span [name] (0 when
+      it never ran) — the lookup the bench sweep and the RPC service's
+      per-request accounting both need. *)
+  val span_total : agg -> string -> float
+
+  (** [counter_total a name] is the summed value of counter [name]
+      (0 when never emitted). *)
+  val counter_total : agg -> string -> int
+
   (** [tactics_json a] is the histogram object for
       [BENCH_throughput.json]: accepted counts keyed [b0..t3], site
       totals, [pad_bytes] and a [rejects] sub-object. *)

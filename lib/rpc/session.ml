@@ -1,0 +1,436 @@
+module Json = E9_obs.Json
+module Obs = E9_obs.Obs
+module Rewriter = E9_core.Rewriter
+module Stats = E9_core.Stats
+module Patchspec = E9_spec.Patchspec
+module Fault = E9_fault.Fault
+module Static = E9_check.Static
+
+type decoded = Frontend.text * Frontend.site list
+
+type emit_entry = {
+  bytes : bytes;
+  stats : Stats.t;
+  size_pct : float;
+  trampoline_bytes : int;
+  mappings : int;
+  verified : bool;
+}
+
+type ctx = {
+  decode_cache : decoded Cache.t;
+  result_cache : emit_entry Cache.t;
+  fault : Fault.t;
+  jobs : int;
+  status : unit -> Json.t;
+}
+
+type t = {
+  ctx : ctx;
+  obs : Obs.t;
+  trampolines : (string, Patchspec.template) Hashtbl.t;
+  mutable binary : (Elf_file.t * string) option;  (** parsed input, content hash *)
+  mutable rules : Patchspec.rule list;  (** reverse order *)
+  mutable reserves : (int * int) list;  (** reverse order *)
+  mutable opts : Rewriter.options;
+  mutable disasm_from : int option;
+  mutable jobs : int;
+  mutable requests : int;
+  mutable emits : int;
+}
+
+let create ctx ~obs =
+  {
+    ctx;
+    obs;
+    trampolines = Hashtbl.create 8;
+    binary = None;
+    rules = [];
+    reserves = [];
+    opts = Rewriter.default_options;
+    disasm_from = None;
+    jobs = ctx.jobs;
+    requests = 0;
+    emits = 0;
+  }
+
+let requests t = t.requests
+let emits t = t.emits
+
+type verdict = { reply : Json.t option; close : bool; stop : bool }
+
+(* Internal typed failures; [handle] renders each as its error code. *)
+exception Invalid_params of string
+exception State_error of string
+exception Verify_refused of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Invalid_params m)) fmt
+let state fmt = Printf.ksprintf (fun m -> raise (State_error m)) fmt
+
+let int_param params key =
+  match Proto.int_param params key with
+  | `Ok n -> Some n
+  | `Missing -> None
+  | `Bad -> bad "%s must be an integer (or a decimal/0x-hex string)" key
+
+let string_param params key =
+  match Proto.string_param params key with
+  | `Ok s -> Some s
+  | `Missing -> None
+  | `Bad -> bad "%s must be a string" key
+
+let bool_param params key =
+  match Proto.bool_param params key with
+  | `Ok b -> Some b
+  | `Missing -> None
+  | `Bad -> bad "%s must be a boolean" key
+
+let require what = function Some v -> v | None -> bad "missing %s param" what
+
+(* ------------------------------------------------------------------ *)
+(* binary                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_raw path =
+  match open_in_bin path with
+  | exception Sys_error m -> raise (Elf_file.Io_error m)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> s
+          | exception (Sys_error m) -> raise (Elf_file.Io_error m)
+          | exception End_of_file ->
+              raise (Elf_file.Io_error (path ^ ": short read")))
+
+let do_binary t params =
+  (if t.binary <> None then
+     state "binary already loaded; emit it before loading another");
+  let raw =
+    match (string_param params "filename", string_param params "data") with
+    | Some _, Some _ -> bad "filename and data are exclusive"
+    | Some path, None -> Bytes.unsafe_of_string (read_raw path)
+    | None, Some hex -> (
+        match Proto.bytes_of_hex hex with
+        | Ok b -> b
+        | Error m -> bad "data: %s" m)
+    | None, None -> bad "binary needs a filename or data param"
+  in
+  let elf = Elf_file.of_bytes raw in
+  let hash = Cache.fnv1a64 raw in
+  t.binary <- Some (elf, hash);
+  Json.Obj
+    [ ("ok", Json.Bool true); ("size", Json.Int (Bytes.length raw));
+      ("hash", Json.Str hash) ]
+
+(* ------------------------------------------------------------------ *)
+(* options                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let do_options t params =
+  let fields = match params with Json.Obj l -> l | _ -> [] in
+  List.iter
+    (fun (key, _) ->
+      match key with
+      | "granularity" | "grouping" | "shared" | "loader" | "b0_fallback"
+      | "t1" | "t2" | "t3" | "shard_span" | "disasm_from" | "jobs" -> ()
+      | other -> bad "unknown option %s" other)
+    fields;
+  let o = t.opts in
+  let tac = o.Rewriter.tactics in
+  let upd v f = match v with None -> () | Some v -> f v in
+  let tactics = ref tac in
+  upd (bool_param params "t1") (fun v ->
+      tactics := { !tactics with E9_core.Tactics.enable_t1 = v });
+  upd (bool_param params "t2") (fun v ->
+      tactics := { !tactics with E9_core.Tactics.enable_t2 = v });
+  upd (bool_param params "t3") (fun v ->
+      tactics := { !tactics with E9_core.Tactics.enable_t3 = v });
+  upd (bool_param params "b0_fallback") (fun v ->
+      tactics := { !tactics with E9_core.Tactics.b0_fallback = v });
+  let loader =
+    match string_param params "loader" with
+    | None -> o.Rewriter.loader
+    | Some "table" -> Rewriter.Table
+    | Some "stub" -> Rewriter.Stub
+    | Some other -> bad "loader must be table or stub, not %s" other
+  in
+  let granularity =
+    match int_param params "granularity" with
+    | None -> o.Rewriter.granularity
+    | Some m when m >= 1 -> m
+    | Some m -> bad "granularity must be >= 1, not %d" m
+  in
+  let shard_span =
+    match int_param params "shard_span" with
+    | None -> o.Rewriter.shard_span
+    | Some s when s >= 1 -> s
+    | Some s -> bad "shard_span must be >= 1, not %d" s
+  in
+  t.opts <-
+    { o with
+      Rewriter.tactics = !tactics;
+      loader;
+      granularity;
+      shard_span;
+      grouping =
+        Option.value (bool_param params "grouping") ~default:o.Rewriter.grouping;
+      reserve_below_base =
+        Option.value (bool_param params "shared")
+          ~default:o.Rewriter.reserve_below_base };
+  upd (int_param params "disasm_from") (fun a -> t.disasm_from <- Some a);
+  upd (int_param params "jobs") (fun j ->
+      if j < 1 then bad "jobs must be >= 1, not %d" j else t.jobs <- j);
+  Json.Obj [ ("ok", Json.Bool true) ]
+
+(* ------------------------------------------------------------------ *)
+(* trampoline / reserve / patch                                        *)
+(* ------------------------------------------------------------------ *)
+
+let template_word = function
+  | Patchspec.Empty -> "empty"
+  | Patchspec.Counter -> "counter"
+  | Patchspec.Lowfat -> "lowfat"
+
+let template_of_word = function
+  | "empty" -> Patchspec.Empty
+  | "counter" -> Patchspec.Counter
+  | "lowfat" -> Patchspec.Lowfat
+  | other -> bad "unknown template %s (empty, counter or lowfat)" other
+
+let do_trampoline t params =
+  let name = require "name" (string_param params "name") in
+  let template = require "template" (string_param params "template") in
+  Hashtbl.replace t.trampolines name (template_of_word template);
+  Json.Obj [ ("ok", Json.Bool true) ]
+
+let do_reserve t params =
+  let address = require "address" (int_param params "address") in
+  let length = require "length" (int_param params "length") in
+  if length < 1 then bad "length must be >= 1, not %d" length;
+  t.reserves <- (address, length) :: t.reserves;
+  Json.Obj [ ("ok", Json.Bool true); ("reserved", Json.Int (List.length t.reserves)) ]
+
+let do_patch t params =
+  let source =
+    match (string_param params "spec", string_param params "selector") with
+    | Some _, Some _ -> bad "spec and selector are exclusive"
+    | Some src, None -> src
+    | None, Some selector ->
+        let word = require "trampoline" (string_param params "trampoline") in
+        (* A name registered via the trampoline message aliases one of the
+           built-in templates; otherwise the word must itself be one. *)
+        let tmpl =
+          match Hashtbl.find_opt t.trampolines word with
+          | Some tmpl -> tmpl
+          | None -> template_of_word word
+        in
+        Printf.sprintf "patch %s with %s" selector (template_word tmpl)
+    | None, None -> bad "patch needs a spec or a selector/trampoline pair"
+  in
+  let rules = Patchspec.parse source in
+  t.rules <- List.rev_append rules t.rules;
+  Json.Obj
+    [ ("ok", Json.Bool true); ("rules", Json.Int (List.length t.rules)) ]
+
+(* ------------------------------------------------------------------ *)
+(* emit                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Atomic bytes writer: the cache-hit path serves raw bytes with the same
+   temp+rename discipline Elf_file.write_file gives parsed images. *)
+let write_bytes_atomic bytes path =
+  let dir = Filename.dirname path in
+  match Filename.temp_file ~temp_dir:dir ".e9rpc" ".tmp" with
+  | exception Sys_error m -> raise (Elf_file.Io_error m)
+  | tmp -> (
+      match
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_bytes oc bytes);
+        Sys.rename tmp path
+      with
+      | () -> ()
+      | exception Sys_error m ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          raise (Elf_file.Io_error m))
+
+let stats_json (s : Stats.t) =
+  Json.Obj
+    [ ("b0", Json.Int s.Stats.b0); ("b1", Json.Int s.Stats.b1);
+      ("b2", Json.Int s.Stats.b2); ("t1", Json.Int s.Stats.t1);
+      ("t2", Json.Int s.Stats.t2); ("t3", Json.Int s.Stats.t3);
+      ("failed", Json.Int s.Stats.failed) ]
+
+let from_tag = function None -> "-" | Some a -> Printf.sprintf "%x" a
+
+let do_emit t params =
+  let elf, bhash =
+    match t.binary with
+    | Some b -> b
+    | None -> state "emit needs a loaded binary"
+  in
+  if Fault.fires t.ctx.fault Fault.Rpc_emit then
+    raise (Fault.Injected "injected rpc emit fault");
+  let filename = string_param params "filename" in
+  let want_data = Option.value (bool_param params "data") ~default:false in
+  let spec = List.rev t.rules in
+  let spec_src = Format.asprintf "%a" Patchspec.pp spec in
+  let opts = { t.opts with Rewriter.keep_ranges = List.rev t.reserves } in
+  let okey =
+    Rewriter.options_signature opts ^ ";from=" ^ from_tag t.disasm_from
+  in
+  let key =
+    Printf.sprintf "r:%s:%s:%s" bhash
+      (Cache.fnv1a64_string spec_src)
+      (Cache.fnv1a64_string okey)
+  in
+  let entry, cache_tag =
+    match Cache.find t.ctx.result_cache key with
+    | Some e ->
+        Obs.counter t.obs ~name:"rpc_cache_hits" ~value:1;
+        (e, "hit")
+    | None ->
+        Obs.counter t.obs ~name:"rpc_cache_misses" ~value:1;
+        let dkey = Printf.sprintf "d:%s:%s" bhash (from_tag t.disasm_from) in
+        let decoded =
+          match Cache.find t.ctx.decode_cache dkey with
+          | Some d -> d
+          | None ->
+              let d =
+                Obs.span t.obs "rpc_decode" (fun () ->
+                    Frontend.disassemble ?from:t.disasm_from elf)
+              in
+              Cache.add t.ctx.decode_cache dkey d;
+              d
+        in
+        let select, template = Patchspec.to_rewriter_args spec in
+        let r =
+          Obs.span t.obs "rpc_rewrite" (fun () ->
+              Rewriter.run ~options:opts ~obs:t.obs ~jobs:t.jobs
+                ?disasm_from:t.disasm_from
+                ~frontend:(fun _ -> decoded)
+                elf ~select ~template)
+        in
+        (match
+           Obs.span t.obs "rpc_verify" (fun () ->
+               Static.verify ?disasm_from:t.disasm_from ~original:elf
+                 r.Rewriter.output)
+         with
+        | Ok _ -> ()
+        | Error e ->
+            raise
+              (Verify_refused
+                 (Format.asprintf "%a" Static.pp_error e)));
+        let bytes = Elf_file.to_bytes r.Rewriter.output in
+        let entry =
+          {
+            bytes;
+            stats = r.Rewriter.stats;
+            size_pct = Rewriter.size_pct r;
+            trampoline_bytes = r.Rewriter.trampoline_bytes;
+            mappings = r.Rewriter.mappings;
+            verified = true;
+          }
+        in
+        Cache.add t.ctx.result_cache key entry;
+        (entry, "miss")
+  in
+  (match filename with
+  | Some path -> write_bytes_atomic entry.bytes path
+  | None -> ());
+  (* The emit completes the unit of work: the next binary starts clean.
+     Options and named trampolines are connection-level and survive. *)
+  t.binary <- None;
+  t.rules <- [];
+  t.reserves <- [];
+  t.emits <- t.emits + 1;
+  Json.Obj
+    ([ ("ok", Json.Bool true); ("cache", Json.Str cache_tag);
+       ("size", Json.Int (Bytes.length entry.bytes));
+       ("size_pct", Json.Float entry.size_pct);
+       ("trampoline_bytes", Json.Int entry.trampoline_bytes);
+       ("mappings", Json.Int entry.mappings);
+       ("verified", Json.Bool entry.verified);
+       ("stats", stats_json entry.stats) ]
+    @ (match filename with
+      | Some path -> [ ("wrote", Json.Str path) ]
+      | None -> [])
+    @ if want_data then [ ("data", Json.Str (Proto.hex_of_bytes entry.bytes)) ]
+      else [])
+
+(* ------------------------------------------------------------------ *)
+(* dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let do_flush t =
+  let _ = Cache.flush t.ctx.decode_cache in
+  let generation = Cache.flush t.ctx.result_cache in
+  Json.Obj [ ("ok", Json.Bool true); ("generation", Json.Int generation) ]
+
+let handle t (req : Proto.request) =
+  t.requests <- t.requests + 1;
+  Obs.counter t.obs ~name:"rpc_requests" ~value:1;
+  let ok ?(close = false) ?(stop = false) result =
+    let reply =
+      match req.Proto.id with
+      | None -> None
+      | Some id -> Some (Proto.response id result)
+    in
+    { reply; close; stop }
+  in
+  let error ?(close = false) code message kind =
+    Obs.counter t.obs ~name:"rpc_errors" ~value:1;
+    let reply =
+      match req.Proto.id with
+      | None -> None
+      | Some id ->
+          Some
+            (Proto.error_response id ~code ~message
+               ~data:(Json.Obj [ ("kind", Json.Str kind) ])
+               ())
+    in
+    { reply; close; stop = false }
+  in
+  let params = req.Proto.params in
+  match
+    Obs.span t.obs ("rpc_" ^ req.Proto.meth) (fun () ->
+        match req.Proto.meth with
+        | "ping" -> ok (Json.Str "pong")
+        | "binary" -> ok (do_binary t params)
+        | "options" -> ok (do_options t params)
+        | "trampoline" -> ok (do_trampoline t params)
+        | "reserve" -> ok (do_reserve t params)
+        | "patch" -> ok (do_patch t params)
+        | "emit" -> ok (do_emit t params)
+        | "status" -> ok (t.ctx.status ())
+        | "flush" -> ok (do_flush t)
+        | "shutdown" ->
+            ok ~close:true ~stop:true
+              (Json.Obj
+                 [ ("ok", Json.Bool true); ("stopping", Json.Bool true) ])
+        | other ->
+            error Proto.method_not_found ("method not found: " ^ other)
+              "method")
+  with
+  | verdict -> verdict
+  | exception Invalid_params m -> error Proto.invalid_params m "params"
+  | exception State_error m -> error Proto.state_error m "state"
+  | exception Elf_file.Malformed m ->
+      error Proto.malformed_binary ("malformed ELF: " ^ m) "elf"
+  | exception Frontend.Error m -> error Proto.rewrite_refused m "frontend"
+  | exception Rewriter.Error m -> error Proto.rewrite_refused m "rewrite"
+  | exception Elf_file.Io_error m -> error Proto.io_error m "io"
+  | exception Obs.Sink_error m -> error Proto.io_error m "trace"
+  | exception Patchspec.Parse_error { line; col; message } ->
+      error Proto.spec_error (Printf.sprintf "%d:%d: %s" line col message)
+        "spec"
+  | exception Verify_refused m ->
+      error Proto.verify_failed ("verification refused the output: " ^ m)
+        "verify"
+  | exception Fault.Injected m ->
+      (* Session-fatal, daemon-safe: the typed response goes out, the
+         session closes, sibling sessions never notice (DESIGN.md §13). *)
+      error ~close:true Proto.injected_fault m "injected"

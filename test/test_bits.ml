@@ -471,6 +471,44 @@ let test_pool_stealing_serial_and_failures () =
            (fun x -> if x = 23 then failwith "boom" else x)
            (List.init 48 Fun.id)))
 
+let test_pool_service_executes_all () =
+  let svc = Pool.Service.create ~domains:4 () in
+  let total = Atomic.make 0 in
+  for i = 1 to 100 do
+    Pool.Service.submit svc (fun () -> ignore (Atomic.fetch_and_add total i))
+  done;
+  Pool.Service.drain svc;
+  Alcotest.(check int) "all tasks ran" (100 * 101 / 2) (Atomic.get total);
+  Alcotest.(check int) "executed count" 100 (Pool.Service.executed svc);
+  Pool.Service.shutdown svc
+
+let test_pool_service_traps_exceptions () =
+  (* Daemon containment: a crashing task is swallowed and counted, and
+     its siblings still run — then the closed pool refuses new work. *)
+  let svc = Pool.Service.create ~domains:2 () in
+  let ran = Atomic.make 0 in
+  Pool.Service.submit svc (fun () -> failwith "session crash");
+  Pool.Service.submit svc (fun () -> Atomic.incr ran);
+  Pool.Service.drain svc;
+  Alcotest.(check int) "sibling task still ran" 1 (Atomic.get ran);
+  Alcotest.(check int) "crash trapped and counted" 1 (Pool.Service.trapped svc);
+  Alcotest.(check int) "both tasks count as executed" 2
+    (Pool.Service.executed svc);
+  Pool.Service.shutdown svc;
+  Alcotest.check_raises "submit after shutdown refused"
+    (Invalid_argument "Pool.Service.submit: pool is shut down") (fun () ->
+      Pool.Service.submit svc (fun () -> ()))
+
+let test_pool_service_single_domain () =
+  let svc = Pool.Service.create ~domains:1 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 25 do
+    Pool.Service.submit svc (fun () -> Atomic.incr hits)
+  done;
+  Pool.Service.drain svc;
+  Alcotest.(check int) "single worker drains the queue" 25 (Atomic.get hits);
+  Pool.Service.shutdown svc
+
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -570,7 +608,13 @@ let suites =
         Alcotest.test_case "stealing under skew" `Quick
           test_pool_stealing_steals_under_skew;
         Alcotest.test_case "stealing serial/failure paths" `Quick
-          test_pool_stealing_serial_and_failures ]
+          test_pool_stealing_serial_and_failures;
+        Alcotest.test_case "service executes all" `Quick
+          test_pool_service_executes_all;
+        Alcotest.test_case "service traps task exceptions" `Quick
+          test_pool_service_traps_exceptions;
+        Alcotest.test_case "service single domain" `Quick
+          test_pool_service_single_domain ]
     );
     ( "bits.rng",
       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
