@@ -27,7 +27,7 @@ SERVE_JOBS ?= 1
 BENCH_JOBS ?=
 BENCH_JOBS_FLAG = $(if $(BENCH_JOBS),--jobs $(BENCH_JOBS))
 
-.PHONY: all build test bench bench-smoke fuzz-smoke fault-smoke robust-smoke serve-smoke fmt clean
+.PHONY: all build test bench bench-smoke fuzz-smoke fault-smoke robust-smoke serve-smoke incremental-smoke fmt clean
 
 all: build
 
@@ -46,9 +46,10 @@ bench: build
 # emulation (figure4), the sharded-rewriter jobs-invariance sweep
 # (parallel), the allocator micro-benchmark against its linear-scan
 # baseline (iset), and the rewriting-service throughput/caching run
-# (serve), at --smoke sizes. Writes BENCH_throughput.json.
+# (serve), and the incremental plan-cache cold-vs-warm series
+# (incremental), at --smoke sizes. Writes BENCH_throughput.json.
 bench-smoke: build
-	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke $(BENCH_JOBS_FLAG) scalability figure4 parallel iset serve | tee bench_output.txt
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke $(BENCH_JOBS_FLAG) scalability figure4 parallel iset serve incremental | tee bench_output.txt
 
 # Fixed-seed differential fuzz campaign: random profile × tactic configs,
 # each rewrite checked by the static verifier and the trace oracle.
@@ -94,6 +95,19 @@ serve-smoke: build
 	grep -q '"verified":true' serve_output.txt
 	$(DUNE) exec bin/e9patch_cli.exe -- check serve-smoke/input.elf serve-smoke/out.elf | tee -a serve_output.txt
 	test -s serve-smoke/session-0.ndjson
+
+# Incremental-rewriting smoke (DESIGN.md §14): an N-revision series with
+# ~1% churn per step, each revision rewritten cold (fresh plan store) and
+# warm (shared store). The bench itself fails if any warm output differs
+# from cold, if the static verifier rejects anything, or if the warm pass
+# is not at least 2x faster than cold over the incremental revisions; the
+# grep pins the byte-identity line into the log. CI runs this under
+# BENCH_JOBS=1 and BENCH_JOBS=4 — plan replay must not disturb the
+# jobs-invariance contract.
+incremental-smoke: build
+	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke $(BENCH_JOBS_FLAG) incremental | tee incremental_output.txt
+	grep -q 'identical' incremental_output.txt
+	! grep -q 'DIFFERS\|FAIL' incremental_output.txt
 
 clean:
 	$(DUNE) clean

@@ -1328,6 +1328,7 @@ let bench_serve () =
   let started, closed = Server.sessions server in
   let rc = Cache.stats (Server.ctx server).E9_rpc.Session.result_cache in
   let dc = Cache.stats (Server.ctx server).E9_rpc.Session.decode_cache in
+  let bypassed = Atomic.get (Server.ctx server).E9_rpc.Session.bypassed in
   let hit_rate = Cache.hit_rate rc in
   let req_per_s =
     if wall > 0.0 then float_of_int (Server.requests server) /. wall else 0.0
@@ -1339,9 +1340,11 @@ let bench_serve () =
      p50 %.1f ms, p99 %.1f ms@."
     closed distinct repeats (Server.requests server) wall req_per_s
     (1000.0 *. p50) (1000.0 *. p99);
-  printf "  result cache: %d/%d hits (%.0f%%); decode cache: %d/%d hits@."
+  printf
+    "  result cache: %d/%d hits (%.0f%%); decode cache: %d/%d hits, %d \
+     bypassed@."
     rc.Cache.hits (rc.Cache.hits + rc.Cache.misses) (100.0 *. hit_rate)
-    dc.Cache.hits (dc.Cache.hits + dc.Cache.misses);
+    dc.Cache.hits (dc.Cache.hits + dc.Cache.misses) bypassed;
   record_row "serve"
     [ ("sessions", Json.Int closed);
       ("requests", Json.Int (Server.requests server));
@@ -1364,7 +1367,13 @@ let bench_serve () =
            ("p99_ms", Json.Float (1000.0 *. p99));
            ("hit_rate", Json.Float hit_rate);
            ("result_cache", Cache.stats_json rc);
-           ("decode_cache", Cache.stats_json dc) ]);
+           ("decode_cache",
+            (* Result-cache hits never consult the decode cache; the
+               bypass count is what keeps its hit rate honest here. *)
+            match Cache.stats_json dc with
+            | Json.Obj fields ->
+                Json.Obj (fields @ [ ("bypassed", Json.Int bypassed) ])
+            | j -> j) ]);
   if started <> closed then begin
     printf "  FAIL: %d sessions started, %d closed@." started closed;
     Atomic.incr verify_checked;
@@ -1374,6 +1383,177 @@ let bench_serve () =
      time (it is 2/3 by construction — 2 warm emits per 1 cold). *)
   if hit_rate < 0.5 then begin
     printf "  FAIL: replay hit-rate %.2f < 0.5@." hit_rate;
+    Atomic.incr verify_checked;
+    Atomic.incr verify_failed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental rewriting: the chunked plan cache, warm vs cold         *)
+(* ------------------------------------------------------------------ *)
+
+module Plan = E9_core.Plan
+
+let incremental_json : Json.t option ref = ref None
+
+(* An N-revision series with ~1% text churn per step: revision r+1 is
+   revision r with a few whole instructions overwritten by NOPs (edits at
+   decoded-site boundaries, so every revision stays a valid linear-sweep
+   input). Each revision is rewritten twice under identical chunked
+   options — cold against a fresh plan store, warm against the store the
+   series has been populating — and the gate is that the warm pass both
+   reproduces the cold bytes exactly and runs at least twice as fast,
+   because unchanged chunks replay their plans instead of re-running
+   decode and tactic search (O(changed bytes), DESIGN.md §14). Timed runs
+   are sequential: par_map would make wall-clock meaningless. *)
+let bench_incremental () =
+  heading "Incremental rewriting: chunked plan cache, warm vs cold";
+  let functions = if !smoke then 500 else 1500 in
+  let revisions = if !smoke then 4 else 6 in
+  let prof =
+    { Codegen.default_profile with
+      Codegen.seed = 77L; functions; iterations = 1 }
+  in
+  let elf0 = Codegen.generate prof in
+  let base_bytes = Elf_file.to_bytes elf0 in
+  let text, sites = Frontend.disassemble elf0 in
+  (* Churn sites from the base decode: overwriting an instruction with
+     one-byte NOPs preserves every other instruction boundary, so the
+     base site table stays valid for deriving later revisions too. *)
+  let editable =
+    Array.of_list (List.filter (fun s -> s.Frontend.len >= 2) sites)
+  in
+  let churn_budget = max 16 (text.Frontend.size / 100) in
+  (* Localized churn, like a real edit: one contiguous run of
+     instructions per revision, ~1% of the text. Scattering the same
+     budget uniformly would touch every chunk and leave nothing to
+     replay. *)
+  let revise rng bytes =
+    let b = Bytes.copy bytes in
+    let start = Random.State.int rng (Array.length editable) in
+    let churned = ref 0 in
+    let i = ref start in
+    while !churned < churn_budget && !i < Array.length editable do
+      let s = editable.(!i) in
+      let off = text.Frontend.offset + (s.Frontend.addr - text.Frontend.base) in
+      Bytes.fill b off s.Frontend.len '\x90';
+      churned := !churned + s.Frontend.len;
+      incr i
+    done;
+    b
+  in
+  let rng = Random.State.make [| 0xe9; 77 |] in
+  let series =
+    let rec grow acc bytes n =
+      if n = 0 then List.rev acc
+      else
+        let next = revise rng bytes in
+        grow (next :: acc) next (n - 1)
+    in
+    base_bytes :: grow [] base_bytes (revisions - 1)
+  in
+  let options =
+    { Rewriter.default_options with
+      Rewriter.chunking = Some Chunker.default }
+  in
+  let plan_of table =
+    { Plan.store = Plan.table_store table;
+      (* select/template are fixed for the whole experiment, so a
+         constant fragment key is exact. *)
+      spec_key = (fun ~lo:_ ~len:_ -> "bench:jumps/empty") }
+  in
+  let rewrite ~plan elf =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Rewriter.run ~options ?jobs:!jobs_opt ~plan elf
+        ~select:Frontend.select_jumps
+        ~template:(fun _ -> Trampoline.Empty)
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let warm_table = Plan.create_table () in
+  printf "  %3s %9s %9s %9s  %5s %5s %5s  %s@." "rev" "cold s" "warm s"
+    "speedup" "hit" "miss" "conf" "bytes";
+  let cold_total = ref 0.0 and warm_total = ref 0.0 in
+  let hits = ref 0 and misses = ref 0 and conflicts = ref 0 in
+  let all_identical = ref true in
+  let rows =
+    List.mapi
+      (fun rev bytes ->
+        let elf = Elf_file.of_bytes bytes in
+        let cold, cold_s = rewrite ~plan:(plan_of (Plan.create_table ())) elf in
+        let warm, warm_s = rewrite ~plan:(plan_of warm_table) elf in
+        let identical =
+          Bytes.equal
+            (Elf_file.to_bytes cold.Rewriter.output)
+            (Elf_file.to_bytes warm.Rewriter.output)
+        in
+        verify_rewrite (Printf.sprintf "incremental(rev %d, warm)" rev) elf
+          warm;
+        if not identical then all_identical := false;
+        (* Revision 0 populates the warm store (all misses); the
+           incremental claim is about the replays after it. *)
+        if rev > 0 then begin
+          cold_total := !cold_total +. cold_s;
+          warm_total := !warm_total +. warm_s
+        end;
+        hits := !hits + warm.Rewriter.plan_hits;
+        misses := !misses + warm.Rewriter.plan_misses;
+        conflicts := !conflicts + warm.Rewriter.plan_conflicts;
+        let speedup = if warm_s > 0.0 then cold_s /. warm_s else 0.0 in
+        record_row "incremental"
+          [ ("rev", Json.Int rev);
+            ("cold_s", Json.Float cold_s);
+            ("warm_s", Json.Float warm_s);
+            ("speedup", Json.Float speedup);
+            ("plan_hits", Json.Int warm.Rewriter.plan_hits);
+            ("plan_misses", Json.Int warm.Rewriter.plan_misses);
+            ("plan_conflicts", Json.Int warm.Rewriter.plan_conflicts);
+            ("identical", Json.Bool identical) ];
+        printf "  %3d %9.3f %9.3f %8.2fx  %5d %5d %5d  %s@." rev cold_s
+          warm_s speedup warm.Rewriter.plan_hits warm.Rewriter.plan_misses
+          warm.Rewriter.plan_conflicts
+          (if identical then "identical" else "DIFFERS");
+        Json.Obj
+          [ ("rev", Json.Int rev);
+            ("cold_s", Json.Float cold_s);
+            ("warm_s", Json.Float warm_s);
+            ("speedup", Json.Float speedup);
+            ("plan_hits", Json.Int warm.Rewriter.plan_hits);
+            ("plan_misses", Json.Int warm.Rewriter.plan_misses);
+            ("plan_conflicts", Json.Int warm.Rewriter.plan_conflicts);
+            ("identical", Json.Bool identical) ])
+      series
+  in
+  let speedup =
+    if !warm_total > 0.0 then !cold_total /. !warm_total else 0.0
+  in
+  printf
+    "  warm total %.3fs vs cold %.3fs over %d incremental revisions: \
+     %.2fx (plans: %d hits, %d misses, %d conflicts)@."
+    !warm_total !cold_total (revisions - 1) speedup !hits !misses !conflicts;
+  incremental_json :=
+    Some
+      (Json.Obj
+         [ ("revisions", Json.Int revisions);
+           ("churn_bytes", Json.Int churn_budget);
+           ("text_bytes", Json.Int text.Frontend.size);
+           ("jobs",
+            Json.Int (match !jobs_opt with Some j -> j | None -> 1));
+           ("cold_s", Json.Float !cold_total);
+           ("warm_s", Json.Float !warm_total);
+           ("warm_speedup", Json.Float speedup);
+           ("plan_hits", Json.Int !hits);
+           ("plan_misses", Json.Int !misses);
+           ("plan_conflicts", Json.Int !conflicts);
+           ("identical", Json.Bool !all_identical);
+           ("series", Json.List rows) ]);
+  if not !all_identical then begin
+    printf "  FAIL: warm output differs from cold@.";
+    Atomic.incr verify_checked;
+    Atomic.incr verify_failed
+  end;
+  if speedup < 2.0 then begin
+    printf "  FAIL: warm speedup %.2fx < 2x@." speedup;
     Atomic.incr verify_checked;
     Atomic.incr verify_failed
   end
@@ -1399,6 +1579,7 @@ let all =
     ("robust", bench_robust);
     ("iset", bench_iset);
     ("serve", bench_serve);
+    ("incremental", bench_incremental);
     ("bechamel", bench_bechamel) ]
 
 let usage () =
@@ -1515,6 +1696,10 @@ let () =
           | None -> Json.Obj []));
          ("service",
           (match !service_json with
+          | Some j -> j
+          | None -> Json.Obj []));
+         ("incremental",
+          (match !incremental_json with
           | Some j -> j
           | None -> Json.Obj []));
          ("verify",

@@ -11,6 +11,7 @@ module Suite = E9_workload.Suite
 module Machine = E9_emu.Machine
 module Cpu = E9_emu.Cpu
 module Rewriter = E9_core.Rewriter
+module Plan = E9_core.Plan
 module Tactics = E9_core.Tactics
 module Stats = E9_core.Stats
 module Trampoline = E9_core.Trampoline
@@ -168,8 +169,20 @@ let patch_cmd =
                 sites: alloc, b0alloc, decode, shard, trace, write. E.g. \
                 'alloc\\@3,write\\@0'.")
   in
+  let plan_cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan-cache" ] ~docv:"FILE"
+          ~doc:"Incremental rewriting: split the text into content-defined \
+                chunks, replay cached per-chunk rewrite plans from $(docv) \
+                for unchanged chunks, search the changed ones live, and \
+                save the updated plans back. Output bytes are identical to \
+                a cold rewrite; repeat rewrites of a lightly edited binary \
+                cost O(changed bytes). Created on first use.")
+  in
   let run () input output select template granularity no_grouping shared b0
-      no_t1 no_t2 no_t3 stub spec_arg spec_file trace jobs inject =
+      no_t1 no_t2 no_t3 stub spec_arg spec_file trace jobs inject plan_cache =
    or_die @@ fun () ->
     let fault =
       match inject with
@@ -189,12 +202,14 @@ let patch_cmd =
         reserve_below_base = shared;
         loader = (if stub then Rewriter.Stub else Rewriter.Table);
         shard_span = Rewriter.default_options.Rewriter.shard_span;
-        keep_ranges = [] }
+        keep_ranges = [];
+        chunking =
+          (if plan_cache <> None then Some Chunker.default else None) }
     in
-    let select, template =
+    let spec =
       match (spec_arg, spec_file) with
       | Some _, Some _ -> failwith "--spec and --spec-file are exclusive"
-      | Some src, None -> Patchspec.to_rewriter_args (Patchspec.parse src)
+      | Some src, None -> Some (Patchspec.parse src)
       | None, Some path ->
           let ic = open_in path in
           let src =
@@ -202,14 +217,53 @@ let patch_cmd =
               ~finally:(fun () -> close_in ic)
               (fun () -> really_input_string ic (in_channel_length ic))
           in
-          Patchspec.to_rewriter_args (Patchspec.parse src)
-      | None, None ->
-          (select_of select, fun _ -> template_of template)
+          Some (Patchspec.parse src)
+      | None, None -> None
+    in
+    let select_name = select and template_name = template in
+    let select, template =
+      match spec with
+      | Some spec -> Patchspec.to_rewriter_args spec
+      | None -> (select_of select, fun _ -> template_of template)
+    in
+    let plan_table = Option.map Plan.load_table plan_cache in
+    let plan =
+      Option.map
+        (fun table ->
+          let text_base =
+            match Frontend.find_text elf with
+            | Some t -> t.Frontend.base
+            | None -> 0
+          in
+          (* Spec identity per chunk: for a parsed spec, the canonical
+             syntax of the rules that may match in the chunk's address
+             range; for the builtin selectors, their names (address-free,
+             so the whole-spec key is already per-chunk exact). *)
+          let spec_key ~lo ~len =
+            match spec with
+            | Some s ->
+                Patchspec.fragment_key
+                  (Patchspec.fragment_for_range s ~lo:(text_base + lo)
+                     ~hi:(text_base + lo + len))
+            | None -> Printf.sprintf "sel=%s;tpl=%s" select_name template_name
+          in
+          { Plan.store = Plan.table_store table; spec_key })
+        plan_table
     in
     let obs =
       match trace with Some _ -> Obs.ring () | None -> Obs.null
     in
-    let r = Rewriter.run ~options ~obs ~fault ?jobs elf ~select ~template in
+    let r =
+      Rewriter.run ~options ~obs ~fault ?jobs ?plan elf ~select ~template
+    in
+    (match (plan_table, plan_cache) with
+    | Some table, Some file ->
+        Plan.save_table table file;
+        printf
+          "plan cache: %d hits, %d misses, %d conflicts; %d plans -> %s@."
+          r.Rewriter.plan_hits r.Rewriter.plan_misses
+          r.Rewriter.plan_conflicts (Plan.table_size table) file
+    | _ -> ());
     Elf_file.write_file
       ~fault:(fun () -> Fault.fires fault Fault.Write)
       r.Rewriter.output output;
@@ -253,7 +307,7 @@ let patch_cmd =
     Term.(
       const run $ setup_logs $ input $ output $ select $ template
       $ granularity $ no_grouping $ shared $ b0 $ no_t1 $ no_t2 $ no_t3
-      $ stub $ spec_arg $ spec_file $ trace $ jobs $ inject)
+      $ stub $ spec_arg $ spec_file $ trace $ jobs $ inject $ plan_cache)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -576,6 +630,14 @@ let serve_cmd =
       & info [ "cache-capacity" ] ~docv:"N"
           ~doc:"Entries per content-addressed cache (decode and result).")
   in
+  let plan_capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "plan-capacity" ] ~docv:"N"
+          ~doc:"Entries in the chunk-granular plan cache (sessions opt in \
+                with the \"plan\" option; one entry per text chunk, so this \
+                runs much deeper than the whole-binary caches).")
+  in
   let inject =
     Arg.(
       value
@@ -585,7 +647,8 @@ let serve_cmd =
                 (rpcaccept, rpcread, rpcdecode, rpcemit), same grammar as \
                 patch --inject.")
   in
-  let run () socket trace_dir jobs domains max_sessions cache inject =
+  let run () socket trace_dir jobs domains max_sessions cache plan_capacity
+      inject =
    or_die @@ fun () ->
     let fault =
       match inject with
@@ -593,7 +656,8 @@ let serve_cmd =
       | Some spec -> Fault.create (Fault.parse spec)
     in
     let server =
-      E9_rpc.Server.create ~cache_capacity:cache ~jobs ~fault ?trace_dir ()
+      E9_rpc.Server.create ~cache_capacity:cache ~plan_capacity ~jobs ~fault
+        ?trace_dir ()
     in
     (match socket with
     | None -> E9_rpc.Server.serve_channels server stdin stdout
@@ -624,7 +688,7 @@ let serve_cmd =
              served output.")
     Term.(
       const run $ setup_logs $ socket $ trace_dir $ jobs $ domains
-      $ max_sessions $ cache $ inject)
+      $ max_sessions $ cache $ plan_capacity $ inject)
 
 (* ------------------------------------------------------------------ *)
 (* robust                                                              *)

@@ -254,6 +254,85 @@ let steal_property ?(count = 15) ?(jobs = [ 2; 4; 7 ]) ?(shard_span = 2048)
           else true)
         jobs)
 
+let incremental_property ?(count = 10) ?(jobs = [ 1; 4 ])
+    ?(name = "incremental (plan-replay) rewrite is byte-identical to cold") ()
+    =
+  let module Plan = E9_core.Plan in
+  (* Fuzz-sized texts are a few KiB, so shrink the chunking well below
+     the production default to get several chunks per binary. *)
+  let chunking = { Chunker.min_size = 256; avg_bits = 9; max_size = 2048 } in
+  let gen =
+    QCheck2.Gen.pair gen_case
+      (QCheck2.Gen.pair (QCheck2.Gen.float_bound_inclusive 1.0)
+         (QCheck2.Gen.int_range 0 96))
+  in
+  let print (case, (frac, budget)) =
+    Printf.sprintf "%s | edit@%.2f,%dB" (case_to_string case) frac budget
+  in
+  QCheck2.Test.make ~count ~name ~print gen
+    (fun (case, (edit_frac, edit_budget)) ->
+      let elf, disasm_from, select = prepare case in
+      let options = { case.options with Rewriter.chunking = Some chunking } in
+      let plan_of table =
+        { Plan.store = Plan.table_store table;
+          spec_key =
+            (fun ~lo:_ ~len:_ ->
+              if case.select_writes then "fuzz:writes" else "fuzz:jumps") }
+      in
+      let rewrite ?jobs ~plan elf =
+        Rewriter.run ~options ?jobs ~plan ?disasm_from elf ~select
+          ~template:(fun _ -> Trampoline.Empty)
+      in
+      (* Populate the store from the base revision, then derive an edited
+         revision: one contiguous run of decoded instructions replaced by
+         NOPs (boundary-preserving, so it stays a valid sweep input). A
+         zero budget degenerates to the all-hit replay of the same bytes. *)
+      let warm_table = Plan.create_table () in
+      ignore (rewrite ~plan:(plan_of warm_table) elf);
+      let revision =
+        let b = Elf_file.to_bytes elf in
+        let text, sites = Frontend.disassemble ?from:disasm_from elf in
+        let editable =
+          Array.of_list (List.filter (fun s -> s.Frontend.len >= 2) sites)
+        in
+        let n = Array.length editable in
+        if n = 0 then b
+        else begin
+          let b = Bytes.copy b in
+          let i = ref (int_of_float (edit_frac *. float_of_int (n - 1))) in
+          let churned = ref 0 in
+          while !churned < edit_budget && !i < n do
+            let s = editable.(!i) in
+            let off =
+              text.Frontend.offset + (s.Frontend.addr - text.Frontend.base)
+            in
+            Bytes.fill b off s.Frontend.len '\x90';
+            churned := !churned + s.Frontend.len;
+            incr i
+          done;
+          b
+        end
+      in
+      let elf' = Elf_file.of_bytes revision in
+      let cold = rewrite ~plan:(plan_of (Plan.create_table ())) elf' in
+      let reference = Elf_file.to_bytes cold.Rewriter.output in
+      List.for_all
+        (fun n ->
+          let warm = rewrite ~jobs:n ~plan:(plan_of warm_table) elf' in
+          if
+            not
+              (Bytes.equal (Elf_file.to_bytes warm.Rewriter.output) reference)
+          then
+            QCheck2.Test.fail_reportf
+              "jobs=%d warm output differs from cold (%d hits, %d misses, \
+               %d conflicts)"
+              n warm.Rewriter.plan_hits warm.Rewriter.plan_misses
+              warm.Rewriter.plan_conflicts
+          else if warm.Rewriter.stats <> cold.Rewriter.stats then
+            QCheck2.Test.fail_reportf "jobs=%d warm stats differ from cold" n
+          else true)
+        jobs)
+
 let jobs_property ?(count = 25) ?(jobs = [ 2; 4; 7 ]) ?(shard_span = 2048)
     ?(name = "rewrite output is identical for every domain count") () =
   QCheck2.Test.make ~count ~name ~print:case_to_string gen_case (fun case ->

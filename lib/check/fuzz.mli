@@ -73,6 +73,15 @@ val campaign : ?progress:(int -> unit) -> n:int -> seed:int -> unit -> summary
 (** The QCheck property (shrinking enabled), for the test suite. *)
 val property : ?count:int -> ?name:string -> unit -> QCheck2.Test.t
 
+(** Incremental-rewrite property (DESIGN.md §14): populate a chunk-plan
+    store from a base binary, derive an edited revision (a contiguous
+    run of instructions NOPped out), and check that the warm
+    (plan-replaying) rewrite of the revision is byte-identical — bytes
+    and stats — to a cold rewrite, for every domain count in [jobs]
+    (default [1; 4]). *)
+val incremental_property :
+  ?count:int -> ?jobs:int list -> ?name:string -> unit -> QCheck2.Test.t
+
 (** Jobs-determinism property: rewriting with every domain count in
     [jobs] (default [2; 4; 7]) produces output bytes, stats and
     patched-site lists identical to [jobs = 1], under a [shard_span]

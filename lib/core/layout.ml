@@ -11,7 +11,21 @@ module Iset = E9_bits.Iset
    decorrelates ownership from the power-of-two strides of joint-pun
    probes (a plain [index mod count] would starve shards whenever
    [stride / stripe_size] shares a factor with [count]). *)
-type stripe = { index : int; count : int }
+(* Two ownership schemes share the stripe machinery:
+   - [Modular]: the PR 4 fixed-span geometry — ownership rotates per row
+     of [count] consecutive stripes, keyed by the shard ordinal.
+   - [Range]: the plan-cache geometry (DESIGN.md §14) — a content-defined
+     chunk covering text offsets [r_lo, r_hi) of a [total]-byte text owns
+     exactly the stripes whose scrambled image lands inside its own
+     range. Ownership is a function of the chunk's {e own} coordinates
+     (and the text size), never of the chunk count or ordinal, so a
+     revision that splits or merges chunks elsewhere leaves this chunk's
+     stripe set — and therefore its cached trampoline placements —
+     intact. Chunks partition the text, so the scheme partitions the
+     stripes: disjointness holds without any arena seeing the others. *)
+type stripe =
+  | Modular of { index : int; count : int }
+  | Range of { r_lo : int; r_hi : int; total : int }
 
 (* One page per stripe: any pun window of a page or more (two or fewer
    fixed displacement bytes) contains stripes of every owner, so the
@@ -26,6 +40,20 @@ let row_mix r =
 
 let stripe_owner ~count i =
   if count <= 1 then 0 else ((i + row_mix (i / count)) mod count + count) mod count
+
+(* [Range] ownership: stripe [i] maps to a pseudorandom text offset; the
+   chunk whose range contains that offset owns the stripe. The same
+   multiplicative scramble as [row_mix] spreads each chunk's stripes
+   uniformly over the whole trampoline address space (every chunk needs
+   reachable stripes in every window class). *)
+let range_image ~total i = ((i * 0x2545F4914F6CDD1D) land max_int) mod total
+
+let owns st i =
+  match st with
+  | Modular { index; count } -> stripe_owner ~count i = index
+  | Range { r_lo; r_hi; total } ->
+      let o = range_image ~total i in
+      o >= r_lo && o < r_hi
 
 (* Next-fit cursors: one remembered resume point per window-span class
    (quarter-log2 of [hi - lo]: each class covers a 4-octave span band, so
@@ -114,21 +142,30 @@ let create ?(reserve_below_base = false) ?(block_size = 4096) (elf : Elf_file.t)
     stripe_rotations = 0;
     last_denial = No_denial }
 
-let shard t ~index ~count =
-  if index < 0 || index >= count then invalid_arg "Layout.shard";
+let shard_with t stripe =
   (* Both snapshots are O(1): the interval tree is persistent, so the
      arena holds the parent's occupancy as an immutable shared prefix and
      its own allocations as a private delta of tree paths. *)
   { base = t.base;
     occupied = Iset.copy t.occupied;
     trampolines = Iset.create ();
-    stripe = (if count <= 1 then None else Some { index; count });
+    stripe;
     cursors = Array.make cursor_classes min_int;
     cursor_hits = 0;
     cursor_misses = 0;
     resume_stripe = min_int;
     stripe_rotations = 0;
     last_denial = No_denial }
+
+let shard t ~index ~count =
+  if index < 0 || index >= count then invalid_arg "Layout.shard";
+  shard_with t (if count <= 1 then None else Some (Modular { index; count }))
+
+let shard_range t ~lo ~hi ~total =
+  if lo < 0 || hi <= lo || hi > total || total <= 0 then
+    invalid_arg "Layout.shard_range";
+  shard_with t
+    (if hi - lo >= total then None else Some (Range { r_lo = lo; r_hi = hi; total }))
 
 let absorb ~dst src =
   Iset.iter src.trampolines (fun ~lo ~hi ->
@@ -147,18 +184,30 @@ let last_denial t = t.last_denial
 (* Stripe-constrained searches                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Start address of the lowest owned stripe after stripe [i]; the
-   per-row rotation guarantees one within 2·count stripes. *)
+(* Start address of the lowest owned stripe after stripe [i]. Under
+   [Modular] the per-row rotation guarantees one within 2·count stripes;
+   under [Range] the expected gap is [total / (r_hi - r_lo)] stripes, and
+   a fixed scan cap (16 GiB of stripe space — beyond any ±2 GiB window)
+   turns the pathological tail into a deterministic "exhausted" answer
+   instead of an unbounded walk. *)
 let next_own_stripe st i =
-  let j = ref (i + 1) in
-  while stripe_owner ~count:st.count !j <> st.index do incr j done;
-  !j lsl stripe_bits
+  match st with
+  | Modular _ ->
+      let j = ref (i + 1) in
+      while not (owns st !j) do incr j done;
+      !j lsl stripe_bits
+  | Range _ ->
+      let cap = 1 lsl 22 in
+      let rec go j n =
+        if n > cap then max_int lsr 1
+        else if owns st j then j lsl stripe_bits
+        else go (j + 1) (n + 1)
+      in
+      go (i + 1) 0
 
 let range_owned st ~addr ~size =
   let last = (addr + size - 1) asr stripe_bits in
-  let rec go i =
-    i > last || (stripe_owner ~count:st.count i = st.index && go (i + 1))
-  in
+  let rec go i = i > last || (owns st i && go (i + 1)) in
   go (addr asr stripe_bits)
 
 (* Repeat [find ~lo] until it yields a start whose whole extent lies in
@@ -173,7 +222,7 @@ let find_owned st ~size ~hi find ~lo =
   else begin
     let rec go lo =
       let lo =
-        if stripe_owner ~count:st.count (lo asr stripe_bits) = st.index then lo
+        if owns st (lo asr stripe_bits) then lo
         else next_own_stripe st (lo asr stripe_bits)
       in
       if lo > hi then None

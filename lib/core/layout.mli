@@ -33,6 +33,19 @@ val create : ?reserve_below_base:bool -> ?block_size:int -> Elf_file.t -> t
     constraint applies. [t] is not mutated. *)
 val shard : t -> index:int -> count:int -> t
 
+(** [shard_range t ~lo ~hi ~total] is {!shard} for the content-defined
+    chunk geometry of the plan cache (DESIGN.md §14): the arena for the
+    chunk covering text offsets [lo, hi) of a [total]-byte text. It owns
+    exactly the stripes whose pseudorandom image under a fixed scramble
+    lands in [lo, hi) — a function of the chunk's own coordinates and
+    the text size only, never of the chunk count — so a revision that
+    splits or merges chunks elsewhere leaves this chunk's stripe set
+    (and its cached trampoline placements) intact, while chunks
+    partitioning the text still partition the stripes: concurrent
+    arenas stay disjoint. [hi - lo >= total] (one chunk covers
+    everything) applies no constraint. *)
+val shard_range : t -> lo:int -> hi:int -> total:int -> t
+
 (** Why the most recent failed query ({!alloc}, {!probe},
     {!probe_strided}, {!is_free}, {!alloc_at}) failed. [Dead_window]: the
     create-time base occupancy (guards + segments) alone blocks every

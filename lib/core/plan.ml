@@ -1,0 +1,124 @@
+module Buf = E9_bits.Buf
+
+type outcome = Applied of Stats.tactic | Failed | Deferred
+
+type site_plan = {
+  s_addr : int;
+  s_outcome : outcome;
+  s_tramps : (int * bytes) list;
+  s_traps : Loadmap.trap list;
+  s_class : int;
+}
+
+type chunk = {
+  c_lo : int;
+  c_len : int;
+  c_entry : int;
+  c_exit : int;
+  c_sites : Frontend.site list;
+  c_plans : site_plan list;
+  c_diff : (int * string) list;
+  c_locks : (int * int) list;
+  c_dead : (int * int) list;
+}
+
+type store = { find : string -> chunk option; add : string -> chunk -> unit }
+type config = { store : store; spec_key : lo:int -> len:int -> string }
+
+let key ~hash ~addr ~len ~env =
+  Printf.sprintf "p1:%s:%x+%x:%s" hash addr len
+    (E9_bits.Fnv.to_hex (E9_bits.Fnv.hash64_string env))
+
+(* ------------------------------------------------------------------ *)
+(* Text diffs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let diff ~pristine ~current ~lo ~len =
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < len do
+    if Bytes.unsafe_get pristine (lo + !i) <> Bytes.unsafe_get current (lo + !i)
+    then begin
+      let start = !i in
+      while
+        !i < len
+        && Bytes.unsafe_get pristine (lo + !i)
+           <> Bytes.unsafe_get current (lo + !i)
+      do
+        incr i
+      done;
+      out :=
+        (start, Bytes.sub_string current (lo + start) (!i - start)) :: !out
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let apply_diff buf ~lo d =
+  List.iter
+    (fun (off, s) -> Buf.blit_in buf ~pos:(lo + off) (Bytes.of_string s))
+    d
+
+(* ------------------------------------------------------------------ *)
+(* In-memory store                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type table = { mutex : Mutex.t; tbl : (string, chunk) Hashtbl.t }
+
+let create_table () = { mutex = Mutex.create (); tbl = Hashtbl.create 256 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let table_store t =
+  {
+    find = (fun k -> locked t (fun () -> Hashtbl.find_opt t.tbl k));
+    add = (fun k v -> locked t (fun () -> Hashtbl.replace t.tbl k v));
+  }
+
+let table_size t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let table_items t =
+  locked t (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
+
+let table_load t items =
+  locked t (fun () ->
+      List.iter (fun (k, v) -> Hashtbl.replace t.tbl k v) items)
+
+(* ------------------------------------------------------------------ *)
+(* File persistence                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Marshal is not stable across compiler versions or type changes, so
+   the header pins both: a reader that does not recognize the header
+   starts cold instead of misinterpreting bytes. *)
+let magic = "e9plan1\n"
+
+let save_table t file =
+  let items = table_items t in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     Marshal.to_channel oc (items : (string * chunk) list) [];
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp file
+
+let load_table file =
+  let t = create_table () in
+  (if Sys.file_exists file then
+     try
+       let ic = open_in_bin file in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () ->
+           let hdr = really_input_string ic (String.length magic) in
+           if hdr = magic then
+             table_load t (Marshal.from_channel ic : (string * chunk) list))
+     with _ -> ());
+  t

@@ -15,6 +15,7 @@ type options = {
   loader : loader_mode;
   shard_span : int;
   keep_ranges : (int * int) list;
+  chunking : Chunker.params option;
 }
 
 let default_options =
@@ -24,7 +25,8 @@ let default_options =
     reserve_below_base = false;
     loader = Table;
     shard_span = 1 lsl 16;
-    keep_ranges = [] }
+    keep_ranges = [];
+    chunking = None }
 
 (* A stable, injective textual encoding of every options field. Lives
    next to the type so a new field cannot be forgotten without the
@@ -33,18 +35,21 @@ let default_options =
    values rewrite identically iff their signatures are equal. *)
 let options_signature o =
   let { tactics; granularity; grouping; reserve_below_base; loader;
-        shard_span; keep_ranges } = o in
+        shard_span; keep_ranges; chunking } = o in
   let { Tactics.enable_base; enable_t1; enable_t2; enable_t3; b0_fallback;
         t2_joint; t2_cap; t3_cap } = tactics in
   Printf.sprintf
     "base=%b;t1=%b;t2=%b;t3=%b;b0=%b;joint=%b;t2cap=%d;t3cap=%d;M=%d;\
-     grouping=%b;shared=%b;loader=%s;span=%d;keep=%s"
+     grouping=%b;shared=%b;loader=%s;span=%d;keep=%s;chunk=%s"
     enable_base enable_t1 enable_t2 enable_t3 b0_fallback t2_joint t2_cap
     t3_cap granularity grouping reserve_below_base
     (match loader with Table -> "table" | Stub -> "stub")
     shard_span
     (String.concat ","
        (List.map (fun (a, l) -> Printf.sprintf "%x+%x" a l) keep_ranges))
+    (match chunking with
+    | None -> "off"
+    | Some c -> Format.asprintf "%a" Chunker.pp_params c)
 
 type result = {
   output : Elf_file.t;
@@ -60,6 +65,9 @@ type result = {
   steals : int;
   setup_s : float;
   occupancy : Layout.occupancy;
+  plan_hits : int;
+  plan_misses : int;
+  plan_conflicts : int;
 }
 
 let default_jobs () =
@@ -70,9 +78,58 @@ let default_jobs () =
       | Some _ | None -> 1)
   | None -> 1
 
+(* Per-chunk geometry and plan state under content-defined chunking
+   (DESIGN.md §14); absent in the fixed-span PR 4 geometry. *)
+type chunked = {
+  g_bounds : (int * int) array;  (* text-relative (lo, size), ascending *)
+  g_sites : Frontend.site list array;
+  g_entries : int array;
+  g_exits : int array;
+  g_keys : string array;  (* "" when no plan store is consulted *)
+  g_found : Plan.chunk option array;  (* raw store answers *)
+  g_decode_replayed : bool array;
+}
+
+(* What one chunk/shard task hands back for the canonical merge. *)
+type shard_out = {
+  o_arena : Layout.t;
+  o_locks : Lock.t;
+  o_dead : Lock.t;
+  o_obs : E9_obs.Obs.t;
+  o_fault : Fault.t;
+  o_stats : Stats.t;
+  o_patched : (int * Stats.tactic) list;  (* ascending (built by prepend) *)
+  o_tramps : (int * bytes) list;  (* chronological *)
+  o_traps : Loadmap.trap list;
+  o_deferred : Frontend.site list;  (* descending *)
+  o_splans : Plan.site_plan list;  (* processing order; capture mode only *)
+  o_replayed : bool;
+  o_conflict : bool;
+  o_setup : float;
+}
+
+(* New cons cells of [l] down to the (physically equal) snapshot [stop],
+   returned oldest-first — per-site attribution of the tactics context's
+   accumulator lists. *)
+let rec fresh_prefix l stop acc =
+  if l == stop then acc
+  else match l with [] -> acc | x :: tl -> fresh_prefix tl stop (x :: acc)
+
+(* Quarter-log2 distance class of a trampoline placement (telemetry in
+   the serialized plan; replay correctness comes from the recorded
+   addresses, never from this). *)
+let placement_class ~site_addr = function
+  | (a, _) :: _ ->
+      let rec go d c = if d <= 1 || c >= 63 then c else go (d lsr 2) (c + 1) in
+      go (abs (a - site_addr)) 0
+  | [] -> 0
+
+let site_eq (a : Frontend.site) (b : Frontend.site) =
+  a.addr = b.addr && a.len = b.len && a.insn = b.insn
+
 let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
-    ?(fault = Fault.none) ?jobs ?jitter ?disasm_from ?frontend input ~select
-    ~template =
+    ?(fault = Fault.none) ?jobs ?jitter ?plan ?disasm_from ?frontend input
+    ~select ~template =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let input_size = Elf_file.serialized_size input in
   let output = Elf_file.copy input in
@@ -94,8 +151,141 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
     | Some f -> f
     | None -> fun elf -> Frontend.disassemble ?from:disasm_from ~jobs ~fault elf
   in
-  let text, sites_list =
-    E9_obs.Obs.span obs "decode" (fun () -> disassemble output)
+  (* Plan capture/replay requires the standard linear sweep and a quiet
+     fault record: an injected decode cut or alloc refusal is run-local
+     state that must never leak into (or out of) a persistent plan.
+     Chunk {e geometry} stays on regardless — output bytes are a function
+     of [options] and the input alone, with or without a store. *)
+  let plan_cfg =
+    match (plan, options.chunking) with
+    | (Some _ as p), Some _ when frontend = None && Fault.is_none fault -> p
+    | _ -> None
+  in
+  let text, sites_list, chunked, pristine =
+    match options.chunking with
+    | None ->
+        let text, sl =
+          E9_obs.Obs.span obs "decode" (fun () -> disassemble output)
+        in
+        (text, sl, None, Bytes.empty)
+    | Some params ->
+        let text =
+          match Frontend.find_text output with
+          | Some t -> t
+          | None ->
+              (* Raise the frontend's canonical error. *)
+              ignore (disassemble output);
+              assert false
+        in
+        let pristine =
+          Buf.sub output.Elf_file.data ~pos:text.Frontend.offset
+            ~len:text.Frontend.size
+        in
+        let bounds =
+          Chunker.boundaries params pristine ~pos:0 ~len:text.Frontend.size
+        in
+        let gb = Array.of_list bounds in
+        let n = Array.length gb in
+        let keys, found =
+          match plan_cfg with
+          | None -> (Array.make n "", Array.make n None)
+          | Some cfg ->
+              let seg_sig =
+                String.concat ";"
+                  (List.map
+                     (fun (s : Elf_file.segment) ->
+                       Printf.sprintf "%s:%x+%x"
+                         (match s.Elf_file.ptype with
+                         | Elf_file.Load -> "L"
+                         | Elf_file.Note -> "N"
+                         | Elf_file.Other t -> string_of_int t)
+                         s.Elf_file.vaddr s.Elf_file.memsz)
+                     output.Elf_file.segments)
+              in
+              let env_base =
+                Printf.sprintf "%s|text=%x+%x|segs=%s|from=%s"
+                  (options_signature options) text.Frontend.base
+                  text.Frontend.size seg_sig
+                  (match disasm_from with
+                  | None -> "-"
+                  | Some a -> Printf.sprintf "%x" a)
+              in
+              let keys =
+                Array.mapi
+                  (fun k (lo, sz) ->
+                    let hash =
+                      E9_bits.Fnv.hex pristine ~pos:lo ~len:sz
+                    in
+                    ignore k;
+                    Plan.key ~hash ~addr:(text.Frontend.base + lo) ~len:sz
+                      ~env:(env_base ^ "|spec=" ^ cfg.Plan.spec_key ~lo ~len:sz))
+                  gb
+              in
+              (keys, Array.map (fun k -> cfg.Plan.store.find k) keys)
+        in
+        (* Decode, replaying unchanged chunks' recorded site lists. The
+           probe only answers when the stored plan was recorded over the
+           same bytes (the key's content hash) at the same sweep entry —
+           decode is a pure function of [(bytes, position)], so adoption
+           is exact. *)
+        let g_sites, g_entries, g_exits, g_decode_replayed =
+          match plan_cfg with
+          | Some _ when frontend = None ->
+              let probe ~index ~entry =
+                match found.(index) with
+                | Some p
+                  when p.Plan.c_entry = entry
+                       && p.Plan.c_lo = fst gb.(index)
+                       && p.Plan.c_len = snd gb.(index) ->
+                    Some (p.Plan.c_sites, p.Plan.c_exit)
+                | _ -> None
+              in
+              let _t, cs, en, ex, rp =
+                E9_obs.Obs.span obs "decode" (fun () ->
+                    Frontend.disassemble_planned ?from:disasm_from
+                      ~bounds:(Array.to_list gb) ~probe output)
+              in
+              (cs, en, ex, rp)
+          | _ ->
+              (* Fault injection or a substituted frontend: decode the
+                 standard way and bucket sites into the chunk bounds.
+                 Decode is pure, so the buckets equal the planned sweep's
+                 whenever both run. *)
+              let _t, sl =
+                E9_obs.Obs.span obs "decode" (fun () -> disassemble output)
+              in
+              let cs = Array.make n [] in
+              let idx_of off =
+                let rec go lo hi =
+                  if lo >= hi then lo - 1
+                  else
+                    let mid = (lo + hi) / 2 in
+                    if fst gb.(mid) <= off then go (mid + 1) hi else go lo mid
+                in
+                go 0 n
+              in
+              List.iter
+                (fun (s : Frontend.site) ->
+                  let k = idx_of (s.addr - text.Frontend.base) in
+                  cs.(k) <- s :: cs.(k))
+                sl;
+              ( Array.map List.rev cs,
+                Array.make n 0,
+                Array.make n 0,
+                Array.make n false )
+        in
+        let sites_list = List.concat (Array.to_list g_sites) in
+        ( text,
+          sites_list,
+          Some
+            { g_bounds = gb;
+              g_sites;
+              g_entries;
+              g_exits;
+              g_keys = keys;
+              g_found = found;
+              g_decode_replayed },
+          pristine )
   in
   let sites = Array.of_list sites_list in
   let base = text.Frontend.base in
@@ -133,11 +323,47 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
   (* Shard geometry is a function of the text alone — never of [jobs] —
      so the rewritten bytes are identical for every domain count: [jobs]
      only decides how many domains execute the fixed shard tasks. A
-     single shard degenerates to the plain serial rewrite. *)
-  let span = max options.shard_span (4 * Tactics.max_reach) in
-  let nshards = max 1 ((text.Frontend.size + span - 1) / span) in
+     single fixed-span shard degenerates to the plain serial rewrite.
+     Under content-defined chunking the bounds come from the chunker and
+     each chunk's arena owns the stripes mapped to its own text range
+     ({!Layout.shard_range}) — stable under chunk splits elsewhere, so
+     cached plans survive unrelated edits. *)
+  let fixed_span = max options.shard_span (4 * Tactics.max_reach) in
+  let nshards, shard_lo, shard_top, shard_of, arena_of =
+    match chunked with
+    | None ->
+        let n = max 1 ((text.Frontend.size + fixed_span - 1) / fixed_span) in
+        ( n,
+          (fun k -> base + (k * fixed_span)),
+          (fun k ->
+            if k = n - 1 then base + text.Frontend.size
+            else base + ((k + 1) * fixed_span)),
+          (fun addr -> min (n - 1) ((addr - base) / fixed_span)),
+          fun k -> Layout.shard layout ~index:k ~count:n )
+    | Some g ->
+        let n = Array.length g.g_bounds in
+        let idx_of off =
+          let rec go lo hi =
+            if lo >= hi then lo - 1
+            else
+              let mid = (lo + hi) / 2 in
+              if fst g.g_bounds.(mid) <= off then go (mid + 1) hi
+              else go lo mid
+          in
+          go 0 n
+        in
+        ( n,
+          (fun k -> base + fst g.g_bounds.(k)),
+          (fun k -> base + fst g.g_bounds.(k) + snd g.g_bounds.(k)),
+          (fun addr -> idx_of (addr - base)),
+          fun k ->
+            let lo, sz = g.g_bounds.(k) in
+            Layout.shard_range layout ~lo ~hi:(lo + sz)
+              ~total:text.Frontend.size )
+  in
+  let plan_hits = ref 0 and plan_misses = ref 0 and plan_conflicts = ref 0 in
   let tramps, traps, locked_bytes, steals, setup_s, deferred_count =
-    if nshards <= 1 then begin
+    if chunked = None && nshards <= 1 then begin
       let t0 = Unix.gettimeofday () in
       let ctx =
         Tactics.create_ctx ~obs ~fault ~text:text_buf ~text_base:base ~layout
@@ -162,22 +388,14 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
         0 )
     end
     else begin
-      (* Domain-parallel rewrite (DESIGN.md §10). Shards are [span]-byte
-         text regions with [span >= 4 * Tactics.max_reach]; a site whose
-         tactic reach cannot cross its shard's top edge is {e interior}
-         and may be patched concurrently: every byte, lock and dead mark
-         it can touch lies inside its own shard, and its trampoline comes
-         from a stripe-partitioned private arena, so shards never race.
-         Sites within [max_reach] of the edge are deferred to a serial
-         fixup pass over the merged state. *)
-      let shard_lo k = base + (k * span) in
-      let shard_top k =
-        if k = nshards - 1 then base + text.Frontend.size
-        else base + ((k + 1) * span)
-      in
-      let shard_of addr = min (nshards - 1) ((addr - base) / span) in
-      (* Every decoded site, split per shard: tactics walk successor and
-         victim instructions, which for interior sites stay in-shard. *)
+      (* Domain-parallel rewrite (DESIGN.md §10). Shards are text regions
+         whose span exceeds [4 * Tactics.max_reach]; a site whose tactic
+         reach cannot cross its shard's top edge is {e interior} and may
+         be patched concurrently: every byte, lock and dead mark it can
+         touch lies inside its own shard, and its trampoline comes from a
+         stripe-partitioned private arena, so shards never race. Sites
+         within [max_reach] of the edge are deferred to a serial fixup
+         pass over the merged state. *)
       let buckets = Array.make nshards [] in
       Array.iter
         (fun (s : Frontend.site) ->
@@ -197,6 +415,30 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
           else boundary := s :: !boundary)
         (List.rev selected);
       (* [interior.(k)] and [boundary] are in descending address order. *)
+      (* Plan validation, against the live decode and the live selection:
+         a stored plan replays only if its recorded site list matches the
+         chunk's (guaranteed when the decode itself replayed) and its
+         per-site plans cover exactly the live interior selected sites.
+         Anything else — an edited chunk, a shifted seam, a changed spec
+         the caller's key missed — falls back to live search. *)
+      let validated =
+        match (chunked, plan_cfg) with
+        | Some g, Some _ ->
+            Array.init nshards (fun k ->
+                match g.g_found.(k) with
+                | Some p
+                  when (g.g_decode_replayed.(k)
+                       || List.equal site_eq p.Plan.c_sites g.g_sites.(k))
+                       && List.compare_lengths p.Plan.c_plans interior.(k) = 0
+                       && List.for_all2
+                            (fun (sp : Plan.site_plan) (s : Frontend.site) ->
+                              sp.Plan.s_addr = s.Frontend.addr)
+                            p.Plan.c_plans interior.(k) ->
+                    Some p
+                | _ -> None)
+        | _ -> Array.make nshards None
+      in
+      let capture = plan_cfg <> None in
       E9_obs.Obs.span obs "tactic_search" (fun () ->
           (* Work-stealing execution (DESIGN.md §12): the chunk list and
              every chunk's work are functions of the text alone; [domains]
@@ -207,6 +449,136 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
              [k], not with the worker, so a stolen chunk allocates from
              exactly the stripes it would have owned unstolen. *)
           let domains = min jobs (Domain.recommended_domain_count ()) in
+          let live_search k ~sfault ~conflict ~t0 =
+            let lo = shard_lo k and top = shard_top k in
+            let arena = arena_of k in
+            let locks = Lock.create ~base:lo ~len:(top - lo) in
+            apply_keeps locks;
+            let dead = Lock.create ~base:lo ~len:(top - lo) in
+            let sobs = E9_obs.Obs.fork obs in
+            let ctx =
+              Tactics.create_ctx ~obs:sobs ~fault:sfault ~locks ~dead
+                ~text:text_buf ~text_base:base ~layout:arena
+                ~sites:shard_sites.(k) ~options:options.tactics ()
+            in
+            let ssetup = Unix.gettimeofday () -. t0 in
+            let sstats = Stats.create () in
+            let spatched = ref [] in
+            let sdeferred = ref [] in
+            let splans = ref [] in
+            List.iter
+              (fun site ->
+                let tr0 = Tactics.trampolines_rev ctx in
+                let tp0 = Tactics.traps_rev ctx in
+                let res = Tactics.patch_deferrable ctx site (template site) in
+                (match res with
+                | `Patched tactic ->
+                    Stats.record sstats tactic;
+                    spatched := (site.Frontend.addr, tactic) :: !spatched
+                | `Deferred -> sdeferred := site :: !sdeferred
+                | `Failed -> Stats.record_failure sstats);
+                if capture then begin
+                  let st =
+                    fresh_prefix (Tactics.trampolines_rev ctx) tr0 []
+                  in
+                  let sp =
+                    { Plan.s_addr = site.Frontend.addr;
+                      s_outcome =
+                        (match res with
+                        | `Patched t -> Plan.Applied t
+                        | `Deferred -> Plan.Deferred
+                        | `Failed -> Plan.Failed);
+                      s_tramps = st;
+                      s_traps = fresh_prefix (Tactics.traps_rev ctx) tp0 [];
+                      s_class =
+                        placement_class ~site_addr:site.Frontend.addr st }
+                  in
+                  splans := sp :: !splans
+                end)
+              interior.(k);
+            { o_arena = arena;
+              o_locks = locks;
+              o_dead = dead;
+              o_obs = sobs;
+              o_fault = sfault;
+              o_stats = sstats;
+              o_patched = !spatched;
+              o_tramps = Tactics.trampolines ctx;
+              o_traps = Tactics.trap_entries ctx;
+              o_deferred = List.rev !sdeferred;
+              o_splans = List.rev !splans;
+              o_replayed = false;
+              o_conflict = conflict;
+              o_setup = ssetup }
+          in
+          (* Replay a validated plan into a fresh arena: recorded
+             placements land via [alloc_at] (full base-occupancy and
+             stripe-ownership checks), recorded text edits, locks, dead
+             marks and verdicts are applied verbatim. Any placement
+             refusal abandons the private arena and falls back to live
+             search — the conflict path (DESIGN.md §14). *)
+          let replay k (p : Plan.chunk) ~sfault ~t0 =
+            let lo = shard_lo k and top = shard_top k in
+            let arena = arena_of k in
+            let sobs = E9_obs.Obs.fork obs in
+            E9_obs.Obs.span sobs "plan_replay" (fun () ->
+                let placed =
+                  List.for_all
+                    (fun (sp : Plan.site_plan) ->
+                      List.for_all
+                        (fun (a, code) ->
+                          Layout.alloc_at arena ~addr:a
+                            ~size:(Bytes.length code))
+                        sp.Plan.s_tramps)
+                    p.Plan.c_plans
+                in
+                if not placed then None
+                else begin
+                  let locks = Lock.create ~base:lo ~len:(top - lo) in
+                  let dead = Lock.create ~base:lo ~len:(top - lo) in
+                  List.iter
+                    (fun (a, l) -> Lock.lock_range locks ~addr:a ~len:l)
+                    p.Plan.c_locks;
+                  List.iter
+                    (fun (a, l) -> Lock.lock_range dead ~addr:a ~len:l)
+                    p.Plan.c_dead;
+                  Plan.apply_diff text_buf ~lo:(lo - base) p.Plan.c_diff;
+                  let sstats = Stats.create () in
+                  let spatched = ref [] in
+                  let sdeferred = ref [] in
+                  List.iter2
+                    (fun (sp : Plan.site_plan) (site : Frontend.site) ->
+                      match sp.Plan.s_outcome with
+                      | Plan.Applied tactic ->
+                          Stats.record sstats tactic;
+                          spatched :=
+                            (site.Frontend.addr, tactic) :: !spatched
+                      | Plan.Deferred -> sdeferred := site :: !sdeferred
+                      | Plan.Failed -> Stats.record_failure sstats)
+                    p.Plan.c_plans interior.(k);
+                  Some
+                    { o_arena = arena;
+                      o_locks = locks;
+                      o_dead = dead;
+                      o_obs = sobs;
+                      o_fault = sfault;
+                      o_stats = sstats;
+                      o_patched = !spatched;
+                      o_tramps =
+                        List.concat_map
+                          (fun (sp : Plan.site_plan) -> sp.Plan.s_tramps)
+                          p.Plan.c_plans;
+                      o_traps =
+                        List.concat_map
+                          (fun (sp : Plan.site_plan) -> sp.Plan.s_traps)
+                          p.Plan.c_plans;
+                      o_deferred = List.rev !sdeferred;
+                      o_splans = [];
+                      o_replayed = true;
+                      o_conflict = false;
+                      o_setup = Unix.gettimeofday () -. t0 }
+                end)
+          in
           let shard_results, steal_report =
             try
               E9_bits.Pool.map_stealing ~domains ?jitter
@@ -224,42 +596,12 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
                       (Fault.Injected
                          (Printf.sprintf "shard %d raised mid-Pool.map" k));
                   let t0 = Unix.gettimeofday () in
-                  let lo = shard_lo k and top = shard_top k in
-                  let arena = Layout.shard layout ~index:k ~count:nshards in
-                  let locks = Lock.create ~base:lo ~len:(top - lo) in
-                  apply_keeps locks;
-                  let dead = Lock.create ~base:lo ~len:(top - lo) in
-                  let sobs = E9_obs.Obs.fork obs in
-                  let ctx =
-                    Tactics.create_ctx ~obs:sobs ~fault:sfault ~locks ~dead
-                      ~text:text_buf ~text_base:base ~layout:arena
-                      ~sites:shard_sites.(k) ~options:options.tactics ()
-                  in
-                  let ssetup = Unix.gettimeofday () -. t0 in
-                  let sstats = Stats.create () in
-                  let spatched = ref [] in
-                  let sdeferred = ref [] in
-                  List.iter
-                    (fun site ->
-                      match Tactics.patch_deferrable ctx site (template site)
-                      with
-                      | `Patched tactic ->
-                          Stats.record sstats tactic;
-                          spatched := (site.Frontend.addr, tactic) :: !spatched
-                      | `Deferred -> sdeferred := site :: !sdeferred
-                      | `Failed -> Stats.record_failure sstats)
-                    interior.(k);
-                  ( arena,
-                    locks,
-                    dead,
-                    sobs,
-                    sfault,
-                    sstats,
-                    !spatched,
-                    Tactics.trampolines ctx,
-                    Tactics.trap_entries ctx,
-                    List.rev !sdeferred,
-                    ssetup ))
+                  match validated.(k) with
+                  | Some p -> (
+                      match replay k p ~sfault ~t0 with
+                      | Some out -> out
+                      | None -> live_search k ~sfault ~conflict:true ~t0)
+                  | None -> live_search k ~sfault ~conflict:false ~t0)
                 (List.init nshards (fun i -> nshards - 1 - i))
             with Fault.Injected m -> error "injected fault: %s" m
           in
@@ -270,16 +612,47 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
           let locks_all = Lock.create ~base ~len:text.Frontend.size in
           let dead_all = Lock.create ~base ~len:text.Frontend.size in
           List.iter
-            (fun (arena, locks, dead, sobs, sfault, sstats, spatched, _, _, _,
-                  _) ->
-              Layout.absorb ~dst:layout arena;
-              Lock.merge_into ~dst:locks_all locks;
-              Lock.merge_into ~dst:dead_all dead;
-              E9_obs.Obs.merge_into ~dst:obs sobs;
-              Fault.merge_into ~dst:fault sfault;
-              Stats.merge_into ~dst:stats sstats;
-              patched := List.rev_append spatched !patched)
+            (fun o ->
+              Layout.absorb ~dst:layout o.o_arena;
+              Lock.merge_into ~dst:locks_all o.o_locks;
+              Lock.merge_into ~dst:dead_all o.o_dead;
+              E9_obs.Obs.merge_into ~dst:obs o.o_obs;
+              Fault.merge_into ~dst:fault o.o_fault;
+              Stats.merge_into ~dst:stats o.o_stats;
+              patched := List.rev_append o.o_patched !patched;
+              if o.o_replayed then incr plan_hits
+              else if o.o_conflict then incr plan_conflicts
+              else if capture then incr plan_misses)
             shard_results;
+          (* Capture: store a fresh plan for every chunk that ran a live
+             search. Must happen before the fixup pass below — seam
+             fixups may write across chunk boundaries, and those bytes
+             belong to the live fixup of {e every} run, warm or cold. *)
+          (match (chunked, plan_cfg) with
+          | Some g, Some cfg ->
+              let current = Buf.raw text_buf in
+              let outs = Array.of_list shard_results in
+              Array.iteri
+                (fun k o ->
+                  if not o.o_replayed then begin
+                    (* Task order is descending: task index i handled
+                       chunk nshards-1-i. *)
+                    let k = nshards - 1 - k in
+                    let clo, csz = g.g_bounds.(k) in
+                    cfg.Plan.store.add g.g_keys.(k)
+                      { Plan.c_lo = clo;
+                        c_len = csz;
+                        c_entry = g.g_entries.(k);
+                        c_exit = g.g_exits.(k);
+                        c_sites = g.g_sites.(k);
+                        c_plans = o.o_splans;
+                        c_diff =
+                          Plan.diff ~pristine ~current ~lo:clo ~len:csz;
+                        c_locks = Lock.ranges o.o_locks;
+                        c_dead = Lock.ranges o.o_dead }
+                  end)
+                outs
+          | _ -> ());
           (* Serial fixup over the merged state: boundary sites see every
              shard's locks, dead bytes and occupancy, and stripe-starved
              deferred sites retry their windows against the unconstrained
@@ -287,14 +660,10 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
              exactly the serial algorithm, restricted to the held-back
              sites, in canonical descending address order. *)
           let deferred_all =
-            List.concat_map
-              (fun (_, _, _, _, _, _, _, _, _, dfr, _) -> dfr)
-              shard_results
+            List.concat_map (fun o -> o.o_deferred) shard_results
           in
           let setup_total =
-            List.fold_left
-              (fun acc (_, _, _, _, _, _, _, _, _, _, s) -> acc +. s)
-              0. shard_results
+            List.fold_left (fun acc o -> acc +. o.o_setup) 0. shard_results
           in
           let fixup_sites =
             List.merge
@@ -315,14 +684,10 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
               | None -> Stats.record_failure stats)
             fixup_sites;
           let shard_tramps =
-            List.concat_map
-              (fun (_, _, _, _, _, _, _, tr, _, _, _) -> tr)
-              shard_results
+            List.concat_map (fun o -> o.o_tramps) shard_results
           in
           let shard_traps =
-            List.concat_map
-              (fun (_, _, _, _, _, _, _, _, tp, _, _) -> tp)
-              shard_results
+            List.concat_map (fun o -> o.o_traps) shard_results
           in
           ( shard_tramps @ Tactics.trampolines fixup_ctx,
             shard_traps @ Tactics.trap_entries fixup_ctx,
@@ -356,6 +721,13 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
     E9_obs.Obs.counter obs ~name:"pool.steals" ~value:steals;
     E9_obs.Obs.counter obs ~name:"rewrite.deferred_sites"
       ~value:deferred_count;
+    (* Plan-cache effectiveness (DESIGN.md §14): hits replayed, misses
+       searched live, conflicts fell back after a placement refusal. *)
+    if plan_cfg <> None then begin
+      E9_obs.Obs.counter obs ~name:"plan_hit" ~value:!plan_hits;
+      E9_obs.Obs.counter obs ~name:"plan_miss" ~value:!plan_misses;
+      E9_obs.Obs.counter obs ~name:"plan_conflict" ~value:!plan_conflicts
+    end;
     Array.iter
       (fun s ->
         let n = Fault.fired fault s in
@@ -448,7 +820,10 @@ let run ?(options = default_options) ?(obs = E9_obs.Obs.null)
     shards = nshards;
     steals;
     setup_s;
-    occupancy = occ }
+    occupancy = occ;
+    plan_hits = !plan_hits;
+    plan_misses = !plan_misses;
+    plan_conflicts = !plan_conflicts }
 
 let size_pct r =
   if r.input_size = 0 then 0.0

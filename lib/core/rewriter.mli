@@ -46,6 +46,17 @@ type options = {
           fails with a [Locked] reject, B0 included). Clipped per lock
           domain exactly like ordinary locks, so jobs-invariance is
           preserved. Default [[]]. *)
+  chunking : Chunker.params option;
+      (** [Some p] replaces the fixed-span shard geometry with
+          content-defined chunks ({!Chunker.boundaries} under [p]): each
+          chunk is one parallel task, allocating from the stripes mapped
+          to its own text range ({!Layout.shard_range}). Geometry is
+          still a function of the text alone — never of [jobs] — so
+          byte-identity across worker counts is preserved; and because a
+          chunk's boundaries and stripe ownership depend only on its own
+          bytes and coordinates, its rewrite plan can be cached and
+          replayed across revisions of the binary (the [plan] argument
+          to {!run}). Default [None]. *)
 }
 
 val default_options : options
@@ -79,6 +90,14 @@ type result = {
       (** summed per-chunk setup time (arena + lock table + context
           construction), wall clock *)
   occupancy : Layout.occupancy;  (** final allocator occupancy gauges *)
+  plan_hits : int;
+      (** chunks whose cached plan replayed (decode + tactic search both
+          skipped); 0 unless a plan store was active *)
+  plan_misses : int;  (** chunks searched live and freshly captured *)
+  plan_conflicts : int;
+      (** chunks whose cached plan was abandoned after a placement
+          refusal ([Layout.alloc_at] denied a recorded extent) and fell
+          back to live search *)
 }
 
 (** [run ?options ?disasm_from elf ~select ~template] rewrites [elf]. The
@@ -125,13 +144,31 @@ type result = {
     [jitter i] (default: nothing) runs in the claiming worker just
     before chunk [i] executes — a test hook for skewing steal schedules
     (the determinism property races randomized delays against the
-    byte-identity guarantee). *)
+    byte-identity guarantee).
+
+    [plan] (with [options.chunking = Some _]) activates the incremental
+    plan cache (DESIGN.md §14): every chunk's key — content hash,
+    coordinates, options signature, text geometry, segment occupancy,
+    sweep start, and the caller's [spec_key] fragment — is looked up in
+    [plan.store]; a hit that validates against the live decode and
+    selection replays its recorded decode, trampolines, text edits,
+    locks and verdicts straight into the merge (skipping decode and
+    tactic search for that chunk), a placement refusal falls back to
+    live search, and every live-searched chunk is captured back into the
+    store. The seam/fixup pass always runs live, after capture, so
+    cross-chunk writes are recomputed on every run. Replay is provably
+    byte-identical to recomputation: per-chunk work is a pure function
+    of exactly the keyed inputs, and the plan path changes {e only} how
+    a chunk's outputs are obtained, never what the merge or fixup sees.
+    Capture and replay are disabled (the rewrite still works, live)
+    under fault injection or a substituted [frontend]. *)
 val run :
   ?options:options ->
   ?obs:E9_obs.Obs.t ->
   ?fault:E9_fault.Fault.t ->
   ?jobs:int ->
   ?jitter:(int -> unit) ->
+  ?plan:Plan.config ->
   ?disasm_from:int ->
   ?frontend:(Elf_file.t -> Frontend.text * Frontend.site list) ->
   Elf_file.t ->

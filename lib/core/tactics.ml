@@ -106,6 +106,8 @@ let create_ctx ?(obs = Obs.null) ?(fault = Fault.none) ?locks ?dead ~text
 
 let trampolines ctx = List.rev ctx.trampolines
 let trap_entries ctx = List.rev ctx.traps
+let trampolines_rev ctx = ctx.trampolines
+let traps_rev ctx = ctx.traps
 let locks ctx = ctx.locks
 
 (* ------------------------------------------------------------------ *)

@@ -117,4 +117,13 @@ val trampolines : ctx -> (int * bytes) list
 val trap_entries : ctx -> Loadmap.trap list
 (** B0 trap-table entries. *)
 
+val trampolines_rev : ctx -> (int * bytes) list
+(** The raw accumulator, most recent first. The plan-capture path
+    snapshots the list head before a site and walks the new prefix after
+    it — O(emitted this site) — to attribute trampolines per site
+    (physical equality against the snapshot marks the old head). *)
+
+val traps_rev : ctx -> Loadmap.trap list
+(** Raw trap accumulator, most recent first; same snapshot idiom. *)
+
 val locks : ctx -> Lock.t

@@ -1,0 +1,51 @@
+type params = { min_size : int; avg_bits : int; max_size : int }
+
+let default = { min_size = 1024; avg_bits = 12; max_size = 16384 }
+
+let pp_params ppf p =
+  Format.fprintf ppf "%d/%d/%d" p.min_size (1 lsl p.avg_bits) p.max_size
+
+(* Cut sizes are kept multiples of [align] so chunk starts stay
+   paragraph-aligned: a superblock-friendly grid, and boundaries do not
+   jitter under sub-paragraph edits. Normalization below guarantees the
+   snapped size never drops under [min_size]. *)
+let align = 16
+
+let normalize p =
+  let round_up v = (v + align - 1) land lnot (align - 1) in
+  let min_size = max (round_up p.min_size) (4 * E9_bits.Fnv.Rolling.window) in
+  let max_size = max (round_up p.max_size) (2 * min_size) in
+  let avg_bits = max 6 p.avg_bits in
+  { min_size; avg_bits; max_size }
+
+let boundaries p b ~pos ~len =
+  let p = normalize p in
+  let mask = (1 lsl p.avg_bits) - 1 in
+  let roll = E9_bits.Fnv.Rolling.create () in
+  let out = ref [] in
+  let start = ref 0 in
+  (* Scan each chunk from its own start with a fresh window, so a
+     chunk's far boundary depends only on its own bytes: after an edit,
+     the first unedited chunk start re-derives all later boundaries
+     identically. *)
+  while !start < len do
+    E9_bits.Fnv.Rolling.reset roll;
+    let cut = ref (min p.max_size (len - !start)) in
+    (try
+       let limit = !cut in
+       for i = 0 to limit - 1 do
+         E9_bits.Fnv.Rolling.feed roll (Char.code (Bytes.unsafe_get b (pos + !start + i)));
+         let size = i + 1 in
+         if size >= p.min_size && E9_bits.Fnv.Rolling.digest roll land mask = mask
+         then begin
+           (* Snap down to the alignment grid; min_size is a multiple
+              of [align], so the snapped size stays >= min_size. *)
+           cut := size - (size mod align);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    out := (!start, !cut) :: !out;
+    start := !start + !cut
+  done;
+  List.rev !out

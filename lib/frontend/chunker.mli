@@ -1,0 +1,34 @@
+(** Content-defined chunking of the text section for the incremental
+    plan cache (DESIGN.md §14).
+
+    Boundaries are chosen by a rolling hash over the raw text bytes, so
+    an edit moves only the boundaries of the chunk it lands in: the
+    rolling window re-synchronizes and every later chunk keeps its
+    identity (and therefore its cached plan). Geometry is a pure
+    function of the bytes and the parameters — never of jobs, faults,
+    or allocation state — which preserves the rewriter's
+    jobs-invariance contract from DESIGN.md §10. *)
+
+type params = {
+  min_size : int;  (** No boundary before this many bytes. *)
+  avg_bits : int;  (** Expected chunk size is [2^avg_bits] bytes. *)
+  max_size : int;  (** Forced boundary at this many bytes. *)
+}
+
+val default : params
+(** 1 KiB / 4 KiB / 16 KiB — sized so that with [Tactics.max_reach]
+    seams, well under 20% of sites are boundary sites even on dense
+    corpora, while a 1% edit still invalidates only a few chunks. *)
+
+val pp_params : Format.formatter -> params -> unit
+
+(** [boundaries params b ~pos ~len] splits [b.[pos .. pos+len-1]] into
+    chunks, returned as a list of [(off, size)] pairs with offsets
+    relative to [pos], in ascending order, covering the range exactly
+    with no overlap. Every chunk except possibly the last has
+    [min_size <= size <= max_size]; the last only respects [max_size].
+    Cut positions are additionally snapped down to a 16-byte alignment
+    (superblock-friendly: the frontend's sweep stitches across cuts
+    regardless, this just keeps boundaries stable under sub-paragraph
+    edits). Empty list iff [len = 0]. *)
+val boundaries : params -> bytes -> pos:int -> len:int -> (int * int) list

@@ -25,7 +25,19 @@ let rec write b = function
   | Int i -> Buffer.add_string b (string_of_int i)
   | Float f ->
       (* NaN/inf have no JSON spelling; null keeps consumers honest. *)
-      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+      if Float.is_finite f then begin
+        (* Shortest representation that round-trips: fixed %.6g turned
+           every sub-microsecond span total into "0" or a 6-digit
+           truncation. 17 significant digits always round-trip a
+           double; shorter is used whenever it re-parses exactly. *)
+        let rec shortest p =
+          if p >= 17 then Printf.sprintf "%.17g" f
+          else
+            let s = Printf.sprintf "%.*g" p f in
+            if float_of_string s = f then s else shortest (p + 1)
+        in
+        Buffer.add_string b (shortest 6)
+      end
       else Buffer.add_string b "null"
   | Str s ->
       Buffer.add_char b '"';

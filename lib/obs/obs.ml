@@ -16,10 +16,15 @@ type outcome =
   | Accepted of { trampoline : int; pad : int; evictee_distance : int }
   | Rejected of reject
 
+(* Monotonic nanoseconds (C stub): immune to clock steps, and fine
+   enough that sub-microsecond spans aggregate to their true total
+   instead of rounding to 0 at every call. *)
+external monotonic_ns : unit -> int64 = "e9_obs_monotonic_ns"
+
 type event =
   | Attempt of { addr : int; tactic : tactic; outcome : outcome }
   | Site of { addr : int; tactic : tactic option }
-  | Span of { name : string; dur_s : float }
+  | Span of { name : string; dur_ns : int }
   | Gauge of { name : string; value : int }
   | Counter of { name : string; value : int }
   | Fault of { site : string; fires : int }
@@ -97,7 +102,7 @@ module Agg = struct
     mutable sites_patched : int;
     mutable sites_failed : int;
     mutable pad_bytes : int;
-    spans : (string, int * float) Hashtbl.t;
+    spans : (string, int * int) Hashtbl.t;  (* calls, total ns *)
     gauges : (string, int) Hashtbl.t;
     counters : (string, int) Hashtbl.t;
   }
@@ -125,11 +130,11 @@ module Agg = struct
         a.sites <- a.sites + 1;
         if tactic = None then a.sites_failed <- a.sites_failed + 1
         else a.sites_patched <- a.sites_patched + 1
-    | Span { name; dur_s } ->
+    | Span { name; dur_ns } ->
         let calls, total =
-          Option.value ~default:(0, 0.0) (Hashtbl.find_opt a.spans name)
+          Option.value ~default:(0, 0) (Hashtbl.find_opt a.spans name)
         in
-        Hashtbl.replace a.spans name (calls + 1, total +. dur_s)
+        Hashtbl.replace a.spans name (calls + 1, total + dur_ns)
     | Gauge { name; value } -> Hashtbl.replace a.gauges name value
     | Counter { name; value } ->
         let prev = Option.value ~default:0 (Hashtbl.find_opt a.counters name) in
@@ -154,9 +159,9 @@ module Agg = struct
     Hashtbl.iter
       (fun name (calls, total) ->
         let c0, t0 =
-          Option.value ~default:(0, 0.0) (Hashtbl.find_opt dst.spans name)
+          Option.value ~default:(0, 0) (Hashtbl.find_opt dst.spans name)
         in
-        Hashtbl.replace dst.spans name (c0 + calls, t0 +. total))
+        Hashtbl.replace dst.spans name (c0 + calls, t0 + total))
       src.spans;
     Hashtbl.iter (fun name v -> Hashtbl.replace dst.gauges name v) src.gauges;
     Hashtbl.iter
@@ -191,16 +196,23 @@ module Agg = struct
   let spans_json a =
     Json.Obj
       (List.map
-         (fun (name, (calls, total)) ->
+         (fun (name, (calls, total_ns)) ->
            ( name,
              Json.Obj
-               [ ("calls", Json.Int calls); ("total_s", Json.Float total) ] ))
+               [ ("calls", Json.Int calls);
+                 ("total_ns", Json.Int total_ns);
+                 ("total_s", Json.Float (float_of_int total_ns /. 1e9)) ] ))
          (sorted_bindings a.spans))
 
   let span_total a name =
     match Hashtbl.find_opt a.spans name with
-    | Some (_, total) -> total
+    | Some (_, total_ns) -> float_of_int total_ns /. 1e9
     | None -> 0.0
+
+  let span_total_ns a name =
+    match Hashtbl.find_opt a.spans name with
+    | Some (_, total_ns) -> total_ns
+    | None -> 0
 
   let counter_total a name =
     match Hashtbl.find_opt a.counters name with Some n -> n | None -> 0
@@ -313,9 +325,13 @@ let span t name f =
   match t with
   | Null -> f ()
   | _ ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = monotonic_ns () in
       Fun.protect
-        ~finally:(fun () -> emit t (Span { name; dur_s = Unix.gettimeofday () -. t0 }))
+        ~finally:(fun () ->
+          emit t
+            (Span
+               { name;
+                 dur_ns = Int64.to_int (Int64.sub (monotonic_ns ()) t0) }))
         f
 
 (* ------------------------------------------------------------------ *)
@@ -347,9 +363,14 @@ let event_to_json = function
            match tactic with
            | Some t -> Json.Str (tactic_name t)
            | None -> Json.Null) ]
-  | Span { name; dur_s } ->
+  | Span { name; dur_ns } ->
       Json.Obj
-        [ ("ev", Json.Str "span"); ("name", Json.Str name); ("dur_s", Json.Float dur_s) ]
+        [ ("ev", Json.Str "span");
+          ("name", Json.Str name);
+          ("dur_ns", Json.Int dur_ns);
+          (* Derived convenience for human readers; dur_ns is the
+             authoritative value and the one the reader consumes. *)
+          ("dur_s", Json.Float (float_of_int dur_ns /. 1e9)) ]
   | Gauge { name; value } ->
       Json.Obj
         [ ("ev", Json.Str "gauge"); ("name", Json.Str name); ("value", Json.Int value) ]
@@ -427,10 +448,14 @@ let event_of_json j =
               | Some t -> Ok (Site { addr; tactic = Some t })
               | None -> Error (Printf.sprintf "unknown tactic %S" s))
           | _ -> Error "field \"tactic\" is neither null nor a string")
-      | "span" ->
+      | "span" -> (
           let* name = str_field j "name" in
-          let* dur_s = num_field j "dur_s" in
-          Ok (Span { name; dur_s })
+          match int_field j "dur_ns" with
+          | Ok dur_ns -> Ok (Span { name; dur_ns })
+          | Error _ ->
+              (* Pre-nanosecond traces carried only dur_s. *)
+              let* dur_s = num_field j "dur_s" in
+              Ok (Span { name; dur_ns = int_of_float (dur_s *. 1e9) }))
       | "gauge" ->
           let* name = str_field j "name" in
           let* value = int_field j "value" in

@@ -47,8 +47,11 @@ type event =
       (** one record per tactic tried at a patch site *)
   | Site of { addr : int; tactic : tactic option }
       (** final per-site verdict; [None] = all tactics fell through *)
-  | Span of { name : string; dur_s : float }
-      (** a timed phase (decode, tactic_search, layout, serialize) *)
+  | Span of { name : string; dur_ns : int }
+      (** a timed phase (decode, tactic_search, layout, serialize,
+          plan_replay), in monotonic nanoseconds — integer ns all the way
+          to the reporting edge, so sub-microsecond phases aggregate to
+          their true total instead of rounding to 0 per call *)
   | Gauge of { name : string; value : int }
       (** point-in-time occupancy/fragmentation reading *)
   | Counter of { name : string; value : int }
@@ -59,6 +62,11 @@ type event =
 
 val tactic_name : tactic -> string
 val reject_name : reject -> string
+
+(** [monotonic_ns ()] — [CLOCK_MONOTONIC] in nanoseconds (C stub):
+    immune to wall-clock steps, fine enough for sub-microsecond spans.
+    Only differences are meaningful. *)
+val monotonic_ns : unit -> int64
 
 (** {1 Sinks} *)
 
@@ -133,7 +141,7 @@ module Agg : sig
     mutable sites_patched : int;
     mutable sites_failed : int;
     mutable pad_bytes : int;
-    spans : (string, int * float) Hashtbl.t;  (** name -> calls, total s *)
+    spans : (string, int * int) Hashtbl.t;  (** name -> calls, total ns *)
     gauges : (string, int) Hashtbl.t;  (** name -> last value *)
     counters : (string, int) Hashtbl.t;  (** name -> sum *)
   }
@@ -145,10 +153,15 @@ module Agg : sig
   (** [merge_into ~dst src] adds [src] into [dst] (gauges: [src] wins). *)
   val merge_into : dst:agg -> agg -> unit
 
-  (** [span_total a name] is the summed duration of span [name] (0 when
-      it never ran) — the lookup the bench sweep and the RPC service's
-      per-request accounting both need. *)
+  (** [span_total a name] is the summed duration of span [name] in
+      seconds (0 when it never ran) — the lookup the bench sweep and the
+      RPC service's per-request accounting both need. Computed from the
+      integer-nanosecond total, so it is exact to 1ns however short the
+      individual calls were. *)
   val span_total : agg -> string -> float
+
+  (** [span_total_ns a name] is the raw integer-nanosecond total. *)
+  val span_total_ns : agg -> string -> int
 
   (** [counter_total a name] is the summed value of counter [name]
       (0 when never emitted). *)
@@ -159,7 +172,8 @@ module Agg : sig
       totals, [pad_bytes] and a [rejects] sub-object. *)
   val tactics_json : agg -> Json.t
 
-  (** [spans_json a] maps each span name to [{calls, total_s}]. *)
+  (** [spans_json a] maps each span name to [{calls, total_ns,
+      total_s}]; [total_ns] is authoritative, [total_s] derived. *)
   val spans_json : agg -> Json.t
 
   val counters_json : agg -> Json.t

@@ -1,0 +1,18 @@
+/* Monotonic nanosecond clock for span timing.
+ *
+ * Unix.gettimeofday is wall-clock time at microsecond resolution: spans
+ * shorter than ~1us aggregate to 0 and a stepped clock can even go
+ * backwards mid-span. CLOCK_MONOTONIC at nanosecond resolution fixes
+ * both; the OCaml side aggregates integer nanoseconds and converts to
+ * seconds only at the reporting edge. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value e9_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

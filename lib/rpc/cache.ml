@@ -124,14 +124,5 @@ let stats_json s =
 (* FNV-1a 64                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
-
-let fnv1a64 b =
-  let h = ref fnv_offset in
-  for i = 0 to Bytes.length b - 1 do
-    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)))) fnv_prime
-  done;
-  Printf.sprintf "%016Lx" !h
-
-let fnv1a64_string s = fnv1a64 (Bytes.unsafe_of_string s)
+let fnv1a64 b = E9_bits.Fnv.hex b ~pos:0 ~len:(Bytes.length b)
+let fnv1a64_string s = E9_bits.Fnv.to_hex (E9_bits.Fnv.hash64_string s)

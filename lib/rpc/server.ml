@@ -26,8 +26,17 @@ let stop t = Atomic.set t.stop_flag true
 let stopping t = Atomic.get t.stop_flag
 let ctx t = t.ctx
 
-let status_json_of ~decode_cache ~result_cache ~requests ~errors ~started
-    ~closed () =
+let status_json_of ~decode_cache ~result_cache ~plan_cache ~bypassed
+    ~requests ~errors ~started ~closed () =
+  let decode_stats =
+    match Cache.stats_json (Cache.stats decode_cache) with
+    | Json.Obj fields ->
+        (* Result-cache hits short-circuit before the decode cache is
+           consulted; without this field a hot result cache makes the
+           decode cache read as 0% useful. *)
+        Json.Obj (fields @ [ ("bypassed", Json.Int (Atomic.get bypassed)) ])
+    | j -> j
+  in
   Json.Obj
     [
       ( "sessions",
@@ -36,24 +45,32 @@ let status_json_of ~decode_cache ~result_cache ~requests ~errors ~started
             ("closed", Json.Int (Atomic.get closed)) ] );
       ("requests", Json.Int (Atomic.get requests));
       ("errors", Json.Int (Atomic.get errors));
-      ("decode_cache", Cache.stats_json (Cache.stats decode_cache));
+      ("decode_cache", decode_stats);
       ("result_cache", Cache.stats_json (Cache.stats result_cache));
+      ("plan_cache", Cache.stats_json (Cache.stats plan_cache));
     ]
 
-let create ?(cache_capacity = 64) ?(jobs = 1) ?(fault = Fault.none)
-    ?trace_dir () =
+let create ?(cache_capacity = 64) ?(plan_capacity = 1024) ?(jobs = 1)
+    ?(fault = Fault.none) ?trace_dir () =
   let decode_cache = Cache.create ~capacity:cache_capacity () in
   let result_cache = Cache.create ~capacity:cache_capacity () in
+  (* Chunk-granular: one entry per chunk, not per binary, so the tier
+     needs a deeper LRU than the whole-binary caches. *)
+  let plan_cache = Cache.create ~capacity:plan_capacity () in
+  let raw_cache = Cache.create ~capacity:cache_capacity () in
+  let bypassed = Atomic.make 0 in
   let requests = Atomic.make 0 in
   let errors = Atomic.make 0 in
   let started = Atomic.make 0 in
   let closed = Atomic.make 0 in
   let status =
-    status_json_of ~decode_cache ~result_cache ~requests ~errors ~started
-      ~closed
+    status_json_of ~decode_cache ~result_cache ~plan_cache ~bypassed
+      ~requests ~errors ~started ~closed
   in
   {
-    ctx = { Session.decode_cache; result_cache; fault; jobs; status };
+    ctx =
+      { Session.decode_cache; result_cache; plan_cache; raw_cache; bypassed;
+        fault; jobs; status };
     fault;
     trace_dir;
     agg = Obs.Agg.create ();

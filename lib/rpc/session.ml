@@ -15,11 +15,17 @@ type emit_entry = {
   trampoline_bytes : int;
   mappings : int;
   verified : bool;
+  plan_hits : int;
+  plan_misses : int;
+  plan_conflicts : int;
 }
 
 type ctx = {
   decode_cache : decoded Cache.t;
   result_cache : emit_entry Cache.t;
+  plan_cache : E9_core.Plan.chunk Cache.t;
+  raw_cache : bytes Cache.t;
+  bypassed : int Atomic.t;
   fault : Fault.t;
   jobs : int;
   status : unit -> Json.t;
@@ -119,10 +125,56 @@ let do_binary t params =
   in
   let elf = Elf_file.of_bytes raw in
   let hash = Cache.fnv1a64 raw in
+  (* Retain the raw bytes (bounded LRU) so a later [delta] message can
+     name this revision as its base and ship only the changed bytes. *)
+  Cache.add t.ctx.raw_cache ("b:" ^ hash) raw;
   t.binary <- Some (elf, hash);
   Json.Obj
     [ ("ok", Json.Bool true); ("size", Json.Int (Bytes.length raw));
       ("hash", Json.Str hash) ]
+
+(* The patch-message delta path (DESIGN.md §14): a client rewriting a
+   series of revisions names a retained base by hash and ships only the
+   changed byte runs, instead of re-sending the whole binary. The
+   reconstructed revision is loaded exactly as [binary] would load it
+   (and retained in turn, so revisions can chain). *)
+let do_delta t params =
+  (if t.binary <> None then
+     state "binary already loaded; emit it before loading another");
+  let base = require "base" (string_param params "base") in
+  let edits =
+    match Json.member "edits" params with
+    | Some (Json.List l) -> l
+    | Some _ -> bad "edits must be a list"
+    | None -> bad "missing edits param"
+  in
+  match Cache.find t.ctx.raw_cache ("b:" ^ base) with
+  | None ->
+      state "delta base %s is not retained (load it with binary first)" base
+  | Some raw0 ->
+      let raw = Bytes.copy raw0 in
+      List.iter
+        (fun e ->
+          let offset = require "offset" (int_param e "offset") in
+          let hex = require "hex" (string_param e "hex") in
+          match Proto.bytes_of_hex hex with
+          | Error m -> bad "hex: %s" m
+          | Ok b ->
+              if offset < 0 || offset + Bytes.length b > Bytes.length raw
+              then
+                bad "edit [%d, %d) outside the base binary (%d bytes)" offset
+                  (offset + Bytes.length b)
+                  (Bytes.length raw);
+              Bytes.blit b 0 raw offset (Bytes.length b))
+        edits;
+      let elf = Elf_file.of_bytes raw in
+      let hash = Cache.fnv1a64 raw in
+      Cache.add t.ctx.raw_cache ("b:" ^ hash) raw;
+      t.binary <- Some (elf, hash);
+      Json.Obj
+        [ ("ok", Json.Bool true); ("size", Json.Int (Bytes.length raw));
+          ("hash", Json.Str hash); ("base", Json.Str base);
+          ("edits", Json.Int (List.length edits)) ]
 
 (* ------------------------------------------------------------------ *)
 (* options                                                             *)
@@ -134,7 +186,8 @@ let do_options t params =
     (fun (key, _) ->
       match key with
       | "granularity" | "grouping" | "shared" | "loader" | "b0_fallback"
-      | "t1" | "t2" | "t3" | "shard_span" | "disasm_from" | "jobs" -> ()
+      | "t1" | "t2" | "t3" | "shard_span" | "disasm_from" | "jobs"
+      | "plan" -> ()
       | other -> bad "unknown option %s" other)
     fields;
   let o = t.opts in
@@ -178,7 +231,14 @@ let do_options t params =
         Option.value (bool_param params "grouping") ~default:o.Rewriter.grouping;
       reserve_below_base =
         Option.value (bool_param params "shared")
-          ~default:o.Rewriter.reserve_below_base };
+          ~default:o.Rewriter.reserve_below_base;
+      chunking =
+        (* plan=true turns on content-defined chunking, which keys every
+           emit into the shared chunk-plan cache tier. *)
+        (match bool_param params "plan" with
+        | None -> o.Rewriter.chunking
+        | Some true -> Some Chunker.default
+        | Some false -> None) };
   upd (int_param params "disasm_from") (fun a -> t.disasm_from <- Some a);
   upd (int_param params "jobs") (fun j ->
       if j < 1 then bad "jobs must be >= 1, not %d" j else t.jobs <- j);
@@ -291,28 +351,63 @@ let do_emit t params =
     match Cache.find t.ctx.result_cache key with
     | Some e ->
         Obs.counter t.obs ~name:"rpc_cache_hits" ~value:1;
+        (* The result hit short-circuits before the decode cache is even
+           consulted: count it so the decode cache's 0%% hit rate under a
+           hot result cache reads as "bypassed", not "useless". *)
+        Atomic.incr t.ctx.bypassed;
         (e, "hit")
     | None ->
         Obs.counter t.obs ~name:"rpc_cache_misses" ~value:1;
-        let dkey = Printf.sprintf "d:%s:%s" bhash (from_tag t.disasm_from) in
-        let decoded =
-          match Cache.find t.ctx.decode_cache dkey with
-          | Some d -> d
-          | None ->
-              let d =
-                Obs.span t.obs "rpc_decode" (fun () ->
-                    Frontend.disassemble ?from:t.disasm_from elf)
+        (* Chunk-plan tier (DESIGN.md §14): when the session enabled
+           chunking, each content-defined chunk consults the shared plan
+           cache — which subsumes the whole-text decode cache (replayed
+           chunks skip decode per chunk), so the plan path hands the
+           rewriter the real frontend instead of the cached decode. *)
+        let plan =
+          match opts.Rewriter.chunking with
+          | Some _ when Fault.is_none t.ctx.fault ->
+              let text_base =
+                match Frontend.find_text elf with
+                | Some x -> x.Frontend.base
+                | None -> 0
               in
-              Cache.add t.ctx.decode_cache dkey d;
-              d
+              Some
+                { E9_core.Plan.store =
+                    { E9_core.Plan.find = Cache.find t.ctx.plan_cache;
+                      add = Cache.add t.ctx.plan_cache };
+                  spec_key =
+                    (fun ~lo ~len ->
+                      Patchspec.fragment_key
+                        (Patchspec.fragment_for_range spec
+                           ~lo:(text_base + lo)
+                           ~hi:(text_base + lo + len))) }
+          | _ -> None
+        in
+        let frontend =
+          match plan with
+          | Some _ -> None
+          | None ->
+              let dkey =
+                Printf.sprintf "d:%s:%s" bhash (from_tag t.disasm_from)
+              in
+              let decoded =
+                match Cache.find t.ctx.decode_cache dkey with
+                | Some d -> d
+                | None ->
+                    let d =
+                      Obs.span t.obs "rpc_decode" (fun () ->
+                          Frontend.disassemble ?from:t.disasm_from elf)
+                    in
+                    Cache.add t.ctx.decode_cache dkey d;
+                    d
+              in
+              Some (fun _ -> decoded)
         in
         let select, template = Patchspec.to_rewriter_args spec in
         let r =
           Obs.span t.obs "rpc_rewrite" (fun () ->
-              Rewriter.run ~options:opts ~obs:t.obs ~jobs:t.jobs
-                ?disasm_from:t.disasm_from
-                ~frontend:(fun _ -> decoded)
-                elf ~select ~template)
+              Rewriter.run ~options:opts ~obs:t.obs ~jobs:t.jobs ?plan
+                ?disasm_from:t.disasm_from ?frontend elf ~select ~template)
         in
         (match
            Obs.span t.obs "rpc_verify" (fun () ->
@@ -333,6 +428,9 @@ let do_emit t params =
             trampoline_bytes = r.Rewriter.trampoline_bytes;
             mappings = r.Rewriter.mappings;
             verified = true;
+            plan_hits = r.Rewriter.plan_hits;
+            plan_misses = r.Rewriter.plan_misses;
+            plan_conflicts = r.Rewriter.plan_conflicts;
           }
         in
         Cache.add t.ctx.result_cache key entry;
@@ -355,6 +453,13 @@ let do_emit t params =
        ("mappings", Json.Int entry.mappings);
        ("verified", Json.Bool entry.verified);
        ("stats", stats_json entry.stats) ]
+    @ (if opts.Rewriter.chunking <> None then
+         [ ( "plan",
+             Json.Obj
+               [ ("hits", Json.Int entry.plan_hits);
+                 ("misses", Json.Int entry.plan_misses);
+                 ("conflicts", Json.Int entry.plan_conflicts) ] ) ]
+       else [])
     @ (match filename with
       | Some path -> [ ("wrote", Json.Str path) ]
       | None -> [])
@@ -367,6 +472,8 @@ let do_emit t params =
 
 let do_flush t =
   let _ = Cache.flush t.ctx.decode_cache in
+  let _ = Cache.flush t.ctx.plan_cache in
+  let _ = Cache.flush t.ctx.raw_cache in
   let generation = Cache.flush t.ctx.result_cache in
   Json.Obj [ ("ok", Json.Bool true); ("generation", Json.Int generation) ]
 
@@ -404,6 +511,7 @@ let handle t (req : Proto.request) =
         | "trampoline" -> ok (do_trampoline t params)
         | "reserve" -> ok (do_reserve t params)
         | "patch" -> ok (do_patch t params)
+        | "delta" -> ok (do_delta t params)
         | "emit" -> ok (do_emit t params)
         | "status" -> ok (t.ctx.status ())
         | "flush" -> ok (do_flush t)

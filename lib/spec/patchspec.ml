@@ -299,6 +299,27 @@ let to_rewriter_args spec =
   (select, template)
 
 (* ------------------------------------------------------------------ *)
+(* Range fragments (plan-cache keys)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Conservative "may this selector match some site with an address in
+   [lo, hi)?": only [Address] constrains the address; everything else —
+   including any [Not] — may. A rule whose selector provably cannot
+   match in the range can be dropped without changing [template_for] for
+   any site in the range (first match wins, and the dropped rule never
+   was the first match there). *)
+let rec may_match_in ~lo ~hi = function
+  | Address a -> a >= lo && a < hi
+  | And (x, y) -> may_match_in ~lo ~hi x && may_match_in ~lo ~hi y
+  | Or (x, y) -> may_match_in ~lo ~hi x || may_match_in ~lo ~hi y
+  | Jumps | Heap_writes | Calls | Returns | All | Mnemonic _ | Size_cmp _
+  | Not _ ->
+      true
+
+let fragment_for_range spec ~lo ~hi =
+  List.filter (fun r -> may_match_in ~lo ~hi r.selector) spec
+
+(* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -328,3 +349,8 @@ let pp ppf spec =
       Format.fprintf ppf "patch %a with %a@." pp_sel r.selector pp_template
         r.template)
     spec
+
+(* Canonical concrete syntax (fully parenthesized by [pp_sel]) is a
+   stable, injective encoding of the fragment's semantics — exactly what
+   a plan key needs. *)
+let fragment_key spec = Format.asprintf "%a" pp spec

@@ -58,3 +58,19 @@ val to_rewriter_args :
 (** [pp] prints a spec back in concrete syntax (parse ∘ pp = id up to
     formatting). *)
 val pp : Format.formatter -> t -> unit
+
+(** {1 Range fragments} — the spec identity half of the incremental plan
+    cache key (DESIGN.md §14). *)
+
+(** [fragment_for_range spec ~lo ~hi] drops every rule that provably
+    cannot match any site whose address lies in [lo, hi) (only
+    [Address] selectors bound the address; the analysis is conservative
+    — [not], mnemonics, sizes all "may match"). Sound under
+    first-match-wins: for every site in the range, [template_for] on the
+    fragment equals [template_for] on the full spec. *)
+val fragment_for_range : t -> lo:int -> hi:int -> t
+
+(** [fragment_key spec] is a stable, injective textual encoding of the
+    fragment's semantics (canonical concrete syntax), for use as the
+    [spec_key] in {!E9_core.Plan.config}. *)
+val fragment_key : t -> string

@@ -214,6 +214,7 @@ let prop_jobs = Fuzz.jobs_property ~count:15 ~jobs:[ 2; 4; 7 ] ~shard_span:2048 
 
 let prop_steal =
   Fuzz.steal_property ~count:8 ~jobs:[ 2; 4; 7 ] ~shard_span:2048 ()
+let prop_incremental = Fuzz.incremental_property ~count:8 ~jobs:[ 1; 4 ] ()
 let prop_inject = Inject.property ~count:15 ()
 
 let suites =
@@ -232,4 +233,5 @@ let suites =
         QCheck_alcotest.to_alcotest prop_fuzz;
         QCheck_alcotest.to_alcotest prop_jobs;
         QCheck_alcotest.to_alcotest prop_steal;
+        QCheck_alcotest.to_alcotest prop_incremental;
         QCheck_alcotest.to_alcotest prop_inject ] ) ]

@@ -1312,3 +1312,98 @@ let suites =
             test_patch_site_at_text_end;
           Alcotest.test_case "push/pop %rsp" `Quick test_push_pop_rsp_semantics
         ] ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Plan table: persistence and text diffs (DESIGN.md §14)              *)
+(* ------------------------------------------------------------------ *)
+
+module Plan = E9_core.Plan
+
+let sample_chunk =
+  { Plan.c_lo = 0x40; c_len = 0x1000; c_entry = 0x42; c_exit = 0x1040;
+    c_sites = [ { Frontend.addr = 0x401050; len = 5; insn = Insn.Jmp 12 } ];
+    c_plans =
+      [ { Plan.s_addr = 0x401050;
+          s_outcome = Plan.Applied Stats.T1;
+          s_tramps = [ (0x7f0000000000, Bytes.of_string "\xc3") ];
+          s_traps = []; s_class = 9 } ];
+    c_diff = [ (0x10, "\xe9\x00\x00\x00\x00") ];
+    c_locks = [ (0x401055, 2) ]; c_dead = [ (0x401060, 3) ] }
+
+let test_plan_table_round_trip () =
+  let t = Plan.create_table () in
+  let store = Plan.table_store t in
+  let k = Plan.key ~hash:"deadbeef" ~addr:0x401040 ~len:0x1000 ~env:"env" in
+  store.Plan.add k sample_chunk;
+  store.Plan.add "other" { sample_chunk with Plan.c_lo = 0x2000 };
+  check_int "two entries" 2 (Plan.table_size t);
+  let path = Filename.temp_file "e9plan" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Plan.save_table t path;
+      let t' = Plan.load_table path in
+      check_int "reloaded size" 2 (Plan.table_size t');
+      check_bool "reloaded items identical" true
+        (List.sort compare (Plan.table_items t')
+        = List.sort compare (Plan.table_items t));
+      match (Plan.table_store t').Plan.find k with
+      | Some c -> check_bool "chunk survives the round trip" true (c = sample_chunk)
+      | None -> Alcotest.fail "keyed chunk missing after reload")
+
+(* A cache may always start cold: missing, truncated, or wrong-magic
+   files load as an empty table, never an error. *)
+let test_plan_table_corrupt_loads_empty () =
+  check_int "missing file" 0
+    (Plan.table_size (Plan.load_table "/nonexistent/e9plan.bin"));
+  let path = Filename.temp_file "e9plan" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "not a plan cache";
+      close_out oc;
+      check_int "wrong magic" 0 (Plan.table_size (Plan.load_table path));
+      let t = Plan.create_table () in
+      (Plan.table_store t).Plan.add "k" sample_chunk;
+      Plan.save_table t path;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (String.length full / 2));
+      close_out oc;
+      check_int "truncated payload" 0 (Plan.table_size (Plan.load_table path)))
+
+let test_plan_diff_round_trip () =
+  let pristine = Bytes.init 256 (fun i -> Char.chr (i land 0xff)) in
+  let current = Bytes.copy pristine in
+  (* Two disjoint runs, one at the very start of the range. *)
+  Bytes.set current 32 '\xe9';
+  Bytes.set current 33 '\x00';
+  Bytes.set current 100 '\x90';
+  let d = Plan.diff ~pristine ~current ~lo:32 ~len:128 in
+  check_int "two runs" 2 (List.length d);
+  List.iter
+    (fun (o, r) -> check_bool "run offsets in range" true
+        (o >= 0 && o + String.length r <= 128))
+    d;
+  (* Replaying the diff onto a pristine buffer reproduces [current]. *)
+  let buf = Buf.of_bytes (Bytes.copy pristine) in
+  Plan.apply_diff buf ~lo:32 d;
+  check_bool "apply_diff reproduces the edits" true
+    (Buf.contents buf = current);
+  (* Edits outside [lo, lo+len) are invisible to the diff. *)
+  let far = Bytes.copy pristine in
+  Bytes.set far 5 '\xcc';
+  check_bool "no edits in range, empty diff" true
+    (Plan.diff ~pristine ~current:far ~lo:32 ~len:128 = [])
+
+let suites =
+  suites
+  @ [ ( "core.plan",
+        [ Alcotest.test_case "table save/load round trip" `Quick
+            test_plan_table_round_trip;
+          Alcotest.test_case "corrupt cache loads empty" `Quick
+            test_plan_table_corrupt_loads_empty;
+          Alcotest.test_case "diff/apply_diff round trip" `Quick
+            test_plan_diff_round_trip
+        ] ) ]

@@ -65,27 +65,25 @@ let test_aggregator_sink () =
 let test_agg_merge () =
   let a = Obs.Agg.create () and b = Obs.Agg.create () in
   Obs.Agg.add_event a (Obs.Site { addr = 1; tactic = Some Obs.B1 });
-  Obs.Agg.add_event a (Obs.Span { name = "s"; dur_s = 1.0 });
+  Obs.Agg.add_event a (Obs.Span { name = "s"; dur_ns = 1_000_000_000 });
   Obs.Agg.add_event b (Obs.Site { addr = 2; tactic = None });
-  Obs.Agg.add_event b (Obs.Span { name = "s"; dur_s = 0.5 });
+  Obs.Agg.add_event b (Obs.Span { name = "s"; dur_ns = 500_000_000 });
   Obs.Agg.merge_into ~dst:a b;
   check_int "sites" 2 a.Obs.Agg.sites;
   check_int "failed" 1 a.Obs.Agg.sites_failed;
   let calls, total = Hashtbl.find a.Obs.Agg.spans "s" in
   check_int "span calls" 2 calls;
-  check_bool "span total" true (abs_float (total -. 1.5) < 1e-9)
+  check_int "span total ns" 1_500_000_000 total;
+  check_bool "span total s" true
+    (abs_float (Obs.Agg.span_total a "s" -. 1.5) < 1e-12)
 
 (* ------------------------------------------------------------------ *)
 (* ndjson schema                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Structural equality, with a float tolerance on span durations (the
-   printer emits %.6g). *)
-let event_approx_eq a b =
-  match (a, b) with
-  | Obs.Span { name = n1; dur_s = d1 }, Obs.Span { name = n2; dur_s = d2 } ->
-      n1 = n2 && abs_float (d1 -. d2) <= 1e-6 *. (1.0 +. abs_float d1)
-  | _ -> a = b
+(* Span durations are integer nanoseconds on the wire, so round-trips
+   are exact structural equality. *)
+let event_approx_eq a b = a = b
 
 let sample_events =
   [ Obs.Attempt
@@ -103,7 +101,7 @@ let sample_events =
       { addr = 0x400400;
         tactic = Obs.B1;
         outcome = Obs.Rejected Obs.Injected };
-    Obs.Span { name = "decode"; dur_s = 0.25 };
+    Obs.Span { name = "decode"; dur_ns = 250_000_000 };
     Obs.Gauge { name = "layout.occupied_intervals"; value = 17 };
     Obs.Counter { name = "emu.block_hits"; value = 12345 };
     Obs.Fault { site = "alloc"; fires = 3 } ]
@@ -216,7 +214,7 @@ let test_trace_golden () =
       | None -> Alcotest.failf "missing span %S" name
       | Some (calls, total) ->
           check_int (name ^ " calls") 1 calls;
-          check_bool (name ^ " non-negative") true (total >= 0.0))
+          check_bool (name ^ " non-negative") true (total >= 0))
     [ "decode"; "tactic_search"; "layout"; "serialize" ];
   (* Allocator gauges land in the trace. *)
   List.iter

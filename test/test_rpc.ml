@@ -221,11 +221,14 @@ let test_golden_status () =
   let zero =
     {|{"hits":0,"misses":0,"entries":0,"insertions":0,"evictions":0,"generation":0,"hit_rate":0}|}
   in
+  let zero_bypassed =
+    {|{"hits":0,"misses":0,"entries":0,"insertions":0,"evictions":0,"generation":0,"hit_rate":0,"bypassed":0}|}
+  in
   let r, _ = one conn {|{"jsonrpc":"2.0","id":1,"method":"status"}|} in
   check_str "pinned status shape"
     (Printf.sprintf
-       {|{"jsonrpc":"2.0","id":1,"result":{"sessions":{"started":1,"closed":0},"requests":1,"errors":0,"decode_cache":%s,"result_cache":%s}}|}
-       zero zero)
+       {|{"jsonrpc":"2.0","id":1,"result":{"sessions":{"started":1,"closed":0},"requests":1,"errors":0,"decode_cache":%s,"result_cache":%s,"plan_cache":%s}}|}
+       zero_bypassed zero zero)
     r
 
 let test_golden_shutdown () =
@@ -321,6 +324,57 @@ let test_cache_replace_and_rate () =
   check_bool "one miss" true (Cache.find c "zz" = None);
   check_bool "rate 0.5" true (Cache.hit_rate (Cache.stats c) = 0.5)
 
+(* LRU eviction interleaved with generation flushes under concurrent
+   sessions: writer domains hammer a small cache (every add can evict)
+   while the main domain flushes repeatedly (every entry goes stale at
+   once, then gets dropped lazily). The accounting must stay exact and
+   the structure must stay bounded and serviceable. *)
+let test_cache_concurrent_flush_lru () =
+  let capacity = 8 in
+  let c = Cache.create ~capacity () in
+  let writers = 4 and per = 400 and flushes = 6 in
+  let finds_per_writer = 2 * per in
+  let domains =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              let key = Printf.sprintf "w%d-%d" w i in
+              Cache.add c key ((w * per) + i);
+              (* Own key: hit unless a sibling evicted or a flush staled
+                 it. Sibling key: usually a miss. Both paths race against
+                 eviction and generation bumps. *)
+              (match Cache.find c key with
+              | Some v ->
+                  if v <> (w * per) + i then
+                    Alcotest.failf "w%d-%d read someone else's value" w i
+              | None -> ());
+              ignore (Cache.find c (Printf.sprintf "w%d-%d" ((w + 1) mod writers) i))
+            done))
+  in
+  for _ = 1 to flushes do
+    ignore (Cache.flush c);
+    (* A beat of real work between flushes so writers make progress in
+       every generation. *)
+    for i = 1 to 100 do
+      ignore (Cache.find c (Printf.sprintf "pace-%d" i))
+    done
+  done;
+  List.iter Domain.join domains;
+  let s = Cache.stats c in
+  check_bool "entries bounded by capacity" true (s.Cache.entries <= capacity);
+  check_int "generation counts flushes" flushes s.Cache.generation;
+  check_int "every add counted" (writers * per) s.Cache.insertions;
+  check_int "every find counted"
+    ((writers * finds_per_writer) + (flushes * 100))
+    (s.Cache.hits + s.Cache.misses);
+  (* Whatever raced, the cache must still serve the current generation. *)
+  Cache.add c "after" 1;
+  check_bool "still serviceable" true (Cache.find c "after" = Some 1);
+  check_bool "pre-flush keys are gone" true (Cache.find c "w0-1" = None);
+  let s' = Cache.stats c in
+  check_bool "evictions keep entries consistent" true
+    (s'.Cache.entries <= capacity && s'.Cache.entries >= 1)
+
 (* ------------------------------------------------------------------ *)
 (* Session conformance                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -397,10 +451,13 @@ let test_cache_hit_identity () =
   let rc = Cache.stats (Server.ctx server).E9_rpc.Session.result_cache in
   check_int "one result hit" 1 rc.Cache.hits;
   check_int "one result miss" 1 rc.Cache.misses;
-  (* The hit never reached the frontend: decode cache saw one miss only. *)
+  (* The hit never reached the frontend: decode cache saw one miss only,
+     and the short-circuit is accounted as a bypass, not a failure. *)
   let dc = Cache.stats (Server.ctx server).E9_rpc.Session.decode_cache in
   check_int "decode hits" 0 dc.Cache.hits;
-  check_int "decode misses" 1 dc.Cache.misses
+  check_int "decode misses" 1 dc.Cache.misses;
+  check_int "result hit counted as decode bypass" 1
+    (Atomic.get (Server.ctx server).E9_rpc.Session.bypassed)
 
 let test_flush_forces_recompute () =
   let raw = Lazy.force raw in
@@ -446,6 +503,147 @@ let test_options_partition_cache () =
       [ Harness.request ~id:1 "options" [ ("t9", Json.Bool true) ] ]
   in
   check_int "unknown option" Proto.invalid_params (error_code (List.hd rs))
+
+(* The chunk-plan tier end to end: a plan-enabled emit captures per-chunk
+   plans; a [delta] revision of the same binary replays the unchanged
+   chunks, and the warm output is byte-identical to a cold plan-enabled
+   rewrite of the same revision on a fresh server. *)
+let test_plan_emit_and_delta () =
+  (* The shared fixture's text (~2 KB) fits one default chunk; replay
+     needs several, so this test generates a bigger binary. *)
+  let raw =
+    Elf_file.to_bytes
+      (Codegen.generate
+         { Codegen.default_profile with
+           Codegen.name = "rpc-plan";
+           seed = 51L;
+           functions = 60;
+           iterations = 2 })
+  in
+  let base_hash = Cache.fnv1a64 raw in
+  (* A valid in-text edit: NOP-fill one decoded instruction of >= 2
+     bytes, so the revision is still a clean sweep input. *)
+  let text, sites = Frontend.disassemble (Elf_file.of_bytes raw) in
+  let site =
+    List.find (fun s -> s.Frontend.len >= 2) sites
+  in
+  let off = text.Frontend.offset + (site.Frontend.addr - text.Frontend.base) in
+  let nops = String.concat "" (List.init site.Frontend.len (fun _ -> "90")) in
+  let revision =
+    let b = Bytes.copy raw in
+    Bytes.fill b off site.Frontend.len '\x90';
+    b
+  in
+  let plan_on = Harness.request ~id:1 "options" [ ("plan", Json.Bool true) ] in
+  let patch_emit id =
+    [ Harness.request ~id "patch" [ ("spec", Json.Str Harness.default_spec) ];
+      Harness.request ~id:(id + 1) "emit" [ ("data", Json.Bool true) ] ]
+  in
+  let plan_field e =
+    match field (result_of e) "plan" with
+    | Json.Obj _ as p -> p
+    | _ -> Alcotest.failf "emit response has no plan object"
+  in
+  let plan_counts e =
+    let p = plan_field e in
+    match (field p "hits", field p "misses", field p "conflicts") with
+    | Json.Int h, Json.Int m, Json.Int c -> (h, m, c)
+    | _ -> Alcotest.failf "plan counters are not ints"
+  in
+  let server = Server.create () in
+  (* Session 1: cold plan-enabled emit of the base (captures plans). *)
+  let rs1, alive1 =
+    Harness.run_session server
+      ((plan_on
+       :: [ Harness.request ~id:2 "binary"
+              [ ("data", Json.Str (Proto.hex_of_bytes raw)) ] ])
+      @ patch_emit 3)
+  in
+  check_bool "session 1 alive" true alive1;
+  let e1 = List.nth rs1 3 in
+  let h1, m1, _ = plan_counts e1 in
+  check_int "cold emit replays nothing" 0 h1;
+  check_bool "cold emit captures chunks" true (m1 > 0);
+  check_bool "cold emit verified" true
+    (field (result_of e1) "verified" = Json.Bool true);
+  (* Session 2: the revision ships as a delta against the retained base
+     and replays every untouched chunk from the shared plan cache. *)
+  let rs2, alive2 =
+    Harness.run_session server
+      ((plan_on
+       :: [ Harness.request ~id:2 "delta"
+              [ ("base", Json.Str base_hash);
+                ("edits",
+                 Json.List
+                   [ Json.Obj
+                       [ ("offset", Json.Int off); ("hex", Json.Str nops) ] ])
+              ] ])
+      @ patch_emit 3)
+  in
+  check_bool "session 2 alive" true alive2;
+  let d = result_of (List.nth rs2 1) in
+  check_bool "delta ok" true (field d "ok" = Json.Bool true);
+  check_bool "delta echoes base" true (field d "base" = Json.Str base_hash);
+  check_bool "delta hash is the revision's" true
+    (field d "hash" = Json.Str (Cache.fnv1a64 revision));
+  let e2 = List.nth rs2 3 in
+  let h2, m2, c2 = plan_counts e2 in
+  check_bool "warm emit replays chunks" true (h2 > 0);
+  check_bool "warm emit re-searches only the edit" true (m2 >= 1 && m2 <= 2);
+  check_int "no conflicts" 0 c2;
+  check_bool "warm emit verified" true
+    (field (result_of e2) "verified" = Json.Bool true);
+  (* Byte-identity gate: warm replay vs a cold chunked rewrite of the
+     same revision on a server with an empty plan cache. *)
+  let cold_server = Server.create () in
+  let rs3, _ =
+    Harness.run_session cold_server
+      ((plan_on
+       :: [ Harness.request ~id:2 "binary"
+              [ ("data", Json.Str (Proto.hex_of_bytes revision)) ] ])
+      @ patch_emit 3)
+  in
+  check_str "warm output is byte-identical to cold"
+    (emit_data (List.nth rs3 3))
+    (emit_data e2);
+  (* The shared tier's accounting is visible in status. *)
+  let pc = Cache.stats (Server.ctx server).E9_rpc.Session.plan_cache in
+  check_bool "plan cache hits recorded" true (pc.Cache.hits >= h2);
+  check_bool "plan cache holds captured chunks" true (pc.Cache.entries >= m1)
+
+let test_delta_errors () =
+  let raw = Lazy.force raw in
+  let server = Server.create () in
+  (* Base not retained: a typed state error, session lives. *)
+  let rs, alive =
+    Harness.run_session server
+      [ Harness.request ~id:1 "delta"
+          [ ("base", Json.Str "feedfacefeedface");
+            ("edits", Json.List []) ] ]
+  in
+  check_bool "alive after unknown base" true alive;
+  check_int "unknown base is a state error" Proto.state_error
+    (error_code (List.hd rs));
+  (* Out-of-range edit: invalid params, and the base stays loadable. *)
+  let load =
+    Harness.request ~id:1 "binary"
+      [ ("data", Json.Str (Proto.hex_of_bytes raw)) ]
+  in
+  let rs, alive =
+    Harness.run_session server
+      [ load;
+        Harness.request ~id:2 "emit" [];
+        Harness.request ~id:3 "delta"
+          [ ("base", Json.Str (Cache.fnv1a64 raw));
+            ("edits",
+             Json.List
+               [ Json.Obj
+                   [ ("offset", Json.Int (Bytes.length raw));
+                     ("hex", Json.Str "90") ] ]) ] ]
+  in
+  check_bool "alive after bad edit" true alive;
+  let r = Array.of_list rs in
+  check_int "oversized edit refused" Proto.invalid_params (error_code r.(2))
 
 let test_malformed_binary_recovers () =
   let raw = Lazy.force raw in
@@ -875,6 +1073,8 @@ let suites =
           test_cache_flush_generation;
         Alcotest.test_case "replace and hit rate" `Quick
           test_cache_replace_and_rate;
+        Alcotest.test_case "concurrent eviction x generation flush" `Quick
+          test_cache_concurrent_flush_lru;
       ] );
     ( "rpc.session",
       [
@@ -890,6 +1090,9 @@ let suites =
           test_flush_forces_recompute;
         Alcotest.test_case "options partition the cache" `Quick
           test_options_partition_cache;
+        Alcotest.test_case "plan tier: emit + delta replay" `Quick
+          test_plan_emit_and_delta;
+        Alcotest.test_case "delta error paths" `Quick test_delta_errors;
         Alcotest.test_case "malformed binary recovers" `Quick
           test_malformed_binary_recovers;
         Alcotest.test_case "spec parse error recovers" `Quick
