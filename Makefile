@@ -27,7 +27,7 @@ SERVE_JOBS ?= 1
 BENCH_JOBS ?=
 BENCH_JOBS_FLAG = $(if $(BENCH_JOBS),--jobs $(BENCH_JOBS))
 
-.PHONY: all build test bench bench-smoke fuzz-smoke fault-smoke robust-smoke serve-smoke incremental-smoke fmt clean
+.PHONY: all build test bench bench-smoke fuzz-smoke fault-smoke robust-smoke serve-smoke incremental-smoke tool-smoke fmt clean
 
 all: build
 
@@ -108,6 +108,36 @@ incremental-smoke: build
 	timeout $(SMOKE_TIMEOUT) $(DUNE) exec bench/main.exe -- --smoke $(BENCH_JOBS_FLAG) incremental | tee incremental_output.txt
 	grep -q 'identical' incremental_output.txt
 	! grep -q 'DIFFERS\|FAIL' incremental_output.txt
+
+# Tool-frontend smoke (DESIGN.md §15): one matcher x patch pair per
+# builtin (print, count, trap, empty, lowfat) plus a three-argument clean
+# call trampoline, each rewritten at jobs 1 and jobs 4 with --check (the
+# E9_check static verifier and the trace oracle with the instrumentation
+# pages private), and the two outputs byte-compared. A generated input is
+# used so the target is hermetic and deterministic.
+tool-smoke: build
+	rm -rf tool-smoke && mkdir -p tool-smoke
+	$(DUNE) exec bin/e9patch_cli.exe -- generate -o tool-smoke/input.elf --functions 40 --iterations 80 --seed 7
+	printf '%s\n' \
+	  'jumps|print' \
+	  'all|count' \
+	  'returns|trap' \
+	  'heap-writes|lowfat' \
+	  'mnemonic mov and op[0].type == reg|empty' \
+	  'calls|call:clean record(addr,size,3)' \
+	  > tool-smoke/pairs.txt
+	{ i=0; \
+	while IFS='|' read -r m p; do \
+	  i=$$((i+1)); \
+	  echo "=== [$$i] -M $$m -P $$p"; \
+	  timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- tool tool-smoke/input.elf -o tool-smoke/out$$i.j1.elf -M "$$m" -P "$$p" -j 1 --check; \
+	  timeout $(SMOKE_TIMEOUT) $(DUNE) exec bin/e9patch_cli.exe -- tool tool-smoke/input.elf -o tool-smoke/out$$i.j4.elf -M "$$m" -P "$$p" -j 4; \
+	  cmp tool-smoke/out$$i.j1.elf tool-smoke/out$$i.j4.elf; \
+	  echo "jobs 1 vs 4: byte-identical"; \
+	done < tool-smoke/pairs.txt; } 2>&1 | tee tool_output.txt
+	grep -q 'dynamic: OK' tool_output.txt
+	test "$$(grep -c 'byte-identical' tool_output.txt)" = 6
+	! grep -qE 'FAIL|diverged' tool_output.txt
 
 clean:
 	$(DUNE) clean

@@ -1559,6 +1559,160 @@ let bench_incremental () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Tool frontend: builtin matcher x patch pairs over the corpus        *)
+(* ------------------------------------------------------------------ *)
+
+(* Captured for the [tool] object in BENCH_throughput.json. *)
+let tool_json : Json.t option ref = ref None
+
+let bench_tool () =
+  heading
+    "Tool frontend: builtin matcher x patch pairs over the robustness corpus";
+  let module Adversary = E9_workload.Adversary in
+  let module Tool = E9_tool.Tool in
+  let module Static = E9_check.Static in
+  let module Trace = E9_check.Trace in
+  (* One pair per builtin patch, plus the call-ABI pairs the acceptance
+     bar names: a clean call with three static arguments and a naked
+     call (verified behaviorally — its [call] writes the guest stack by
+     design, so the trace oracle is the wrong instrument for it). *)
+  let pairs =
+    [ ("jumps", "print");
+      ("all", "count");
+      ("returns", "trap");
+      ("heap-writes", "lowfat");
+      ("calls", "call:clean record(addr,size,3)");
+      ("mnemonic mov and op[0].type == mem", "empty");
+      ("returns", "call:naked counter()") ]
+  in
+  let families = cut 3 Adversary.families in
+  let prepare (f : Adversary.family) =
+    let generated = Codegen.generate f.Adversary.profile in
+    let holes = Codegen.islands generated in
+    let elf =
+      if f.Adversary.strip then
+        Elf_file.of_bytes (Elf_file.to_bytes_stripped generated)
+      else generated
+    in
+    let frontend =
+      match holes with
+      | [] -> None
+      | holes -> Some (fun e -> Frontend.disassemble_excluding ~holes e)
+    in
+    (elf, holes, frontend)
+  in
+  let trace_config = { Cpu.default_config with Cpu.fuel = 50_000_000 } in
+  let tasks =
+    List.concat_map (fun pair -> List.map (fun f -> (pair, f)) families) pairs
+  in
+  let score ((m, p), (f : Adversary.family)) =
+    let rules = [ Tool.rule_of ~m ~p () ] in
+    let naked =
+      match (List.hd rules).Tool.patch with
+      | Tool.Call { mode = Trampoline.Naked; _ } -> true
+      | _ -> false
+    in
+    let elf, holes, frontend = prepare f in
+    let options =
+      { Rewriter.default_options with
+        Rewriter.tactics =
+          { Tactics.default_options with Tactics.b0_fallback = true };
+        reserve_below_base = f.Adversary.profile.Codegen.shared_object;
+        shard_span = 4096;
+        keep_ranges = holes }
+    in
+    let run j = Tool.run ~options ~jobs:j ?frontend elf rules in
+    let res = run 1 in
+    let res4 = run 4 in
+    let r = res.Tool.rewrite in
+    let rt = res.Tool.runtime in
+    let jobs_identical =
+      Bytes.equal
+        (Elf_file.to_bytes r.Rewriter.output)
+        (Elf_file.to_bytes res4.Tool.rewrite.Rewriter.output)
+      && r.Rewriter.stats = res4.Tool.rewrite.Rewriter.stats
+    in
+    let static_err =
+      match
+        Static.verify ~holes ~original:rt.Tool.augmented r.Rewriter.output
+      with
+      | Ok _ -> None
+      | Error e -> Some (Format.asprintf "%a" Static.pp_error e)
+    in
+    let trace_err =
+      if naked then
+        (* Behavioral equivalence: same outcome and output streams. *)
+        let orig = Machine.run ~config:trace_config rt.Tool.augmented in
+        let patched = Machine.run ~config:trace_config r.Rewriter.output in
+        if Machine.equivalent orig patched then None
+        else Some "naked call: outcome/output diverged"
+      else
+        match
+          Trace.compare_runs ~config:trace_config ~holes
+            ~instr_ranges:rt.Tool.instr_ranges ~original:rt.Tool.augmented
+            r.Rewriter.output
+        with
+        | Ok _ -> None
+        | Error msg -> Some msg
+    in
+    (m, p, f.Adversary.name, Stats.total r.Rewriter.stats, jobs_identical,
+     static_err, trace_err)
+  in
+  let scores = par_map score tasks in
+  let rows =
+    List.map
+      (fun (m, p, fam, sites, ji, serr, terr) ->
+        let pass = ji && serr = None && terr = None in
+        Atomic.incr verify_checked;
+        if not pass then begin
+          Atomic.incr verify_failed;
+          printf "  FAIL -M %s -P %s on %s: %s@." m p fam
+            (match (serr, terr) with
+            | Some e, _ -> "static: " ^ e
+            | None, Some e -> "trace: " ^ e
+            | None, None -> "jobs 1 vs 4 bytes differ")
+        end;
+        record_row "tool"
+          [ ("match", Json.Str m); ("patch", Json.Str p);
+            ("family", Json.Str fam); ("sites", Json.Int sites);
+            ("pass", Json.Bool pass) ];
+        Json.Obj
+          [ ("match", Json.Str m); ("patch", Json.Str p);
+            ("family", Json.Str fam); ("sites", Json.Int sites);
+            ("jobs_identical", Json.Bool ji);
+            ("static",
+             Json.Str (match serr with None -> "ok" | Some e -> e));
+            ("trace",
+             Json.Str
+               (match terr with
+               | None -> if ji then "ok" else "ok"
+               | Some e -> e));
+            ("pass", Json.Bool pass) ])
+      scores
+  in
+  let passed =
+    List.length
+      (List.filter
+         (fun (_, _, _, _, ji, s, t) -> ji && s = None && t = None)
+         scores)
+  in
+  printf "  %d pairs x %d families: %d/%d pass@." (List.length pairs)
+    (List.length families) passed (List.length scores);
+  List.iter
+    (fun (m, p, fam, sites, _, _, _) ->
+      printf "    %-42s %-34s %-22s %6d sites@."
+        (Printf.sprintf "-M %s" m) (Printf.sprintf "-P %s" p) fam sites)
+    scores;
+  tool_json :=
+    Some
+      (Json.Obj
+         [ ("pairs", Json.Int (List.length pairs));
+           ("families", Json.Int (List.length families));
+           ("passed", Json.Int passed);
+           ("total", Json.Int (List.length scores));
+           ("rows", Json.List rows) ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1580,6 +1734,7 @@ let all =
     ("iset", bench_iset);
     ("serve", bench_serve);
     ("incremental", bench_incremental);
+    ("tool", bench_tool);
     ("bechamel", bench_bechamel) ]
 
 let usage () =
@@ -1702,6 +1857,8 @@ let () =
           (match !incremental_json with
           | Some j -> j
           | None -> Json.Obj []));
+         ("tool",
+          (match !tool_json with Some j -> j | None -> Json.Obj []));
          ("verify",
           Json.Obj
             [ ("checked", Json.Int (Atomic.get verify_checked));

@@ -17,6 +17,7 @@ module Stats = E9_core.Stats
 module Trampoline = E9_core.Trampoline
 module Lowfat = E9_lowfat.Lowfat
 module Patchspec = E9_spec.Patchspec
+module Tool = E9_tool.Tool
 module Obs = E9_obs.Obs
 module Fault = E9_fault.Fault
 
@@ -32,9 +33,14 @@ let or_die f =
   | Rewriter.Error m
   | Lowfat.Error m
   | Codegen.Error m
+  | Tool.Error m
   | Elf_file.Io_error m
+  | Invalid_argument m
   | Failure m ->
       Printf.eprintf "e9patch: %s\n" m;
+      exit 1
+  | Patchspec.Parse_error { line; col; message } ->
+      Printf.eprintf "e9patch: %d:%d: %s\n" line col message;
       exit 1
   | Elf_file.Malformed m ->
       Printf.eprintf "e9patch: malformed ELF: %s\n" m;
@@ -308,6 +314,123 @@ let patch_cmd =
       const run $ setup_logs $ input $ output $ select $ template
       $ granularity $ no_grouping $ shared $ b0 $ no_t1 $ no_t2 $ no_t3
       $ stub $ spec_arg $ spec_file $ trace $ jobs $ inject $ plan_cache)
+
+(* ------------------------------------------------------------------ *)
+(* tool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tool_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUTPUT" ~doc:"Instrumented binary path.")
+  in
+  let matches =
+    Arg.(
+      value & opt_all string []
+      & info [ "M"; "match" ] ~docv:"MATCH"
+          ~doc:"Match expression ($(b,jumps), $(b,op[0].type == mem), \
+                $(b,addr >= 0x400000 and addr < 0x401000), \
+                $(b,defined(target)), ...); semicolon-separated pieces \
+                conjoin and $(b,exclude FILE.csv) pieces subtract the \
+                CSV's LO,HI address ranges. Repeatable; the Nth -M pairs \
+                with the Nth -P, first match wins.")
+  in
+  let patches =
+    Arg.(
+      value & opt_all string []
+      & info [ "P"; "patch" ] ~docv:"PATCH"
+          ~doc:"Patch for the paired match: $(b,print), $(b,count), \
+                $(b,trap), $(b,empty), $(b,lowfat), or \
+                $(b,call[:clean|:naked] FN(ARGS)) with args from \
+                asm|addr|instr|size, register names and integer literals \
+                (FN: $(b,counter), $(b,record), or a hex address).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains for the parallel tactic search (default: \
+                \\$E9_JOBS, else 1). Output bytes are identical for \
+                every $(docv).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Verify the output before writing it: the static verifier \
+                plus the trace oracle (instrumentation-private state \
+                excluded). Naked-call patches fail the trace oracle by \
+                design — their call pushes a return address on the guest \
+                stack.")
+  in
+  let emit_augmented =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-augmented" ] ~docv:"PATH"
+          ~doc:"Also write the augmented input (the input plus the \
+                injected instrumentation pages) — the $(b,original) a \
+                later $(b,e9patch check) run must verify against.")
+  in
+  let run () input output matches patches jobs check emit_augmented =
+   or_die @@ fun () ->
+    if matches = [] then failwith "need at least one -M/-P pair";
+    if List.length matches <> List.length patches then
+      failwith
+        (Printf.sprintf "got %d -M but %d -P (they pair up in order)"
+           (List.length matches) (List.length patches));
+    let rules = List.map2 (fun m p -> Tool.rule_of ~m ~p ()) matches patches in
+    let elf = Elf_file.read_file input in
+    let res = Tool.run ?jobs elf rules in
+    let r = res.Tool.rewrite and rt = res.Tool.runtime in
+    if check then (
+      (match
+         E9_check.Static.verify ~original:rt.Tool.augmented r.Rewriter.output
+       with
+      | Ok report ->
+          printf "static: OK — %a@." E9_check.Static.pp_report report
+      | Error e ->
+          printf "static: %a@." E9_check.Static.pp_error e;
+          exit 1);
+      match
+        E9_check.Trace.compare_runs ~instr_ranges:rt.Tool.instr_ranges
+          ~original:rt.Tool.augmented r.Rewriter.output
+      with
+      | Ok stats -> printf "dynamic: OK — %a@." E9_check.Trace.pp_stats stats
+      | Error msg ->
+          printf "dynamic: %s@." msg;
+          exit 1);
+    (match emit_augmented with
+    | Some path ->
+        Elf_file.write_file rt.Tool.augmented path;
+        printf "wrote augmented input %s@." path
+    | None -> ());
+    Elf_file.write_file r.Rewriter.output output;
+    printf "%a@." Stats.pp r.Rewriter.stats;
+    printf "size: %d -> %d bytes (%.1f%%); %d trampoline bytes; %d mappings@."
+      r.Rewriter.input_size r.Rewriter.output_size (Rewriter.size_pct r)
+      r.Rewriter.trampoline_bytes r.Rewriter.mappings;
+    printf "runtime: data page 0x%x, code page 0x%x (%s)@." rt.Tool.data_base
+      rt.Tool.code_base
+      (String.concat " "
+         (List.map
+            (fun (n, a) -> Printf.sprintf "%s=0x%x" n a)
+            rt.Tool.fns));
+    printf "wrote %s@." output
+  in
+  Cmd.v
+    (Cmd.info "tool"
+       ~doc:"E9Tool-style frontend: compile -M MATCH -P PATCH pairs \
+             (operand/address attributes, CSV exclusions; print, count, \
+             trap, empty, lowfat and call trampolines with the \
+             argument-passing ABI) into a verified rewrite.")
+    Term.(
+      const run $ setup_logs $ input $ output $ matches $ patches $ jobs
+      $ check $ emit_augmented)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -778,5 +901,5 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group (Cmd.info "e9patch" ~doc)
-          [ patch_cmd; generate_cmd; run_cmd; disasm_cmd; check_cmd;
+          [ patch_cmd; tool_cmd; generate_cmd; run_cmd; disasm_cmd; check_cmd;
             fuzz_cmd; fault_cmd; robust_cmd; spec_check_cmd; serve_cmd ]))

@@ -37,8 +37,14 @@ let kind_store = 2
 
 (* [start] is the original program's entry: events before the first retire
    at that address belong to the injected loader stub (stub mode), which is
-   part of the loading process, not of the program's architectural trace. *)
-let traced_run ?config ~bounds ~start elf =
+   part of the loading process, not of the program's architectural trace.
+   [in_instr] marks instrumentation-private address ranges (tool-injected
+   data/code segments): retires inside them and stores targeting them are
+   instrumentation bookkeeping, exempt from the architectural comparison.
+   The filter applies identically to both runs, and the original program
+   neither executes nor writes those ranges, so the comparison stays
+   one-to-one for everything program-visible. *)
+let traced_run ?config ~bounds ~in_instr ~start elf =
   let h = ref 0 in
   let count = ref 0 in
   let retires = ref 0 in
@@ -64,7 +70,7 @@ let traced_run ?config ~bounds ~start elf =
     if !started then begin
       (dropping :=
          match insn with Insn.Call _ | Insn.Call_ind _ -> true | _ -> false);
-      if Hashtbl.mem bounds addr then begin
+      if Hashtbl.mem bounds addr && not (in_instr addr) then begin
         let rh = Array.fold_left mix 0 regs in
         emit kind_retire addr rh 0;
         incr retires
@@ -72,7 +78,7 @@ let traced_run ?config ~bounds ~start elf =
     end
   in
   let on_store ~addr ~size ~value =
-    if !started && not !dropping then begin
+    if !started && (not !dropping) && not (in_instr addr) then begin
       emit kind_store addr size value;
       incr store_count
     end
@@ -117,7 +123,8 @@ let first_divergence ta tb =
   in
   go 0
 
-let compare_runs ?config ?disasm_from ?(holes = []) ~original rewritten =
+let compare_runs ?config ?disasm_from ?(holes = []) ?(instr_ranges = [])
+    ~original rewritten =
   (* [holes]: interior data extents the rewrite excluded. The boundary set
      is only a filter applied identically to both runs, so phantom entries
      from a desynchronized sweep are harmless (island bytes never retire)
@@ -134,8 +141,11 @@ let compare_runs ?config ?disasm_from ?(holes = []) ~original rewritten =
     (fun (s : Frontend.site) -> Hashtbl.replace bounds s.Frontend.addr ())
     sites;
   let start = original.Elf_file.entry in
-  let ta = traced_run ?config ~bounds ~start original in
-  let tb = traced_run ?config ~bounds ~start rewritten in
+  let in_instr addr =
+    List.exists (fun (lo, hi) -> addr >= lo && addr < hi) instr_ranges
+  in
+  let ta = traced_run ?config ~bounds ~in_instr ~start original in
+  let tb = traced_run ?config ~bounds ~in_instr ~start rewritten in
   if ta.result.Cpu.outcome <> tb.result.Cpu.outcome then
     Error
       (Printf.sprintf "outcome diverged: %s vs %s"

@@ -16,9 +16,12 @@
       transparency caveat allows.
 
     plus the final outcome and output stream. The oracle is specified for
-    {!E9_core.Trampoline.Empty} templates: instrumentation templates
-    (Counter, LowFat) deliberately add architectural effects and would —
-    correctly — be reported as divergences. *)
+    {!E9_core.Trampoline.Empty} templates and for {e trace-transparent}
+    instrumentation: templates whose extra state lives in host-side
+    channels (hostcall counters, the print log) or in declared
+    instrumentation-private segments ([instr_ranges]). Instrumentation
+    that clobbers registers at a boundary or writes program-visible
+    memory would — correctly — be reported as a divergence. *)
 
 type stats = {
   events : int;  (** total trace events compared (per run) *)
@@ -36,11 +39,18 @@ val pp_stats : Format.formatter -> stats -> unit
     rewriting used, so boundary sets agree. [holes] (interior data
     extents, see {!Frontend.disassemble_excluding}) likewise reproduces
     an island-excluding rewrite's boundary set; when non-empty it
-    replaces the plain sweep and [disasm_from] is ignored. *)
+    replaces the plain sweep and [disasm_from] is ignored.
+    [instr_ranges] declares instrumentation-private [(lo, hi)] address
+    ranges (the tool's injected scratch/code segments): retires inside
+    them and stores targeting them are dropped — symmetrically in both
+    runs — so register save/restore on an instrumentation-private stack
+    stays invisible while every program-visible store is still
+    compared. *)
 val compare_runs :
   ?config:E9_emu.Cpu.config ->
   ?disasm_from:int ->
   ?holes:(int * int) list ->
+  ?instr_ranges:(int * int) list ->
   original:Elf_file.t ->
   Elf_file.t ->
   (stats, string) result

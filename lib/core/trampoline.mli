@@ -11,6 +11,31 @@
     [emit] at any address yields the same number of bytes, so the rewriter
     can size a trampoline before allocating its home. *)
 
+(** Call-trampoline register discipline (the E9Tool call ABI).
+    [Clean] brackets the call with RFLAGS + caller-saved save/restore on
+    an instrumentation-private stack, so the instrumented program's
+    architectural state — including the guest stack — is untouched.
+    [Naked] emits only the argument loads and the call: fastest, and the
+    caller takes responsibility for whatever the callee clobbers. *)
+type call_mode = Clean | Naked
+
+(** Static arguments passed to a call trampoline, loaded into the System
+    V argument registers (%rdi, %rsi, %rdx, %rcx, %r8, %r9) in order. *)
+type call_arg =
+  | Arg_int of int  (** integer literal *)
+  | Arg_addr  (** the patch site's address *)
+  | Arg_size  (** the patched instruction's length in bytes *)
+  | Arg_asm
+      (** pointer to the instruction's NUL-terminated disassembly string,
+          embedded in the trampoline behind its terminal transfer *)
+  | Arg_instr  (** pointer to the instruction's encoded bytes, embedded *)
+  | Arg_reg of E9_x86.Reg.t
+      (** the register's value at the patch site. In [Clean] mode every
+          register (including %rsp) reads its pre-trampoline value from
+          the save area; in [Naked] mode a source that an earlier
+          argument register already overwrote raises [Invalid_argument]
+          at emission time *)
+
 type template =
   | Empty
       (** displaced instruction + return — the paper's "empty
@@ -23,11 +48,35 @@ type template =
           {!E9_emu.Hostcall.check} redzone check, restore state, then run
           the displaced instruction (paper §6.3). Only valid for
           heap-write instructions. *)
+  | Lowfat_check_scratch of int
+      (** {!Lowfat_check} with %rdi parked in the given 8-byte scratch
+          slot (an instrumentation-private page) instead of pushed on the
+          guest stack — the trace-transparent form the tool frontend
+          emits *)
   | Call_fn of int
       (** call an instrumentation {e function inside the patched binary}
           (appended by the user as an extra executable segment — the
           E9Tool mechanism), bracketing it with RFLAGS and caller-saved
           register save/restore *)
+  | Print of { text : string; scratch : int }
+      (** stash %rdi in the 8-byte [scratch] slot (an
+          instrumentation-private page, not the guest stack), point it at
+          the embedded NUL-terminated [text] and raise the
+          {!E9_emu.Hostcall.print} host call; flags untouched *)
+  | Trap
+      (** raise the {!E9_emu.Hostcall.trap} host call — a SIGTRAP-style
+          instrumentation event the harness counts and continues past *)
+  | Call of {
+      target : int;  (** absolute address of the instrumentation function *)
+      mode : call_mode;
+      args : call_arg list;  (** at most 6 *)
+      scratch : int;  (** 8-byte slot for the original %rsp / %rdi *)
+      stack_top : int;
+          (** top of the instrumentation-private stack the [Clean]
+              bracket switches to before spilling state *)
+    }
+      (** call an instrumentation function with the documented
+          argument-passing ABI *)
   | Custom_pre of (E9_x86.Asm.t -> unit)
       (** arbitrary payload before the displaced instruction *)
   | Replace of (E9_x86.Asm.t -> ret:int -> unit)

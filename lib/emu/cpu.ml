@@ -49,6 +49,8 @@ type result = {
   far_jumps : int;
   traps : int;
   violations : int;
+  sigtraps : int;
+  prints : string list;  (** instrumentation log, in emission order *)
   counters : (int * int) list;
   last_rips : int list;  (** most recent instruction addresses, oldest first *)
   block_hits : int;
@@ -82,6 +84,8 @@ type state = {
   mutable far_jumps : int;
   mutable trap_count : int;
   mutable violations : int;
+  mutable sigtraps : int;
+  mutable prints : string list;  (* reversed *)
   output : Buffer.t;
   files : (int, bytes Lazy.t) Hashtbl.t;  (* open file descriptors (mmap source) *)
   ring : int array;  (* recent RIP trace for fault diagnostics *)
@@ -270,6 +274,18 @@ let rsi = Reg.index Reg.RSI
 let rdx = Reg.index Reg.RDX
 let rax = Reg.index Reg.RAX
 
+let read_cstring st addr =
+  let buf = Buffer.create 32 in
+  let rec go a =
+    let c = Space.read_u8 st.space a in
+    if c <> 0 && Buffer.length buf < 256 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (a + 1)
+    end
+  in
+  go addr;
+  Buffer.contents buf
+
 let hostcall st ~site n =
   if n = Hostcall.malloc then st.regs.(rax) <- st.alloc.malloc st.regs.(rdi)
   else if n = Hostcall.free then st.alloc.free st.regs.(rdi)
@@ -282,23 +298,16 @@ let hostcall st ~site n =
       if st.cfg.abort_on_violation then raise (Stop (Violation st.regs.(rdi)))
     end
   end
+  else if n = Hostcall.print then
+    (* Instrumentation log, not guest output: the trace oracle compares
+       the output stream, and print trampolines must not perturb it. *)
+    st.prints <- read_cstring st st.regs.(rdi) :: st.prints
+  else if n = Hostcall.trap then st.sigtraps <- st.sigtraps + 1
   else raise (Stop (Fault (site, Printf.sprintf "unknown hostcall 0x%x" n)))
 
 (* The path the injected E9Patch loader stub opens to mmap its own file. *)
 let self_exe_path = "/proc/self/exe"
 let self_exe_fd = 3
-
-let read_cstring st addr =
-  let buf = Buffer.create 32 in
-  let rec go a =
-    let c = Space.read_u8 st.space a in
-    if c <> 0 && Buffer.length buf < 256 then begin
-      Buffer.add_char buf (Char.chr c);
-      go (a + 1)
-    end
-  in
-  go addr;
-  Buffer.contents buf
 
 let mmap_prot bits : Elf_file.prot =
   { r = bits land 1 <> 0; w = bits land 2 <> 0; x = bits land 4 <> 0 }
@@ -694,6 +703,8 @@ let run ?(config = default_config) ?(files = []) ?tracer space ~entry
       far_jumps = 0;
       trap_count = 0;
       violations = 0;
+      sigtraps = 0;
+      prints = [];
       output = Buffer.create 256;
       files = file_table;
       ring = Array.make 32 (-1);
@@ -742,6 +753,8 @@ let run ?(config = default_config) ?(files = []) ?tracer space ~entry
     far_jumps = st.far_jumps;
     traps = st.trap_count;
     violations = st.violations;
+    sigtraps = st.sigtraps;
+    prints = List.rev st.prints;
     counters =
       List.sort compare
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.counters []);

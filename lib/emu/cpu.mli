@@ -60,6 +60,10 @@ type result = {
   far_jumps : int;  (** control transfers that crossed a page *)
   traps : int;  (** B0 int3 traps taken *)
   violations : int;  (** redzone violations observed *)
+  sigtraps : int;  (** {!Hostcall.trap} instrumentation events *)
+  prints : string list;
+      (** instrumentation log from {!Hostcall.print}, in emission order —
+          a host-side side channel, never part of [output] *)
   counters : (int * int) list;  (** per-site hit counts, sorted by site *)
   last_rips : int list;
       (** the up-to-32 most recent instruction addresses, oldest first —

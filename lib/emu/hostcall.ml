@@ -2,4 +2,8 @@ let malloc = 0x41
 let free = 0x42
 let count = 0x50
 let check = 0x51
-let is_hostcall n = n = malloc || n = free || n = count || n = check
+let print = 0x52
+let trap = 0x53
+
+let is_hostcall n =
+  n = malloc || n = free || n = count || n = check || n = print || n = trap

@@ -20,5 +20,16 @@ val count : int
     A violation either aborts the run or is counted, per CPU config. *)
 val check : int
 
+(** [print]: rdi = pointer to a NUL-terminated string; append it to the
+    run's instrumentation log ({!Cpu.result.prints}). The log is a side
+    channel — it does not touch the guest-visible output stream, so
+    printing instrumentation stays trace-transparent. *)
+val print : int
+
+(** [trap]: record a SIGTRAP-style instrumentation event
+    ({!Cpu.result.sigtraps}) and continue. Models E9Tool's [trap]
+    builtin under a harness that catches the signal. *)
+val trap : int
+
 (** [is_hostcall n] — true for any recognized host-call number. *)
 val is_hostcall : int -> bool

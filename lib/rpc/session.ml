@@ -3,6 +3,7 @@ module Obs = E9_obs.Obs
 module Rewriter = E9_core.Rewriter
 module Stats = E9_core.Stats
 module Patchspec = E9_spec.Patchspec
+module Tool = E9_tool.Tool
 module Fault = E9_fault.Fault
 module Static = E9_check.Static
 
@@ -37,6 +38,7 @@ type t = {
   trampolines : (string, Patchspec.template) Hashtbl.t;
   mutable binary : (Elf_file.t * string) option;  (** parsed input, content hash *)
   mutable rules : Patchspec.rule list;  (** reverse order *)
+  mutable tool_rules : Tool.rule list;  (** reverse order *)
   mutable reserves : (int * int) list;  (** reverse order *)
   mutable opts : Rewriter.options;
   mutable disasm_from : int option;
@@ -52,6 +54,7 @@ let create ctx ~obs =
     trampolines = Hashtbl.create 8;
     binary = None;
     rules = [];
+    tool_rules = [];
     reserves = [];
     opts = Rewriter.default_options;
     disasm_from = None;
@@ -289,10 +292,27 @@ let do_patch t params =
         Printf.sprintf "patch %s with %s" selector (template_word tmpl)
     | None, None -> bad "patch needs a spec or a selector/trampoline pair"
   in
+  (if t.tool_rules <> [] then
+     state "tool rules pending; emit them before adding patch rules");
   let rules = Patchspec.parse source in
   t.rules <- List.rev_append rules t.rules;
   Json.Obj
     [ ("ok", Json.Bool true); ("rules", Json.Int (List.length t.rules)) ]
+
+(* The tool vocabulary (DESIGN.md §15): one [-M MATCH -P PATCH] pair per
+   message, first-match-wins across the accumulated pairs, lowered by
+   {!E9_tool} at emit time. Tool and patch-spec rules describe different
+   rewrites (the tool injects an instrumentation runtime), so a session
+   uses one vocabulary per emit. *)
+let do_tool t params =
+  (if t.rules <> [] then
+     state "patch rules pending; emit them before adding tool rules");
+  let m = require "match" (string_param params "match") in
+  let p = require "patch" (string_param params "patch") in
+  let rule = Tool.rule_of ~m ~p () in
+  t.tool_rules <- rule :: t.tool_rules;
+  Json.Obj
+    [ ("ok", Json.Bool true); ("rules", Json.Int (List.length t.tool_rules)) ]
 
 (* ------------------------------------------------------------------ *)
 (* emit                                                                *)
@@ -326,7 +346,122 @@ let stats_json (s : Stats.t) =
 
 let from_tag = function None -> "-" | Some a -> Printf.sprintf "%x" a
 
+(* Shared emit epilogue: write the bytes, reset the per-emit session
+   state, shape the response. Options and named trampolines are
+   connection-level and survive. *)
+let finish_emit t ~opts ~filename ~want_data (entry, cache_tag) =
+  (match filename with
+  | Some path -> write_bytes_atomic entry.bytes path
+  | None -> ());
+  t.binary <- None;
+  t.rules <- [];
+  t.tool_rules <- [];
+  t.reserves <- [];
+  t.emits <- t.emits + 1;
+  Json.Obj
+    ([ ("ok", Json.Bool true); ("cache", Json.Str cache_tag);
+       ("size", Json.Int (Bytes.length entry.bytes));
+       ("size_pct", Json.Float entry.size_pct);
+       ("trampoline_bytes", Json.Int entry.trampoline_bytes);
+       ("mappings", Json.Int entry.mappings);
+       ("verified", Json.Bool entry.verified);
+       ("stats", stats_json entry.stats) ]
+    @ (if opts.Rewriter.chunking <> None then
+         [ ( "plan",
+             Json.Obj
+               [ ("hits", Json.Int entry.plan_hits);
+                 ("misses", Json.Int entry.plan_misses);
+                 ("conflicts", Json.Int entry.plan_conflicts) ] ) ]
+       else [])
+    @ (match filename with
+      | Some path -> [ ("wrote", Json.Str path) ]
+      | None -> [])
+    @ if want_data then [ ("data", Json.Str (Proto.hex_of_bytes entry.bytes)) ]
+      else [])
+
+(* The tool-vocabulary emit: inject the instrumentation runtime, lower
+   the accumulated [-M]/[-P] pairs, rewrite, and verify against the
+   augmented input (the injected pages are part of what the verifier must
+   account for). Cached under a tool-specific key. *)
+let do_emit_tool t params =
+  let elf, bhash =
+    match t.binary with
+    | Some b -> b
+    | None -> state "emit needs a loaded binary"
+  in
+  if Fault.fires t.ctx.fault Fault.Rpc_emit then
+    raise (Fault.Injected "injected rpc emit fault");
+  let filename = string_param params "filename" in
+  let want_data = Option.value (bool_param params "data") ~default:false in
+  let rules = List.rev t.tool_rules in
+  let opts = { t.opts with Rewriter.keep_ranges = List.rev t.reserves } in
+  let okey =
+    Rewriter.options_signature opts ^ ";from=" ^ from_tag t.disasm_from
+  in
+  let key =
+    Printf.sprintf "t:%s:%s:%s" bhash
+      (Cache.fnv1a64_string (Tool.fragment_key rules))
+      (Cache.fnv1a64_string okey)
+  in
+  let entry, cache_tag =
+    match Cache.find t.ctx.result_cache key with
+    | Some e ->
+        Obs.counter t.obs ~name:"rpc_cache_hits" ~value:1;
+        Atomic.incr t.ctx.bypassed;
+        (e, "hit")
+    | None ->
+        Obs.counter t.obs ~name:"rpc_cache_misses" ~value:1;
+        let plan =
+          match opts.Rewriter.chunking with
+          | Some _ when Fault.is_none t.ctx.fault ->
+              let text_base =
+                match Frontend.find_text elf with
+                | Some x -> x.Frontend.base
+                | None -> 0
+              in
+              Some
+                { E9_core.Plan.store =
+                    { E9_core.Plan.find = Cache.find t.ctx.plan_cache;
+                      add = Cache.add t.ctx.plan_cache };
+                  spec_key = (fun ~lo ~len -> Tool.spec_key rules ~text_base ~lo ~len) }
+          | _ -> None
+        in
+        let res =
+          Obs.span t.obs "rpc_rewrite" (fun () ->
+              Tool.run ~options:opts ~obs:t.obs ~jobs:t.jobs ?plan
+                ?disasm_from:t.disasm_from elf rules)
+        in
+        let r = res.Tool.rewrite in
+        (match
+           Obs.span t.obs "rpc_verify" (fun () ->
+               Static.verify ?disasm_from:t.disasm_from
+                 ~original:res.Tool.runtime.Tool.augmented r.Rewriter.output)
+         with
+        | Ok _ -> ()
+        | Error e ->
+            raise (Verify_refused (Format.asprintf "%a" Static.pp_error e)));
+        let bytes = Elf_file.to_bytes r.Rewriter.output in
+        let entry =
+          {
+            bytes;
+            stats = r.Rewriter.stats;
+            size_pct = Rewriter.size_pct r;
+            trampoline_bytes = r.Rewriter.trampoline_bytes;
+            mappings = r.Rewriter.mappings;
+            verified = true;
+            plan_hits = r.Rewriter.plan_hits;
+            plan_misses = r.Rewriter.plan_misses;
+            plan_conflicts = r.Rewriter.plan_conflicts;
+          }
+        in
+        Cache.add t.ctx.result_cache key entry;
+        (entry, "miss")
+  in
+  finish_emit t ~opts ~filename ~want_data (entry, cache_tag)
+
 let do_emit t params =
+  if t.tool_rules <> [] then do_emit_tool t params
+  else
   let elf, bhash =
     match t.binary with
     | Some b -> b
@@ -436,35 +571,7 @@ let do_emit t params =
         Cache.add t.ctx.result_cache key entry;
         (entry, "miss")
   in
-  (match filename with
-  | Some path -> write_bytes_atomic entry.bytes path
-  | None -> ());
-  (* The emit completes the unit of work: the next binary starts clean.
-     Options and named trampolines are connection-level and survive. *)
-  t.binary <- None;
-  t.rules <- [];
-  t.reserves <- [];
-  t.emits <- t.emits + 1;
-  Json.Obj
-    ([ ("ok", Json.Bool true); ("cache", Json.Str cache_tag);
-       ("size", Json.Int (Bytes.length entry.bytes));
-       ("size_pct", Json.Float entry.size_pct);
-       ("trampoline_bytes", Json.Int entry.trampoline_bytes);
-       ("mappings", Json.Int entry.mappings);
-       ("verified", Json.Bool entry.verified);
-       ("stats", stats_json entry.stats) ]
-    @ (if opts.Rewriter.chunking <> None then
-         [ ( "plan",
-             Json.Obj
-               [ ("hits", Json.Int entry.plan_hits);
-                 ("misses", Json.Int entry.plan_misses);
-                 ("conflicts", Json.Int entry.plan_conflicts) ] ) ]
-       else [])
-    @ (match filename with
-      | Some path -> [ ("wrote", Json.Str path) ]
-      | None -> [])
-    @ if want_data then [ ("data", Json.Str (Proto.hex_of_bytes entry.bytes)) ]
-      else [])
+  finish_emit t ~opts ~filename ~want_data (entry, cache_tag)
 
 (* ------------------------------------------------------------------ *)
 (* dispatch                                                            *)
@@ -511,6 +618,7 @@ let handle t (req : Proto.request) =
         | "trampoline" -> ok (do_trampoline t params)
         | "reserve" -> ok (do_reserve t params)
         | "patch" -> ok (do_patch t params)
+        | "tool" -> ok (do_tool t params)
         | "delta" -> ok (do_delta t params)
         | "emit" -> ok (do_emit t params)
         | "status" -> ok (t.ctx.status ())
@@ -535,6 +643,12 @@ let handle t (req : Proto.request) =
   | exception Patchspec.Parse_error { line; col; message } ->
       error Proto.spec_error (Printf.sprintf "%d:%d: %s" line col message)
         "spec"
+  | exception Tool.Error m -> error Proto.spec_error m "tool"
+  | exception Invalid_argument m ->
+      (* A template/site mismatch surfaced at emission time (lowfat on a
+         non-writing instruction, a naked-call argument conflict): refuse
+         the rewrite, keep the session. *)
+      error Proto.rewrite_refused m "template"
   | exception Verify_refused m ->
       error Proto.verify_failed ("verification refused the output: " ^ m)
         "verify"

@@ -1,5 +1,16 @@
 module Insn = E9_x86.Insn
+module Reg = E9_x86.Reg
 module Classify = E9_x86.Classify
+
+type cmp = [ `Ge | `Le | `Eq | `Lt | `Gt | `Ne ]
+type op_kind = [ `Reg | `Imm | `Mem ]
+
+type defattr =
+  | D_target
+  | D_op of int
+  | D_op_reg of int
+  | D_op_imm of int
+  | D_op_mem of int
 
 type selector =
   | Jumps
@@ -7,9 +18,15 @@ type selector =
   | Calls
   | Returns
   | All
-  | Address of int
   | Mnemonic of string
-  | Size_cmp of [ `Ge | `Le | `Eq ] * int
+  | Size_cmp of cmp * int
+  | Addr_cmp of cmp * int
+  | Target_cmp of cmp * int
+  | Op_type of int * op_kind
+  | Op_reg of int * Reg.t
+  | Op_imm_cmp of int * cmp * int
+  | Reg_used of Reg.t
+  | Defined of defattr
   | And of selector * selector
   | Or of selector * selector
   | Not of selector
@@ -29,7 +46,10 @@ type token =
   | NUM of int
   | LPAREN
   | RPAREN
-  | OP of string  (* >=, <=, = *)
+  | LBRACKET
+  | RBRACKET
+  | DOT
+  | OP of string  (* >=, <=, =, <, >, != *)
   | SEP  (* newline or ; — rule separator *)
   | EOF
 
@@ -54,6 +74,7 @@ let lex source =
      else col := !col + 1);
     incr i
   in
+  let digit c = c >= '0' && c <= '9' in
   while !i < n do
     let c = source.[!i] in
     let tline = !line and tcol = !col in
@@ -74,18 +95,34 @@ let lex source =
       push RPAREN tline tcol;
       advance ()
     end
-    else if c = '>' || c = '<' || c = '=' then begin
+    else if c = '[' then begin
+      push LBRACKET tline tcol;
+      advance ()
+    end
+    else if c = ']' then begin
+      push RBRACKET tline tcol;
+      advance ()
+    end
+    else if c = '.' then begin
+      push DOT tline tcol;
+      advance ()
+    end
+    else if c = '>' || c = '<' || c = '=' || c = '!' then begin
+      let two = !i + 1 < n && source.[!i + 1] = '=' in
+      if c = '!' && not two then err "expected != ";
+      (* [==] is an alias of [=]; both lex to OP "=". *)
       let op =
-        if c = '=' then "="
-        else if !i + 1 < n && source.[!i + 1] = '=' then String.make 1 c ^ "="
-        else err (Printf.sprintf "expected %c= " c)
+        if not two then String.make 1 c
+        else if c = '=' then "="
+        else String.make 1 c ^ "="
       in
       push (OP op) tline tcol;
       advance ();
-      if String.length op = 2 then advance ()
+      if two then advance ()
     end
-    else if c >= '0' && c <= '9' then begin
+    else if digit c || (c = '-' && !i + 1 < n && digit source.[!i + 1]) then begin
       let start = !i in
+      advance ();
       while !i < n && is_ident_char source.[!i] do
         advance ()
       done;
@@ -133,6 +170,36 @@ let parse_num ps =
   let t = next ps in
   match t.tok with NUM v -> v | _ -> fail t "expected a number"
 
+let parse_cmp ps what : cmp =
+  let t = next ps in
+  match t.tok with
+  | OP ">=" -> `Ge
+  | OP "<=" -> `Le
+  | OP "=" -> `Eq
+  | OP "<" -> `Lt
+  | OP ">" -> `Gt
+  | OP "!=" -> `Ne
+  | _ -> fail t (Printf.sprintf "expected a comparison after '%s'" what)
+
+let parse_reg ps what =
+  let t = next ps in
+  match t.tok with
+  | KW name -> (
+      match Reg.of_name name with
+      | Some r -> r
+      | None -> fail t (Printf.sprintf "unknown register '%s'" name))
+  | _ -> fail t (Printf.sprintf "expected a register name after '%s'" what)
+
+(* op[i] — the index, brackets already announced by the [op] keyword. *)
+let parse_op_index ps =
+  let l = next ps in
+  if l.tok <> LBRACKET then fail l "expected '[' after 'op'";
+  let i = parse_num ps in
+  let r = next ps in
+  if r.tok <> RBRACKET then fail r "expected ']'";
+  if i < 0 then fail l "operand index must be non-negative";
+  i
+
 let rec parse_sel ps = parse_or ps
 
 and parse_or ps =
@@ -166,20 +233,81 @@ and parse_atom ps =
   | KW "returns" -> Returns
   | KW "all" -> All
   | KW "address" -> (
-      match (next ps).tok with
-      | NUM v -> Address v
-      | _ -> fail t "expected an address after 'address'")
+      (* sugar for [addr == N] *)
+      let v = next ps in
+      match v.tok with
+      | NUM a -> Addr_cmp (`Eq, a)
+      | _ -> fail v "expected an address after 'address'")
   | KW "mnemonic" -> (
-      match (next ps).tok with
+      let v = next ps in
+      match v.tok with
       | KW name -> Mnemonic name
-      | _ -> fail t "expected a mnemonic name")
-  | KW "size" -> (
-      let op = next ps in
-      match op.tok with
-      | OP ">=" -> Size_cmp (`Ge, parse_num ps)
-      | OP "<=" -> Size_cmp (`Le, parse_num ps)
-      | OP "=" -> Size_cmp (`Eq, parse_num ps)
-      | _ -> fail op "expected >=, <= or = after 'size'")
+      | _ -> fail v "expected a mnemonic name")
+  | KW "size" ->
+      let c = parse_cmp ps "size" in
+      Size_cmp (c, parse_num ps)
+  | KW "addr" ->
+      let c = parse_cmp ps "addr" in
+      Addr_cmp (c, parse_num ps)
+  | KW "target" ->
+      let c = parse_cmp ps "target" in
+      Target_cmp (c, parse_num ps)
+  | KW "uses" -> Reg_used (parse_reg ps "uses")
+  | KW "op" -> (
+      let i = parse_op_index ps in
+      let d = next ps in
+      if d.tok <> DOT then fail d "expected '.' after 'op[i]'";
+      let f = next ps in
+      match f.tok with
+      | KW "type" -> (
+          let c = parse_cmp ps "op[i].type" in
+          let k = next ps in
+          let kind =
+            match k.tok with
+            | KW "reg" -> `Reg
+            | KW "imm" -> `Imm
+            | KW "mem" -> `Mem
+            | _ -> fail k "expected reg, imm or mem"
+          in
+          match c with
+          | `Eq -> Op_type (i, kind)
+          | `Ne -> Not (Op_type (i, kind))
+          | _ -> fail k "op[i].type supports only == and !=")
+      | KW "reg" -> (
+          let c = parse_cmp ps "op[i].reg" in
+          let r = parse_reg ps "op[i].reg" in
+          match c with
+          | `Eq -> Op_reg (i, r)
+          | `Ne -> Not (Op_reg (i, r))
+          | _ -> fail f "op[i].reg supports only == and !=")
+      | KW "imm" ->
+          let c = parse_cmp ps "op[i].imm" in
+          Op_imm_cmp (i, c, parse_num ps)
+      | _ -> fail f "expected type, reg or imm after 'op[i].'")
+  | KW "defined" -> (
+      let l = next ps in
+      if l.tok <> LPAREN then fail l "expected '(' after 'defined'";
+      let a = next ps in
+      let attr =
+        match a.tok with
+        | KW "target" -> D_target
+        | KW "op" -> (
+            let i = parse_op_index ps in
+            match (peek ps).tok with
+            | DOT -> (
+                ignore (next ps);
+                let f = next ps in
+                match f.tok with
+                | KW "reg" -> D_op_reg i
+                | KW "imm" -> D_op_imm i
+                | KW "mem" -> D_op_mem i
+                | _ -> fail f "expected reg, imm or mem after 'op[i].'")
+            | _ -> D_op i)
+        | _ -> fail a "expected target or op[i] inside defined(...)"
+      in
+      let r = next ps in
+      if r.tok <> RPAREN then fail r "expected ')'";
+      Defined attr)
   | KW other -> fail t (Printf.sprintf "unknown selector '%s'" other)
   | _ -> fail t "expected a selector"
 
@@ -218,6 +346,24 @@ let parse source =
     skip_seps ()
   done;
   List.rev !rules
+
+let parse_selector source =
+  let ps = { toks = lex source } in
+  let sel = parse_sel ps in
+  (match (peek ps).tok with
+  | EOF -> ()
+  | SEP ->
+      let rec seps () =
+        match (peek ps).tok with
+        | SEP ->
+            ignore (next ps);
+            seps ()
+        | EOF -> ()
+        | _ -> fail (peek ps) "expected end of expression"
+      in
+      seps ()
+  | _ -> fail (peek ps) "expected end of expression");
+  sel
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation                                                          *)
@@ -264,6 +410,30 @@ let mnemonic_of (i : Insn.t) =
   | Insn.Ud2 -> "ud2"
   | Insn.Unknown _ -> "(bad)"
 
+let cmp_int (c : cmp) a b =
+  match c with
+  | `Ge -> a >= b
+  | `Le -> a <= b
+  | `Eq -> a = b
+  | `Lt -> a < b
+  | `Gt -> a > b
+  | `Ne -> a <> b
+
+(* Branch target, where derivable without CFG recovery: direct jumps,
+   conditional jumps and direct calls carry their destination in the
+   encoding. Indirect branches have no static target — [Target_cmp] is
+   false and [defined(target)] distinguishes the cases. *)
+let target_of (site : Frontend.site) =
+  match site.Frontend.insn with
+  | Insn.Jmp rel | Insn.Jmp_short rel
+  | Insn.Jcc (_, rel) | Insn.Jcc_short (_, rel)
+  | Insn.Call rel ->
+      Some (site.Frontend.addr + site.Frontend.len + rel)
+  | _ -> None
+
+let nth_operand (site : Frontend.site) i =
+  List.nth_opt (Insn.operands site.Frontend.insn) i
+
 let rec selects sel (site : Frontend.site) =
   match sel with
   | Jumps -> Classify.is_jump site.Frontend.insn
@@ -274,11 +444,34 @@ let rec selects sel (site : Frontend.site) =
       | _ -> false)
   | Returns -> site.Frontend.insn = Insn.Ret
   | All -> true
-  | Address a -> site.Frontend.addr = a
   | Mnemonic m -> String.equal m (mnemonic_of site.Frontend.insn)
-  | Size_cmp (`Ge, n) -> site.Frontend.len >= n
-  | Size_cmp (`Le, n) -> site.Frontend.len <= n
-  | Size_cmp (`Eq, n) -> site.Frontend.len = n
+  | Size_cmp (c, n) -> cmp_int c site.Frontend.len n
+  | Addr_cmp (c, n) -> cmp_int c site.Frontend.addr n
+  | Target_cmp (c, n) -> (
+      match target_of site with Some t -> cmp_int c t n | None -> false)
+  | Op_type (i, k) -> (
+      match nth_operand site i with
+      | Some (Insn.Reg _) -> k = `Reg
+      | Some (Insn.Imm _) -> k = `Imm
+      | Some (Insn.Mem _) -> k = `Mem
+      | None -> false)
+  | Op_reg (i, r) -> (
+      match nth_operand site i with
+      | Some (Insn.Reg r') -> Reg.equal r r'
+      | _ -> false)
+  | Op_imm_cmp (i, c, n) -> (
+      match nth_operand site i with
+      | Some (Insn.Imm v) -> cmp_int c v n
+      | _ -> false)
+  | Reg_used r -> Insn.uses_reg site.Frontend.insn r
+  | Defined D_target -> target_of site <> None
+  | Defined (D_op i) -> nth_operand site i <> None
+  | Defined (D_op_reg i) -> (
+      match nth_operand site i with Some (Insn.Reg _) -> true | _ -> false)
+  | Defined (D_op_imm i) -> (
+      match nth_operand site i with Some (Insn.Imm _) -> true | _ -> false)
+  | Defined (D_op_mem i) -> (
+      match nth_operand site i with Some (Insn.Mem _) -> true | _ -> false)
   | And (a, b) -> selects a site && selects b site
   | Or (a, b) -> selects a site || selects b site
   | Not a -> not (selects a site)
@@ -303,18 +496,31 @@ let to_rewriter_args spec =
 (* ------------------------------------------------------------------ *)
 
 (* Conservative "may this selector match some site with an address in
-   [lo, hi)?": only [Address] constrains the address; everything else —
+   [lo, hi)?": only [Addr_cmp] constrains the address; everything else —
    including any [Not] — may. A rule whose selector provably cannot
    match in the range can be dropped without changing [template_for] for
    any site in the range (first match wins, and the dropped rule never
-   was the first match there). *)
+   was the first match there). For [And] the conjunction of the two
+   independent answers is still conservative: any site matching both
+   conjuncts makes both answers true. *)
 let rec may_match_in ~lo ~hi = function
-  | Address a -> a >= lo && a < hi
+  | Addr_cmp (c, n) -> (
+      (* Does some address in [lo, hi) satisfy the comparison? *)
+      match c with
+      | `Ge -> hi - 1 >= n
+      | `Gt -> hi - 1 > n
+      | `Le -> lo <= n
+      | `Lt -> lo < n
+      | `Eq -> lo <= n && n < hi
+      | `Ne -> not (lo = n && hi = lo + 1))
   | And (x, y) -> may_match_in ~lo ~hi x && may_match_in ~lo ~hi y
   | Or (x, y) -> may_match_in ~lo ~hi x || may_match_in ~lo ~hi y
   | Jumps | Heap_writes | Calls | Returns | All | Mnemonic _ | Size_cmp _
-  | Not _ ->
+  | Target_cmp _ | Op_type _ | Op_reg _ | Op_imm_cmp _ | Reg_used _
+  | Defined _ | Not _ ->
       true
+
+let selector_may_match_in sel ~lo ~hi = may_match_in ~lo ~hi sel
 
 let fragment_for_range spec ~lo ~hi =
   List.filter (fun r -> may_match_in ~lo ~hi r.selector) spec
@@ -323,20 +529,56 @@ let fragment_for_range spec ~lo ~hi =
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let cmp_str : cmp -> string = function
+  | `Ge -> ">="
+  | `Le -> "<="
+  | `Eq -> "=="
+  | `Lt -> "<"
+  | `Gt -> ">"
+  | `Ne -> "!="
+
+(* Bare lowercase register name, as the concrete syntax writes it. *)
+let reg_str r =
+  let s = Reg.name64 r in
+  String.sub s 1 (String.length s - 1)
+
+let kind_str : op_kind -> string = function
+  | `Reg -> "reg"
+  | `Imm -> "imm"
+  | `Mem -> "mem"
+
+let defattr_str = function
+  | D_target -> "target"
+  | D_op i -> Printf.sprintf "op[%d]" i
+  | D_op_reg i -> Printf.sprintf "op[%d].reg" i
+  | D_op_imm i -> Printf.sprintf "op[%d].imm" i
+  | D_op_mem i -> Printf.sprintf "op[%d].mem" i
+
 let rec pp_sel ppf = function
   | Jumps -> Format.pp_print_string ppf "jumps"
   | Heap_writes -> Format.pp_print_string ppf "heap-writes"
   | Calls -> Format.pp_print_string ppf "calls"
   | Returns -> Format.pp_print_string ppf "returns"
   | All -> Format.pp_print_string ppf "all"
-  | Address a -> Format.fprintf ppf "address 0x%x" a
   | Mnemonic m -> Format.fprintf ppf "mnemonic %s" m
-  | Size_cmp (`Ge, n) -> Format.fprintf ppf "size >= %d" n
-  | Size_cmp (`Le, n) -> Format.fprintf ppf "size <= %d" n
-  | Size_cmp (`Eq, n) -> Format.fprintf ppf "size = %d" n
+  | Size_cmp (c, n) -> Format.fprintf ppf "size %s %d" (cmp_str c) n
+  | Addr_cmp (c, n) ->
+      if n < 0 then Format.fprintf ppf "addr %s %d" (cmp_str c) n
+      else Format.fprintf ppf "addr %s 0x%x" (cmp_str c) n
+  | Target_cmp (c, n) ->
+      if n < 0 then Format.fprintf ppf "target %s %d" (cmp_str c) n
+      else Format.fprintf ppf "target %s 0x%x" (cmp_str c) n
+  | Op_type (i, k) -> Format.fprintf ppf "op[%d].type == %s" i (kind_str k)
+  | Op_reg (i, r) -> Format.fprintf ppf "op[%d].reg == %s" i (reg_str r)
+  | Op_imm_cmp (i, c, n) ->
+      Format.fprintf ppf "op[%d].imm %s %d" i (cmp_str c) n
+  | Reg_used r -> Format.fprintf ppf "uses %s" (reg_str r)
+  | Defined a -> Format.fprintf ppf "defined(%s)" (defattr_str a)
   | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_sel a pp_sel b
   | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_sel a pp_sel b
   | Not a -> Format.fprintf ppf "not %a" pp_sel a
+
+let pp_selector = pp_sel
 
 let pp_template ppf = function
   | Empty -> Format.pp_print_string ppf "empty"

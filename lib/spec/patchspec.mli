@@ -9,15 +9,34 @@
     patch jumps and size >= 5 with counter
     patch heap-writes with lowfat
     patch address 0x400026 with empty
-    patch mnemonic imul or mnemonic shl with counter
+    patch addr >= 0x400000 and addr < 0x401000 with counter
+    patch op[0].type == mem and not uses rsp with empty
+    patch calls and defined(target) and target >= 0x400800 with counter
     v}
 
-    Selectors: [jumps], [heap-writes], [calls], [returns], [all],
-    [address <int>], [mnemonic <name>], [size >= n], [size <= n],
-    [size = n], combined with [and], [or], [not] and parentheses
-    ([or] binds loosest). Templates: [empty], [counter], [lowfat].
-    [#] comments run to end of line; rules are separated by newlines or
+    Selectors: the instruction classes [jumps], [heap-writes], [calls],
+    [returns], [all]; the attributes [mnemonic <name>],
+    [size CMP <int>], [addr CMP <int>], [target CMP <int>] (direct
+    branches only — no CFG recovery), [op\[i\].type == reg|imm|mem],
+    [op\[i\].reg == <reg>], [op\[i\].imm CMP <int>], [uses <reg>]; the
+    guards [defined(target)], [defined(op\[i\])],
+    [defined(op\[i\].reg|imm|mem)]; combined with [and], [or], [not] and
+    parentheses ([or] binds loosest). [CMP] is one of [>= <= == != < >]
+    ([=] is accepted for [==]); [address <int>] abbreviates
+    [addr == <int>]. Templates: [empty], [counter], [lowfat]. [#]
+    comments run to end of line; rules are separated by newlines or
     [;]. *)
+
+type cmp = [ `Ge | `Le | `Eq | `Lt | `Gt | `Ne ]
+type op_kind = [ `Reg | `Imm | `Mem ]
+
+(** Attributes a [defined(...)] guard can test. *)
+type defattr =
+  | D_target
+  | D_op of int
+  | D_op_reg of int
+  | D_op_imm of int
+  | D_op_mem of int
 
 type selector =
   | Jumps
@@ -25,9 +44,16 @@ type selector =
   | Calls
   | Returns
   | All
-  | Address of int
   | Mnemonic of string
-  | Size_cmp of [ `Ge | `Le | `Eq ] * int
+  | Size_cmp of cmp * int
+  | Addr_cmp of cmp * int
+  | Target_cmp of cmp * int  (** static branch target; false if indirect *)
+  | Op_type of int * op_kind
+  | Op_reg of int * E9_x86.Reg.t
+  | Op_imm_cmp of int * cmp * int
+  | Reg_used of E9_x86.Reg.t
+      (** register appears in an operand, as value or address component *)
+  | Defined of defattr
   | And of selector * selector
   | Or of selector * selector
   | Not of selector
@@ -37,11 +63,16 @@ type template = Empty | Counter | Lowfat
 type rule = { selector : selector; template : template }
 type t = rule list
 
-(** Parse errors carry 1-based line and column. *)
+(** Parse errors carry the 1-based line and column of the offending
+    token. *)
 exception Parse_error of { line : int; col : int; message : string }
 
 (** [parse source] parses a spec. Raises {!Parse_error}. *)
 val parse : string -> t
+
+(** [parse_selector source] parses a single selector expression (the
+    tool frontend's [-M] argument). Raises {!Parse_error}. *)
+val parse_selector : string -> selector
 
 (** [selects sel site] — does the selector match this instruction? *)
 val selects : selector -> Frontend.site -> bool
@@ -59,16 +90,26 @@ val to_rewriter_args :
     formatting). *)
 val pp : Format.formatter -> t -> unit
 
+(** [pp_selector] prints one selector in concrete syntax
+    (parse_selector ∘ pp_selector = id). *)
+val pp_selector : Format.formatter -> selector -> unit
+
 (** {1 Range fragments} — the spec identity half of the incremental plan
     cache key (DESIGN.md §14). *)
 
 (** [fragment_for_range spec ~lo ~hi] drops every rule that provably
     cannot match any site whose address lies in [lo, hi) (only
-    [Address] selectors bound the address; the analysis is conservative
-    — [not], mnemonics, sizes all "may match"). Sound under
-    first-match-wins: for every site in the range, [template_for] on the
-    fragment equals [template_for] on the full spec. *)
+    [Addr_cmp] selectors bound the address; the analysis is conservative
+    — [not], mnemonics, sizes, operand attributes all "may match").
+    Sound under first-match-wins: for every site in the range,
+    [template_for] on the fragment equals [template_for] on the full
+    spec. *)
 val fragment_for_range : t -> lo:int -> hi:int -> t
+
+(** [selector_may_match_in sel ~lo ~hi] is the underlying conservative
+    test, exposed for frontends (the tool) that pair these selectors
+    with their own patch actions. *)
+val selector_may_match_in : selector -> lo:int -> hi:int -> bool
 
 (** [fragment_key spec] is a stable, injective textual encoding of the
     fragment's semantics (canonical concrete syntax), for use as the

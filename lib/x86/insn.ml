@@ -79,6 +79,38 @@ let mem ?base ?index ?(disp = 0) () = { base; index; disp; rip_rel = false }
 let rip_mem disp = { base = None; index = None; disp; rip_rel = true }
 let scale_factor = function S1 -> 1 | S2 -> 2 | S4 -> 4 | S8 -> 8
 
+(* Explicit operands, destination first — the [op[0]], [op[1]] the tool
+   matcher exposes. Branch displacements are attributes ([target]), not
+   operands; indirect branches expose their r/m operand. *)
+let operands = function
+  | Mov (_, dst, src) | Alu (_, _, dst, src) -> [ dst; src ]
+  | Movabs (r, v) -> [ Reg r; Imm (Int64.to_int v) ]
+  | Lea (r, m) -> [ Reg r; Mem m ]
+  | Imul (r, op) | Movzx (r, op) | Movsx (r, op) | Cmov (_, r, op) ->
+      [ Reg r; op ]
+  | Setcc (_, op) | Neg (_, op) | Not (_, op) | Inc (_, op) | Dec (_, op) ->
+      [ op ]
+  | Shift (_, _, dst, n) -> [ dst; Imm n ]
+  | Push r | Pop r -> [ Reg r ]
+  | Jmp_ind op | Call_ind op -> [ op ]
+  | Int n -> [ Imm n ]
+  | Pushfq | Popfq | Call _ | Ret | Jmp _ | Jmp_short _ | Jcc _
+  | Jcc_short _ | Nop _ | Endbr64 | Int3 | Syscall | Ud2 | Unknown _ ->
+      []
+
+(* Registers an operand list mentions (value or address component). *)
+let regs_of_operand = function
+  | Reg r -> [ r ]
+  | Imm _ -> []
+  | Mem m ->
+      (match m.base with Some b -> [ b ] | None -> [])
+      @ (match m.index with Some (i, _) -> [ i ] | None -> [])
+
+let uses_reg i r =
+  List.exists
+    (fun op -> List.exists (Reg.equal r) (regs_of_operand op))
+    (operands i)
+
 let cc_name = function
   | O -> "o"
   | NO -> "no"

@@ -99,6 +99,16 @@ val rip_mem : int -> mem
 (** [scale_factor s] is 1, 2, 4 or 8. *)
 val scale_factor : scale -> int
 
+(** [operands i] lists the instruction's explicit operands, destination
+    first — the [op\[0\]], [op\[1\]] attributes of the tool matcher.
+    Direct branch displacements are an attribute ([target]), not an
+    operand; indirect branches expose their r/m operand. *)
+val operands : t -> operand list
+
+(** [uses_reg i r] — does any operand mention [r], as a value or as a
+    memory-address component? *)
+val uses_reg : t -> Reg.t -> bool
+
 (** [pp ppf i] prints AT&T-flavoured assembly (for logs and dumps). *)
 val pp : Format.formatter -> t -> unit
 

@@ -43,6 +43,25 @@ let of_index i =
   if i < 0 || i > 15 then invalid_arg "Reg.of_index";
   all.(i)
 
+let of_name = function
+  | "rax" -> Some RAX
+  | "rcx" -> Some RCX
+  | "rdx" -> Some RDX
+  | "rbx" -> Some RBX
+  | "rsp" -> Some RSP
+  | "rbp" -> Some RBP
+  | "rsi" -> Some RSI
+  | "rdi" -> Some RDI
+  | "r8" -> Some R8
+  | "r9" -> Some R9
+  | "r10" -> Some R10
+  | "r11" -> Some R11
+  | "r12" -> Some R12
+  | "r13" -> Some R13
+  | "r14" -> Some R14
+  | "r15" -> Some R15
+  | _ -> None
+
 let name64 = function
   | RAX -> "%rax"
   | RCX -> "%rcx"

@@ -24,6 +24,10 @@ val index : t -> int
 (** [of_index i] inverts [index]. Requires [0 <= i <= 15]. *)
 val of_index : int -> t
 
+(** [of_name s] parses a bare lowercase 64-bit register name ("rax" …
+    "r15"), as written in patch specs and tool match expressions. *)
+val of_name : string -> t option
+
 (** All registers, in encoding order. *)
 val all : t array
 

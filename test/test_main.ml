@@ -5,4 +5,4 @@ let () =
    @ Test_workload.suites @ Test_invariants.suites @ Test_reloc.suites
    @ Test_spec.suites @ Test_flags.suites @ Test_asm.suites
    @ Test_check.suites @ Test_obs.suites @ Test_fault.suites
-   @ Test_robust.suites @ Test_rpc.suites)
+   @ Test_robust.suites @ Test_rpc.suites @ Test_tool.suites)

@@ -702,6 +702,96 @@ let test_trampoline_alias () =
     (emit_data r.(3));
   check_int "unknown template refused" Proto.invalid_params (error_code r.(4))
 
+(* The tool vocabulary (DESIGN.md §15) over the wire: -M/-P pairs ride
+   the [tool] method, emit routes through the injected-runtime path, and
+   the result is verified against the augmented input before it leaves
+   the daemon. Tool rules and patchspec rules are mutually exclusive
+   within one emit. *)
+let test_tool_session () =
+  let raw = Lazy.force raw in
+  let server = Server.create () in
+  let load id =
+    Harness.request ~id "binary" [ ("data", Json.Str (Proto.hex_of_bytes raw)) ]
+  in
+  let tool id m p =
+    Harness.request ~id "tool" [ ("match", Json.Str m); ("patch", Json.Str p) ]
+  in
+  let script =
+    [ load 1;
+      tool 2 "jumps" "count";
+      tool 3 "all" "call:clean record(addr,size,3)";
+      Harness.request ~id:4 "emit" [ ("data", Json.Bool true) ] ]
+  in
+  let rs, alive = Harness.run_session server script in
+  check_bool "alive" true alive;
+  let r = Array.of_list rs in
+  check_bool "first rule" true (field (result_of r.(1)) "rules" = Json.Int 1);
+  check_bool "second rule" true (field (result_of r.(2)) "rules" = Json.Int 2);
+  let e = result_of r.(3) in
+  check_bool "cold emit misses" true (field e "cache" = Json.Str "miss");
+  check_bool "emit verified against the augmented input" true
+    (field e "verified" = Json.Bool true);
+  (* Same session again: the tool cache key covers the rules, so the
+     replay is a hit and byte-identical. *)
+  let rs2, _ = Harness.run_session server script in
+  let e2 = List.nth rs2 3 in
+  check_bool "identical session hits" true
+    (field (result_of e2) "cache" = Json.Str "hit");
+  check_str "hit is byte-identical" (emit_data r.(3)) (emit_data e2);
+  (* Different rules must not collide with the cached entry. *)
+  let rs3, _ =
+    Harness.run_session server
+      [ load 1; tool 2 "jumps" "trap";
+        Harness.request ~id:3 "emit" [ ("data", Json.Bool true) ] ]
+  in
+  let e3 = List.nth rs3 2 in
+  check_bool "different rules miss" true
+    (field (result_of e3) "cache" = Json.Str "miss");
+  check_bool "and produce different bytes" true
+    (emit_data e3 <> emit_data r.(3))
+
+let test_tool_errors () =
+  let raw = Lazy.force raw in
+  let server = Server.create () in
+  let load id =
+    Harness.request ~id "binary" [ ("data", Json.Str (Proto.hex_of_bytes raw)) ]
+  in
+  (* Bad -M / -P arguments are typed spec errors; the session lives. *)
+  let rs, alive =
+    Harness.run_session server
+      [ load 1;
+        Harness.request ~id:2 "tool"
+          [ ("match", Json.Str "jumps"); ("patch", Json.Str "frobnicate") ];
+        Harness.request ~id:3 "tool" [ ("match", Json.Str "jumps") ];
+        (* Vocabulary exclusivity, one way... *)
+        Harness.request ~id:4 "patch"
+          [ ("spec", Json.Str "patch jumps with counter") ];
+        Harness.request ~id:5 "tool"
+          [ ("match", Json.Str "jumps"); ("patch", Json.Str "count") ] ]
+  in
+  check_bool "alive" true alive;
+  let r = Array.of_list rs in
+  check_int "unknown patch builtin typed" Proto.spec_error (error_code r.(1));
+  check_int "missing patch param" Proto.invalid_params (error_code r.(2));
+  check_bool "patch rules accepted" true
+    (field (result_of r.(3)) "rules" = Json.Int 1);
+  check_int "tool after patch refused" Proto.state_error (error_code r.(4));
+  (* ...and the other: patch after tool is refused too. *)
+  let rs, alive =
+    Harness.run_session server
+      [ load 1;
+        Harness.request ~id:2 "tool"
+          [ ("match", Json.Str "jumps"); ("patch", Json.Str "count") ];
+        Harness.request ~id:3 "patch"
+          [ ("spec", Json.Str "patch jumps with counter") ];
+        Harness.request ~id:4 "emit" [ ("data", Json.Bool true) ] ]
+  in
+  check_bool "alive" true alive;
+  let r = Array.of_list rs in
+  check_int "patch after tool refused" Proto.state_error (error_code r.(2));
+  check_bool "tool emit still serves and verifies" true
+    (field (result_of r.(3)) "verified" = Json.Bool true)
+
 let test_batch_full_session () =
   let raw = Lazy.force raw in
   let server = Server.create () in
@@ -1098,6 +1188,10 @@ let suites =
         Alcotest.test_case "spec parse error recovers" `Quick
           test_spec_parse_error_recovers;
         Alcotest.test_case "trampoline aliases" `Quick test_trampoline_alias;
+        Alcotest.test_case "tool vocabulary round-trip" `Quick
+          test_tool_session;
+        Alcotest.test_case "tool error paths + exclusivity" `Quick
+          test_tool_errors;
         Alcotest.test_case "batched full session" `Quick test_batch_full_session;
       ] );
     ( "rpc.fault",

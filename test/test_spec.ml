@@ -52,7 +52,7 @@ let test_parse_parens_and_not () =
 
 let test_parse_hex_address () =
   match Spec.parse "patch address 0x400026 with empty" with
-  | [ { Spec.selector = Spec.Address 0x400026; _ } ] -> ()
+  | [ { Spec.selector = Spec.Addr_cmp (`Eq, 0x400026); _ } ] -> ()
   | _ -> Alcotest.fail "hex address wrong"
 
 let test_parse_errors_have_positions () =
@@ -68,7 +68,27 @@ let test_parse_errors_have_positions () =
   fails_at 1 7 "patch bogus with empty";
   fails_at 1 18 "patch jumps with trampoline";
   fails_at 2 7 "patch jumps with empty\npatch ? with empty";
-  fails_at 1 12 "patch size > 5 with empty"
+  fails_at 1 13 "patch size >! 5 with empty"
+
+(* Rules can be packed several to a line with [;]: the reported position
+   must still be the exact line and column of the offending token, not
+   the start of the rule or of the line. *)
+let test_parse_errors_multiline_semicolons () =
+  let fails_at line col src =
+    try
+      ignore (Spec.parse src);
+      Alcotest.failf "expected parse error for %S" src
+    with Spec.Parse_error { line = l; col = c; _ } ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "position of error in %S" src)
+        (line, col) (l, c)
+  in
+  fails_at 1 31 "patch jumps with empty; patch bogus with empty";
+  fails_at 2 33
+    "patch jumps with empty\npatch calls with counter; patch frobs with empty";
+  fails_at 2 13 "patch jumps with empty;\npatch size >! 3 with empty";
+  fails_at 1 42 "patch jumps with empty; patch calls with zzz\npatch all with empty";
+  fails_at 1 35 "patch addr >= 0x400000 and addr < with empty"
 
 let test_pp_roundtrip () =
   let src =
@@ -79,6 +99,99 @@ let test_pp_roundtrip () =
   let spec = Spec.parse src in
   let printed = Format.asprintf "%a" Spec.pp spec in
   check_bool "pp reparses to same spec" true (Spec.parse printed = spec)
+
+(* ------------------------------------------------------------------ *)
+(* Property: parse_selector ∘ pp_selector = id over random trees       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_selector =
+  let open QCheck2.Gen in
+  let cmp = oneofl [ `Ge; `Le; `Eq; `Lt; `Gt; `Ne ] in
+  let reg = oneofl [ Reg.RAX; Reg.RBX; Reg.RSP; Reg.RDI; Reg.R8; Reg.R11 ] in
+  let opi = int_bound 3 in
+  let defattr =
+    oneof
+      [ return Spec.D_target;
+        map (fun i -> Spec.D_op i) opi;
+        map (fun i -> Spec.D_op_reg i) opi;
+        map (fun i -> Spec.D_op_imm i) opi;
+        map (fun i -> Spec.D_op_mem i) opi ]
+  in
+  let leaf =
+    oneof
+      [ oneofl [ Spec.Jumps; Spec.Heap_writes; Spec.Calls; Spec.Returns; Spec.All ];
+        map (fun m -> Spec.Mnemonic m)
+          (oneofl [ "mov"; "add"; "jmp"; "call"; "ret"; "push" ]);
+        map2 (fun c n -> Spec.Size_cmp (c, n)) cmp (int_bound 15);
+        map2 (fun c n -> Spec.Addr_cmp (c, 0x400000 + n)) cmp (int_bound 0xffff);
+        map2 (fun c n -> Spec.Target_cmp (c, 0x400000 + n)) cmp (int_bound 0xffff);
+        map2 (fun i k -> Spec.Op_type (i, k)) opi (oneofl [ `Reg; `Imm; `Mem ]);
+        map2 (fun i r -> Spec.Op_reg (i, r)) opi reg;
+        map3 (fun i c n -> Spec.Op_imm_cmp (i, c, n)) opi cmp (int_bound 0xff);
+        map (fun r -> Spec.Reg_used r) reg;
+        map (fun d -> Spec.Defined d) defattr ]
+  in
+  let rec tree n =
+    if n <= 0 then leaf
+    else
+      oneof
+        [ leaf;
+          map2 (fun a b -> Spec.And (a, b)) (tree (n / 2)) (tree (n / 2));
+          map2 (fun a b -> Spec.Or (a, b)) (tree (n / 2)) (tree (n / 2));
+          map (fun a -> Spec.Not a) (tree (n - 1)) ]
+  in
+  int_bound 6 >>= tree
+
+let prop_pp_parse_id =
+  QCheck2.Test.make ~count:500 ~name:"parse_selector ∘ pp_selector = id"
+    ~print:(fun sel -> Format.asprintf "%a" Spec.pp_selector sel)
+    gen_selector
+    (fun sel ->
+      Spec.parse_selector (Format.asprintf "%a" Spec.pp_selector sel) = sel)
+
+(* ------------------------------------------------------------------ *)
+(* Property: fragment_for_range is sound for in-range sites            *)
+(* ------------------------------------------------------------------ *)
+
+(* The incremental plan cache keys each chunk by the spec fragment that
+   can reach it (DESIGN.md §14). Soundness is: for every site whose
+   address lies in the chunk, first-match template selection on the
+   fragment agrees with the full spec — whatever mix of address-range
+   guards, negations and attribute selectors the rules use. *)
+let gen_spec =
+  let open QCheck2.Gen in
+  let gen_rule =
+    let* sel = gen_selector in
+    let* t = oneofl [ Spec.Empty; Spec.Counter; Spec.Lowfat ] in
+    return { Spec.selector = sel; template = t }
+  in
+  list_size (int_range 1 5) gen_rule
+
+let prop_fragment_for_range_sound =
+  QCheck2.Test.make ~count:300
+    ~name:"fragment_for_range: template_for agrees on in-range sites"
+    ~print:(fun (spec, lo_k, span_k) ->
+      Format.asprintf "lo=+0x%x span=%d %a" (lo_k * 8) span_k Spec.pp spec)
+    QCheck2.Gen.(tup3 gen_spec (int_bound 0x2000) (int_range 1 64))
+    (fun (spec, lo_k, span_k) ->
+      let lo = 0x400000 + (lo_k * 8) and span = span_k * 8 in
+      let frag = Spec.fragment_for_range spec ~lo ~hi:(lo + span) in
+      let sites =
+        List.concat_map
+          (fun i ->
+            let addr = lo + (i * 8) in
+            [ site ~addr (Insn.Jmp 0); site ~addr (Insn.Call 0);
+              site ~addr Insn.Ret;
+              site ~addr
+                (Insn.Mov
+                   ( Insn.Q,
+                     Insn.Mem (Insn.mem ~base:Reg.RBX ()),
+                     Insn.Reg Reg.RAX )) ])
+          (List.init span_k Fun.id)
+      in
+      List.for_all
+        (fun s -> Spec.template_for frag s = Spec.template_for spec s)
+        sites)
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation                                                          *)
@@ -148,7 +261,11 @@ let suites =
         Alcotest.test_case "hex address" `Quick test_parse_hex_address;
         Alcotest.test_case "errors with positions" `Quick
           test_parse_errors_have_positions;
-        Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip ] );
+        Alcotest.test_case "errors: multi-line ;-separated" `Quick
+          test_parse_errors_multiline_semicolons;
+        Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip;
+        QCheck_alcotest.to_alcotest prop_pp_parse_id;
+        QCheck_alcotest.to_alcotest prop_fragment_for_range_sound ] );
     ( "spec.eval",
       [ Alcotest.test_case "selectors" `Quick test_selectors;
         Alcotest.test_case "first match wins" `Quick test_first_match_wins;
